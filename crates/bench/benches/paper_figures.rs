@@ -1,0 +1,137 @@
+//! Criterion benchmarks of the host-side hot paths.
+//!
+//! The per-figure experiment binaries report *simulated* GPU time; these
+//! benches measure the *wall-clock* cost of the main code paths (BVH
+//! construction, the RTNN pipeline at each optimisation level, and every
+//! baseline) on a fixed small workload, so regressions in the
+//! implementation itself are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
+use rtnn_baselines::fastrnn::FastRnn;
+use rtnn_baselines::grid_knn::GridKnn;
+use rtnn_baselines::kdtree::KdTreeSearch;
+use rtnn_baselines::octree::OctreeSearch;
+use rtnn_baselines::uniform_grid::UniformGridSearch;
+use rtnn_baselines::{Baseline, SearchRequest};
+use rtnn_bvh::{build_point_bvh, BuildParams, BvhBuilder};
+use rtnn_data::{Dataset, DatasetName};
+use rtnn_gpusim::Device;
+use rtnn_math::Vec3;
+
+struct Fixture {
+    points: Vec<Vec3>,
+    queries: Vec<Vec3>,
+    radius: f32,
+    k: usize,
+}
+
+fn fixture() -> Fixture {
+    let cloud = Dataset::scaled(DatasetName::Kitti1M, 100).generate(); // 10k points
+    let queries = cloud.queries_subsampled(4); // 2.5k queries
+    Fixture { points: cloud.points, queries, radius: DatasetName::Kitti1M.default_radius(), k: 16 }
+}
+
+/// Keep every Criterion group short: the interesting comparisons are the
+/// relative costs, not tight confidence intervals.
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+fn bench_bvh_builders(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("bvh_build");
+    configure(&mut group);
+    for builder in [BvhBuilder::Lbvh, BvhBuilder::MedianSplit, BvhBuilder::BinnedSah] {
+        group.bench_with_input(BenchmarkId::new("builder", format!("{builder:?}")), &builder, |b, &builder| {
+            b.iter(|| build_point_bvh(&f.points, f.radius, BuildParams { builder, max_leaf_size: 4 }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtnn_opt_levels(c: &mut Criterion) {
+    let f = fixture();
+    let device = Device::rtx_2080();
+    let mut group = c.benchmark_group("rtnn_search");
+    configure(&mut group);
+    for mode in [SearchMode::Range, SearchMode::Knn] {
+        for opt in OptLevel::all() {
+            let params = SearchParams { radius: f.radius, k: f.k, mode };
+            let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
+            let id = BenchmarkId::new(format!("{mode:?}"), opt.label());
+            group.bench_function(id, |b| {
+                b.iter(|| engine.search(&f.points, &f.queries).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let f = fixture();
+    let device = Device::rtx_2080();
+    let request = SearchRequest::new(f.radius, f.k);
+    let mut group = c.benchmark_group("baselines");
+    configure(&mut group);
+    let range_baselines: Vec<(&str, Box<dyn Baseline>)> = vec![
+        ("cuNSearch", Box::new(UniformGridSearch)),
+        ("PCLOctree", Box::new(OctreeSearch)),
+        ("KdTree", Box::new(KdTreeSearch)),
+    ];
+    for (name, baseline) in &range_baselines {
+        group.bench_function(BenchmarkId::new("range", *name), |b| {
+            b.iter(|| baseline.range_search(&device, &f.points, &f.queries, request).unwrap());
+        });
+    }
+    let knn_baselines: Vec<(&str, Box<dyn Baseline>)> = vec![
+        ("FRNN", Box::new(GridKnn)),
+        ("FastRNN", Box::new(FastRnn)),
+        ("KdTree", Box::new(KdTreeSearch)),
+    ];
+    for (name, baseline) in &knn_baselines {
+        group.bench_function(BenchmarkId::new("knn", *name), |b| {
+            b.iter(|| baseline.knn_search(&device, &f.points, &f.queries, request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling_and_partitioning(c: &mut Criterion) {
+    let f = fixture();
+    let device = Device::rtx_2080();
+    let mut group = c.benchmark_group("optimisation_passes");
+    configure(&mut group);
+    let gas = rtnn_optix::Gas::build_from_points(&device, &f.points, f.radius, BuildParams::default()).unwrap();
+    group.bench_function("query_scheduling", |b| {
+        b.iter(|| rtnn::schedule_queries(&device, &gas, &f.points, &f.queries));
+    });
+    let order: Vec<u32> = (0..f.queries.len() as u32).collect();
+    let params = SearchParams::knn(f.radius, f.k);
+    group.bench_function("query_partitioning", |b| {
+        b.iter(|| {
+            rtnn::partition::partition_queries(
+                &device,
+                &f.points,
+                &f.queries,
+                &order,
+                &params,
+                rtnn::KnnAabbRule::Guaranteed,
+                1 << 20,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bvh_builders,
+    bench_rtnn_opt_levels,
+    bench_baselines,
+    bench_scheduling_and_partitioning
+);
+criterion_main!(benches);

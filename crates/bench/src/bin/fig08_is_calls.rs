@@ -1,0 +1,6 @@
+//! Reproduces Figure 8 (IS calls vs AABB width) of the RTNN paper. Scale via RTNN_SCALE / RTNN_QUERY_CAP.
+fn main() {
+    let scale = rtnn_bench::ExperimentScale::from_env();
+    let report = rtnn_bench::experiments::aabb_sweep::run(&scale);
+    println!("{}", report.render());
+}

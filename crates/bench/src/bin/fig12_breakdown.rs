@@ -1,0 +1,6 @@
+//! Reproduces Figure 12 (time breakdown) of the RTNN paper. Scale via RTNN_SCALE / RTNN_QUERY_CAP.
+fn main() {
+    let scale = rtnn_bench::ExperimentScale::from_env();
+    let report = rtnn_bench::experiments::speedups::run(&scale);
+    println!("{}", report.render());
+}

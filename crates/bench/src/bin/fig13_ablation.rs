@@ -1,0 +1,6 @@
+//! Reproduces Figure 13 (optimisation ablation) of the RTNN paper. Scale via RTNN_SCALE / RTNN_QUERY_CAP.
+fn main() {
+    let scale = rtnn_bench::ExperimentScale::from_env();
+    let report = rtnn_bench::experiments::ablation::run(&scale);
+    println!("{}", report.render());
+}

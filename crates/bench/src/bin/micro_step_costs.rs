@@ -1,0 +1,6 @@
+//! Reproduces the Section 3.1 step-cost micro-benchmark of the RTNN paper. Scale via RTNN_SCALE / RTNN_QUERY_CAP.
+fn main() {
+    let scale = rtnn_bench::ExperimentScale::from_env();
+    let report = rtnn_bench::experiments::step_costs::run(&scale);
+    println!("{}", report.render());
+}

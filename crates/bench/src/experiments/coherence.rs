@@ -1,0 +1,145 @@
+//! Figures 5 and 6: the effect of ray coherence.
+//!
+//! The paper assigns queries uniformly to the cells of a 3D grid and
+//! compares two query-to-ray mappings: raster-scan order of the grid cells
+//! (adjacent rays are spatially close) and random order. Figure 5 plots
+//! search time against the number of queries for both mappings; Figure 6
+//! reports the L1/L2 hit rates and the SM occupancy that explain the gap.
+
+use crate::report::{fmt_ms, FigureReport, Table};
+use crate::scale::ExperimentScale;
+use crate::workloads::{characterization_workload, DEFAULT_K};
+use rtnn::{raster_order, OptLevel, Rtnn, RtnnConfig, SearchParams};
+use rtnn_gpusim::Device;
+use rtnn_math::Vec3;
+use rtnn_optix::LaunchMetrics;
+
+/// Deterministically scramble a permutation (the "random order" mapping).
+fn scramble(order: &[u32]) -> Vec<u32> {
+    let n = order.len();
+    let mut out = order.to_vec();
+    if n < 2 {
+        return out;
+    }
+    let mut state = 0x12345678u64;
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// One run: NoOpt search (so the engine does not re-schedule the queries)
+/// over `queries` presented in the given order.
+fn run_ordered(device: &Device, points: &[Vec3], queries: &[Vec3], radius: f32) -> (f64, LaunchMetrics) {
+    let config = RtnnConfig::new(SearchParams::knn(radius, DEFAULT_K)).with_opt(OptLevel::NoOpt);
+    let engine = Rtnn::new(device, config);
+    let results = engine.search(points, queries).expect("coherence workload fits the device");
+    (results.breakdown.search_ms, results.search_metrics)
+}
+
+/// Run the Figure 5 + Figure 6 experiment.
+pub fn run(scale: &ExperimentScale) -> FigureReport {
+    let mut report = FigureReport::new("Figures 5 and 6: ray coherence (ordered vs random queries)");
+    let device = Device::rtx_2080_ti();
+    let workload = characterization_workload(scale);
+    let radius = workload.radius;
+
+    let mut fig5 = Table::new(
+        "Figure 5: search time vs number of queries",
+        &["queries", "raster-order time", "random-order time", "random / raster"],
+    );
+    let mut fig6 = Table::new(
+        "Figure 6: cache hit rate and SM occupancy",
+        &["order", "L1 hit %", "L2 hit %", "SM occupancy %"],
+    );
+
+    // Sweep the query count the way the x-axis of Figure 5 does.
+    let fractions = [0.1, 0.25, 0.5, 1.0];
+    let mut last: Option<(LaunchMetrics, LaunchMetrics)> = None;
+    for f in fractions {
+        let n = ((workload.queries.len() as f64 * f) as usize).max(64);
+        let queries: Vec<Vec3> = workload.queries.iter().take(n).copied().collect();
+        let raster = raster_order(&queries, 64);
+        let random = scramble(&raster);
+        let ordered_queries: Vec<Vec3> = raster.iter().map(|&i| queries[i as usize]).collect();
+        let random_queries: Vec<Vec3> = random.iter().map(|&i| queries[i as usize]).collect();
+        let (t_ord, m_ord) = run_ordered(&device, &workload.points, &ordered_queries, radius);
+        let (t_rand, m_rand) = run_ordered(&device, &workload.points, &random_queries, radius);
+        fig5.push_row(vec![
+            n.to_string(),
+            fmt_ms(t_ord),
+            fmt_ms(t_rand),
+            format!("{:.2}x", t_rand / t_ord.max(1e-12)),
+        ]);
+        last = Some((m_ord, m_rand));
+    }
+
+    if let Some((ord, rand)) = last {
+        for (label, m) in [("raster", &ord), ("random", &rand)] {
+            fig6.push_row(vec![
+                label.to_string(),
+                format!("{:.1}", m.kernel.memory.l1_hit_rate() * 100.0),
+                format!("{:.1}", m.kernel.memory.l2_hit_rate() * 100.0),
+                format!("{:.1}", m.kernel.simt_efficiency * 100.0),
+            ]);
+        }
+        report.notes.push(format!(
+            "ordered queries achieve {:.1}% L1 hit rate vs {:.1}% for random order; the paper reports the same direction (Fig. 6)",
+            ord.kernel.memory.l1_hit_rate() * 100.0,
+            rand.kernel.memory.l1_hit_rate() * 100.0
+        ));
+    }
+
+    report.tables.push(fig5);
+    report.tables.push(fig6);
+    report
+        .notes
+        .push("paper: random-order search is consistently ~4-5x slower than raster order (Fig. 5)".into());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_both_tables() {
+        let report = run(&ExperimentScale::smoke_test());
+        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.tables[0].rows.len(), 4);
+        assert_eq!(report.tables[1].rows.len(), 2);
+    }
+
+    #[test]
+    fn random_vs_raster_ratios_stay_in_a_sane_band_at_smoke_scale() {
+        // With only a few hundred queries (smoke scale) both orders fit in
+        // the caches and warp load-balance noise dominates, so the ratio
+        // hovers around 1 and can dip slightly below it. The paper's ≥1
+        // claim is exercised at realistic scale by the fig05 binary (see
+        // EXPERIMENTS.md); here we only guard against the model producing
+        // nonsensical ratios.
+        let report = run(&ExperimentScale::smoke_test());
+        let ratios: Vec<f64> = report.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[3].trim_end_matches('x').parse().unwrap())
+            .collect();
+        for (i, ratio) in ratios.iter().enumerate() {
+            assert!(
+                (0.5..=100.0).contains(ratio),
+                "implausible random/raster ratio at row {i}: {ratios:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scramble_is_a_permutation() {
+        let order: Vec<u32> = (0..100).collect();
+        let mut s = scramble(&order);
+        assert_ne!(s, order);
+        s.sort();
+        assert_eq!(s, order);
+    }
+}

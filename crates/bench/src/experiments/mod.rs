@@ -1,0 +1,12 @@
+//! One module per reproduced figure. Every module exposes
+//! `run(scale) -> FigureReport`; the binaries in `src/bin/` are thin
+//! wrappers that print (and optionally save) the report.
+
+pub mod aabb_sweep;
+pub mod ablation;
+pub mod bvh_build;
+pub mod coherence;
+pub mod partition_dist;
+pub mod sensitivity;
+pub mod speedups;
+pub mod step_costs;

@@ -1,0 +1,38 @@
+//! # rtnn-bench
+//!
+//! The experiment harness: one module (and one binary) per figure of the
+//! paper's evaluation, plus shared infrastructure for workload construction,
+//! table formatting and result persistence.
+//!
+//! Every experiment reports *simulated* GPU milliseconds from the
+//! `rtnn-gpusim` device model, so the numbers are deterministic and
+//! comparable across machines; the Criterion benches in `benches/` measure
+//! host wall-time of the main code paths on top of that.
+//!
+//! | Binary | Paper figure |
+//! |---|---|
+//! | `fig05_ray_coherence` | Fig. 5 — ordered vs random query order |
+//! | `fig06_cache_occupancy` | Fig. 6 — cache hit rates and SM occupancy |
+//! | `fig07_aabb_width_time` | Fig. 7 — search time vs AABB width |
+//! | `fig08_is_calls` | Fig. 8 — IS calls vs AABB width |
+//! | `fig11_speedups` | Fig. 11 — speedups over the four baselines |
+//! | `fig12_breakdown` | Fig. 12 — time breakdown per dataset |
+//! | `fig13_ablation` | Fig. 13 — NoOpt / Sched / +Partition / +Bundle / Oracle |
+//! | `fig14_sensitivity` | Fig. 14 — sensitivity to `r` and `K` |
+//! | `fig15_bvh_build` | Fig. 15 — BVH build time vs #AABBs |
+//! | `fig16_partition_dist` | Fig. 16 — queries per partition vs AABB size |
+//! | `micro_step_costs` | §3.1 — step 1 vs step 2 cost |
+//! | `reproduce_all` | everything above, written to `results/` |
+//!
+//! Scale is controlled by the `RTNN_SCALE` environment variable: the point
+//! counts of the paper's datasets are divided by this factor (default 200,
+//! i.e. KITTI-25M becomes 125 000 points). `RTNN_QUERY_CAP` optionally caps
+//! the number of queries per experiment.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod workloads;
+
+pub use report::{geomean, FigureReport, Table};
+pub use scale::ExperimentScale;

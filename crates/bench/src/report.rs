@@ -1,0 +1,224 @@
+//! Table formatting and result persistence for the experiment binaries.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in table '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Render as a column-aligned string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as Markdown (used by `reproduce_all` to build EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// The output of one experiment: a set of tables plus free-form notes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Which figure this reproduces ("Figure 5", ...).
+    pub figure: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Observations worth recording (who wins, rough factors, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Create an empty report.
+    pub fn new(figure: impl Into<String>) -> Self {
+        FigureReport { figure: figure.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Render for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = format!("==== {} ====\n\n", self.figure);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render for EXPERIMENTS.md.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.figure);
+        for t in &self.tables {
+            out.push_str(&t.render_markdown());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Notes:\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Persist the report (markdown + JSON) under `dir`.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .figure
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let md_path = dir.join(format!("{slug}.md"));
+        std::fs::write(&md_path, self.render_markdown())?;
+        let json_path = dir.join(format!("{slug}.json"));
+        std::fs::write(json_path, serde_json::to_string_pretty(self).unwrap())?;
+        Ok(md_path)
+    }
+}
+
+/// Geometric mean of a set of ratios (ignores non-positive entries, returns
+/// 0 if none remain) — how the paper aggregates per-input speedups.
+pub fn geomean(values: &[f64]) -> f64 {
+    let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positives.is_empty() {
+        return 0.0;
+    }
+    (positives.iter().map(|v| v.ln()).sum::<f64>() / positives.len() as f64).exp()
+}
+
+/// Format a milliseconds value compactly.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.2} ms")
+    } else {
+        format!("{:.1} µs", ms * 1000.0)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    if x == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("demo") && s.contains("333") && s.contains("bb"));
+        let md = t.render_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 333 | 4 |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn geomean_behaviour() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        assert!((geomean(&[3.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(2500.0), "2.50 s");
+        assert_eq!(fmt_ms(2.5), "2.50 ms");
+        assert_eq!(fmt_ms(0.5), "500.0 µs");
+        assert_eq!(fmt_speedup(2.25), "2.2x");
+        assert_eq!(fmt_speedup(0.0), "n/a");
+    }
+
+    #[test]
+    fn report_save_round_trip() {
+        let mut report = FigureReport::new("Figure 99 (test)");
+        let mut t = Table::new("tiny", &["x"]);
+        t.push_row(vec!["1".into()]);
+        report.tables.push(t);
+        report.notes.push("a note".into());
+        let dir = std::env::temp_dir().join("rtnn_bench_report_test");
+        let path = report.save(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("Figure 99"));
+        assert!(content.contains("a note"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,89 @@
+//! Experiment scale control.
+//!
+//! The paper's datasets range from 360 K to 25 M points; a CPU-hosted
+//! simulator cannot sweep the full sizes inside a benchmark suite, so every
+//! experiment divides the paper's point counts by a scale factor. The factor
+//! (and a cap on query counts) can be overridden from the environment so the
+//! same binaries serve quick smoke runs and long faithful runs.
+
+/// Scale configuration shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Divisor applied to the paper's point counts (1 = full scale).
+    pub dataset_divisor: usize,
+    /// Maximum number of queries per experiment (queries are the data points
+    /// themselves, subsampled if needed).
+    pub query_cap: usize,
+    /// Skip a baseline configuration whose estimated work (points × queries)
+    /// exceeds this bound and report it as `DNF`, mirroring the paper's
+    /// "did not finish" entries.
+    pub dnf_work_limit: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { dataset_divisor: 250, query_cap: 100_000, dnf_work_limit: 4_000_000_000 }
+    }
+}
+
+impl ExperimentScale {
+    /// Read the scale from the environment (`RTNN_SCALE`, `RTNN_QUERY_CAP`,
+    /// `RTNN_DNF_LIMIT`), falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut s = ExperimentScale::default();
+        if let Some(v) = read_env_usize("RTNN_SCALE") {
+            s.dataset_divisor = v.max(1);
+        }
+        if let Some(v) = read_env_usize("RTNN_QUERY_CAP") {
+            s.query_cap = v.max(100);
+        }
+        if let Some(v) = read_env_usize("RTNN_DNF_LIMIT") {
+            s.dnf_work_limit = v as u64;
+        }
+        s
+    }
+
+    /// A very small configuration used by unit tests of the experiment
+    /// modules themselves (most datasets clamp to their 1000-point minimum).
+    pub fn smoke_test() -> Self {
+        ExperimentScale { dataset_divisor: 10_000, query_cap: 500, dnf_work_limit: 200_000_000 }
+    }
+
+    /// Query subsampling stride for a cloud of `num_points` points.
+    pub fn query_stride(&self, num_points: usize) -> usize {
+        num_points.div_ceil(self.query_cap).max(1)
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = ExperimentScale::default();
+        assert!(s.dataset_divisor >= 1);
+        assert!(s.query_cap >= 1000);
+        assert!(s.dnf_work_limit > 0);
+    }
+
+    #[test]
+    fn stride_caps_queries() {
+        let s = ExperimentScale { query_cap: 100, ..Default::default() };
+        assert_eq!(s.query_stride(1000), 10);
+        assert_eq!(s.query_stride(50), 1);
+        assert_eq!(s.query_stride(101), 2);
+    }
+
+    #[test]
+    fn smoke_configuration_is_smaller_than_default() {
+        let smoke = ExperimentScale::smoke_test();
+        let default = ExperimentScale::default();
+        assert!(smoke.dataset_divisor > default.dataset_divisor);
+        assert!(smoke.query_cap < default.query_cap);
+    }
+}

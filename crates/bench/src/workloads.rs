@@ -1,0 +1,110 @@
+//! Workload construction shared by the experiments.
+
+use crate::scale::ExperimentScale;
+use rtnn_data::{Dataset, DatasetName, PointCloud};
+use rtnn_math::Vec3;
+
+/// A prepared workload: a named point cloud, the query set, and the default
+/// search parameters the paper uses for that dataset.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Dataset label (as used in the figures).
+    pub name: String,
+    /// Search points.
+    pub points: Vec<Vec3>,
+    /// Queries (the points themselves, subsampled to the query cap).
+    pub queries: Vec<Vec3>,
+    /// Default search radius for this dataset.
+    pub radius: f32,
+}
+
+impl Workload {
+    /// Build the workload for one of the paper's datasets at the given scale.
+    ///
+    /// The search radius is *density-compensated*: dividing the point count
+    /// by `scale.dataset_divisor` lowers the point density, so the paper's
+    /// radius is multiplied by the factor that keeps the expected number of
+    /// neighbors per query (and therefore the per-query work profile) at its
+    /// full-scale value — `divisor^(1/2)` for the essentially planar KITTI
+    /// clouds and `divisor^(1/3)` for the volumetric / surface ones.
+    pub fn for_dataset(name: DatasetName, scale: &ExperimentScale) -> Workload {
+        let cloud: PointCloud = Dataset::scaled(name, scale.dataset_divisor).generate();
+        let stride = scale.query_stride(cloud.len());
+        let queries = cloud.queries_subsampled(stride);
+        Workload {
+            name: cloud.name.clone(),
+            radius: compensated_radius(name, scale.dataset_divisor),
+            points: cloud.points,
+            queries,
+        }
+    }
+
+    /// Estimated brute-force work (points × queries), used for DNF gating.
+    pub fn brute_force_work(&self) -> u64 {
+        self.points.len() as u64 * self.queries.len() as u64
+    }
+}
+
+/// Density-compensated search radius for a dataset scaled down by `divisor`
+/// (see [`Workload::for_dataset`]).
+pub fn compensated_radius(name: DatasetName, divisor: usize) -> f32 {
+    let d = divisor.max(1) as f32;
+    let exponent = match name {
+        // KITTI points live on a (nearly) 2D ground sheet.
+        DatasetName::Kitti1M
+        | DatasetName::Kitti6M
+        | DatasetName::Kitti12M
+        | DatasetName::Kitti25M => 1.0 / 2.0,
+        // Everything else fills (or wraps) a 3D volume.
+        _ => 1.0 / 3.0,
+    };
+    name.default_radius() * d.powf(exponent)
+}
+
+/// The subset of datasets the characterisation experiments (Figures 5–8) use:
+/// a KITTI-like cloud, matching the paper's Section 3.2 setup.
+pub fn characterization_workload(scale: &ExperimentScale) -> Workload {
+    Workload::for_dataset(DatasetName::Kitti6M, scale)
+}
+
+/// The datasets of Figure 11/12, in figure order.
+pub fn evaluation_datasets() -> [DatasetName; 9] {
+    DatasetName::all()
+}
+
+/// Default maximum neighbor count used by the evaluation experiments (the
+/// paper bounds every search; Figure 14 sweeps K from 1 to 128 around this).
+pub const DEFAULT_K: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_respects_the_scale() {
+        let scale = ExperimentScale::smoke_test();
+        let w = Workload::for_dataset(DatasetName::Bunny360K, &scale);
+        assert!(!w.points.is_empty());
+        assert!(w.queries.len() <= scale.query_cap);
+        assert!(w.radius > 0.0);
+        assert!(w.brute_force_work() > 0);
+        assert!(w.name.contains("Bunny"));
+    }
+
+    #[test]
+    fn evaluation_set_matches_the_paper() {
+        assert_eq!(evaluation_datasets().len(), 9);
+    }
+
+    #[test]
+    fn radius_compensation_grows_with_the_divisor_and_is_identity_at_full_scale() {
+        for name in evaluation_datasets() {
+            assert_eq!(compensated_radius(name, 1), name.default_radius());
+            assert!(compensated_radius(name, 100) > compensated_radius(name, 10));
+        }
+        // Planar KITTI compensates more aggressively than the volumetric sets.
+        let kitti = compensated_radius(DatasetName::Kitti12M, 64) / DatasetName::Kitti12M.default_radius();
+        let scan = compensated_radius(DatasetName::Buddha4_6M, 64) / DatasetName::Buddha4_6M.default_radius();
+        assert!(kitti > scan);
+    }
+}

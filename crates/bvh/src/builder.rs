@@ -1,0 +1,409 @@
+//! BVH builders.
+//!
+//! The default is the LBVH-style builder: primitive centroids are encoded as
+//! 63-bit Morton keys, sorted (in parallel), and the hierarchy is emitted by
+//! recursively splitting each sorted range at the highest Morton bit that
+//! differs inside the range. Build time is `O(n log n)` dominated by the
+//! sort — in practice linear in the primitive count for the sizes the paper
+//! sweeps (Figure 15), which is the property the bundling cost model relies
+//! on (`T_build = k1 · M`, Equation 3).
+
+use crate::node::{Bvh, BvhNode, NodeKind};
+use rtnn_math::morton::MortonEncoder;
+use rtnn_math::{Aabb, Vec3};
+use rtnn_parallel::{par_map, par_sort_by_key};
+
+/// Which construction algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BvhBuilder {
+    /// Morton-code linear BVH (default; models the OptiX fast build path).
+    #[default]
+    Lbvh,
+    /// Object-median split on the longest axis.
+    MedianSplit,
+    /// Binned surface-area heuristic (8 bins per axis).
+    BinnedSah,
+}
+
+/// Build-time parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildParams {
+    /// Which builder to run.
+    pub builder: BvhBuilder,
+    /// Maximum number of primitives per leaf.
+    pub max_leaf_size: u32,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams { builder: BvhBuilder::Lbvh, max_leaf_size: 4 }
+    }
+}
+
+/// Build a BVH over `prim_aabbs` with the given parameters.
+///
+/// An empty primitive list yields [`Bvh::empty`].
+pub fn build_bvh(prim_aabbs: &[Aabb], params: BuildParams) -> Bvh {
+    if prim_aabbs.is_empty() {
+        return Bvh::empty();
+    }
+    assert!(params.max_leaf_size >= 1, "max_leaf_size must be at least 1");
+    match params.builder {
+        BvhBuilder::Lbvh => build_lbvh(prim_aabbs, params.max_leaf_size),
+        BvhBuilder::MedianSplit => build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Median),
+        BvhBuilder::BinnedSah => build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Sah),
+    }
+}
+
+/// Convenience: build a BVH where every primitive is the cube of width
+/// `2 * radius` centred at a point — exactly Listing 1's `buildBVH(points,
+/// radius)`.
+pub fn build_point_bvh(points: &[Vec3], radius: f32, params: BuildParams) -> Bvh {
+    let aabbs = par_map(points.len(), |i| Aabb::cube(points[i], 2.0 * radius));
+    build_bvh(&aabbs, params)
+}
+
+// ---------------------------------------------------------------------------
+// LBVH
+// ---------------------------------------------------------------------------
+
+fn build_lbvh(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
+    let n = prim_aabbs.len();
+    // Scene bounds over centroids for Morton normalisation.
+    let mut centroid_bounds = Aabb::EMPTY;
+    for a in prim_aabbs {
+        centroid_bounds.grow_point(a.center());
+    }
+    let encoder = MortonEncoder::new(&centroid_bounds);
+    // (morton, prim_id) pairs, sorted by morton.
+    let mut keyed: Vec<(u64, u32)> =
+        par_map(n, |i| (encoder.encode(prim_aabbs[i].center()), i as u32));
+    par_sort_by_key(&mut keyed, |&(k, id)| (k, id));
+
+    let mut nodes = Vec::with_capacity(2 * n);
+    let prim_indices: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
+    let codes: Vec<u64> = keyed.iter().map(|&(k, _)| k).collect();
+
+    // Recursive split on the highest differing Morton bit.
+    struct Ctx<'a> {
+        prim_aabbs: &'a [Aabb],
+        prim_indices: &'a [u32],
+        codes: &'a [u64],
+        max_leaf: usize,
+    }
+
+    fn emit(ctx: &Ctx, nodes: &mut Vec<BvhNode>, start: usize, end: usize) -> u32 {
+        let count = end - start;
+        let mut aabb = Aabb::EMPTY;
+        for &pid in &ctx.prim_indices[start..end] {
+            aabb.grow_aabb(&ctx.prim_aabbs[pid as usize]);
+        }
+        let node_index = nodes.len() as u32;
+        if count <= ctx.max_leaf {
+            nodes.push(BvhNode {
+                aabb,
+                kind: NodeKind::Leaf { start: start as u32, count: count as u32 },
+            });
+            return node_index;
+        }
+        let split = find_morton_split(&ctx.codes[start..end]) + start;
+        nodes.push(BvhNode { aabb, kind: NodeKind::Internal { left: 0, right: 0 } });
+        let left = emit(ctx, nodes, start, split);
+        let right = emit(ctx, nodes, split, end);
+        nodes[node_index as usize].kind = NodeKind::Internal { left, right };
+        node_index
+    }
+
+    let ctx = Ctx { prim_aabbs, prim_indices: &prim_indices, codes: &codes, max_leaf: max_leaf_size as usize };
+    emit(&ctx, &mut nodes, 0, n);
+
+    Bvh { nodes, prim_indices, prim_aabbs: prim_aabbs.to_vec(), max_leaf_size }
+}
+
+/// Position (relative to the slice start) at which to split a Morton-sorted
+/// range: one past the last key sharing the highest differing bit with the
+/// first key. Falls back to the midpoint when all keys are equal.
+fn find_morton_split(codes: &[u64]) -> usize {
+    let n = codes.len();
+    debug_assert!(n >= 2);
+    let first = codes[0];
+    let last = codes[n - 1];
+    if first == last {
+        return n / 2;
+    }
+    let common = (first ^ last).leading_zeros();
+    // Binary search for the first code whose prefix differs from `first`
+    // beyond the common prefix.
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if (first ^ codes[mid]).leading_zeros() > common {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi.clamp(1, n - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Recursive median / SAH builders
+// ---------------------------------------------------------------------------
+
+enum SplitRule {
+    Median,
+    Sah,
+}
+
+fn build_recursive(prim_aabbs: &[Aabb], max_leaf_size: u32, rule: SplitRule) -> Bvh {
+    let n = prim_aabbs.len();
+    let mut prim_indices: Vec<u32> = (0..n as u32).collect();
+    let centroids: Vec<Vec3> = prim_aabbs.iter().map(|a| a.center()).collect();
+    let mut nodes: Vec<BvhNode> = Vec::with_capacity(2 * n);
+
+    fn emit(
+        prim_aabbs: &[Aabb],
+        centroids: &[Vec3],
+        prim_indices: &mut [u32],
+        nodes: &mut Vec<BvhNode>,
+        offset: usize,
+        max_leaf: usize,
+        rule: &SplitRule,
+    ) -> u32 {
+        let count = prim_indices.len();
+        let mut aabb = Aabb::EMPTY;
+        let mut centroid_bounds = Aabb::EMPTY;
+        for &pid in prim_indices.iter() {
+            aabb.grow_aabb(&prim_aabbs[pid as usize]);
+            centroid_bounds.grow_point(centroids[pid as usize]);
+        }
+        let node_index = nodes.len() as u32;
+        if count <= max_leaf {
+            nodes.push(BvhNode {
+                aabb,
+                kind: NodeKind::Leaf { start: offset as u32, count: count as u32 },
+            });
+            return node_index;
+        }
+        let axis = centroid_bounds.longest_axis();
+        // Degenerate centroid spread (e.g. duplicated points): fall back to an
+        // arbitrary midpoint split so leaves still respect max_leaf.
+        let degenerate = centroid_bounds.longest_extent() <= 0.0;
+        let mid = if degenerate {
+            count / 2
+        } else {
+            match rule {
+            SplitRule::Median => {
+                let mid = count / 2;
+                prim_indices.select_nth_unstable_by(mid, |&a, &b| {
+                    centroids[a as usize][axis]
+                        .partial_cmp(&centroids[b as usize][axis])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                mid
+            }
+                SplitRule::Sah => {
+                    sah_partition(prim_aabbs, centroids, prim_indices, axis, &centroid_bounds)
+                }
+            }
+        };
+        let mid = mid.clamp(1, count - 1);
+        nodes.push(BvhNode { aabb, kind: NodeKind::Internal { left: 0, right: 0 } });
+        let (left_ids, right_ids) = prim_indices.split_at_mut(mid);
+        let left = emit(prim_aabbs, centroids, left_ids, nodes, offset, max_leaf, rule);
+        let right = emit(prim_aabbs, centroids, right_ids, nodes, offset + mid, max_leaf, rule);
+        nodes[node_index as usize].kind = NodeKind::Internal { left, right };
+        node_index
+    }
+
+    emit(
+        prim_aabbs,
+        &centroids,
+        &mut prim_indices,
+        &mut nodes,
+        0,
+        max_leaf_size as usize,
+        &rule,
+    );
+
+    Bvh { nodes, prim_indices, prim_aabbs: prim_aabbs.to_vec(), max_leaf_size }
+}
+
+/// Partition `prim_indices` in place around the best of 8 binned SAH split
+/// candidates on `axis`; returns the split position. Falls back to the
+/// median when binning degenerates.
+fn sah_partition(
+    prim_aabbs: &[Aabb],
+    centroids: &[Vec3],
+    prim_indices: &mut [u32],
+    axis: usize,
+    centroid_bounds: &Aabb,
+) -> usize {
+    const BINS: usize = 8;
+    let count = prim_indices.len();
+    let lo = centroid_bounds.min[axis];
+    let extent = centroid_bounds.max[axis] - lo;
+    if extent <= 0.0 {
+        return count / 2;
+    }
+    let bin_of = |pid: u32| -> usize {
+        let t = (centroids[pid as usize][axis] - lo) / extent;
+        ((t * BINS as f32) as usize).min(BINS - 1)
+    };
+    let mut bin_counts = [0usize; BINS];
+    let mut bin_bounds = [Aabb::EMPTY; BINS];
+    for &pid in prim_indices.iter() {
+        let b = bin_of(pid);
+        bin_counts[b] += 1;
+        bin_bounds[b].grow_aabb(&prim_aabbs[pid as usize]);
+    }
+    // Evaluate SAH cost for each of the BINS-1 split planes.
+    let mut best_cost = f32::INFINITY;
+    let mut best_split = BINS / 2;
+    for split in 1..BINS {
+        let (mut la, mut ra) = (Aabb::EMPTY, Aabb::EMPTY);
+        let (mut lc, mut rc) = (0usize, 0usize);
+        for b in 0..split {
+            if bin_counts[b] > 0 {
+                la.grow_aabb(&bin_bounds[b]);
+                lc += bin_counts[b];
+            }
+        }
+        for b in split..BINS {
+            if bin_counts[b] > 0 {
+                ra.grow_aabb(&bin_bounds[b]);
+                rc += bin_counts[b];
+            }
+        }
+        if lc == 0 || rc == 0 {
+            continue;
+        }
+        let cost = la.surface_area() * lc as f32 + ra.surface_area() * rc as f32;
+        if cost < best_cost {
+            best_cost = cost;
+            best_split = split;
+        }
+    }
+    if !best_cost.is_finite() {
+        return count / 2;
+    }
+    // Partition in place: everything in bins < best_split goes left.
+    let mut left = 0usize;
+    for i in 0..count {
+        if bin_of(prim_indices[i]) < best_split {
+            prim_indices.swap(i, left);
+            left += 1;
+        }
+    }
+    left.clamp(1, count - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_bvh;
+
+    fn grid_points(n_per_axis: usize) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    pts.push(Vec3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        pts
+    }
+
+    fn all_builders() -> [BvhBuilder; 3] {
+        [BvhBuilder::Lbvh, BvhBuilder::MedianSplit, BvhBuilder::BinnedSah]
+    }
+
+    #[test]
+    fn empty_input_gives_empty_bvh() {
+        for b in all_builders() {
+            let bvh = build_bvh(&[], BuildParams { builder: b, max_leaf_size: 4 });
+            assert!(bvh.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_primitive() {
+        let aabbs = [Aabb::cube(Vec3::new(1.0, 2.0, 3.0), 0.5)];
+        for b in all_builders() {
+            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 4 });
+            assert_eq!(bvh.num_nodes(), 1);
+            assert_eq!(bvh.num_primitives(), 1);
+            assert!(bvh.nodes[0].is_leaf());
+            validate_bvh(&bvh).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_builders_produce_valid_trees() {
+        let points = grid_points(6); // 216 points
+        let aabbs: Vec<Aabb> = points.iter().map(|&p| Aabb::cube(p, 0.8)).collect();
+        for b in all_builders() {
+            for leaf in [1u32, 2, 4, 8] {
+                let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: leaf });
+                validate_bvh(&bvh).unwrap_or_else(|e| panic!("{b:?} leaf={leaf}: {e:?}"));
+                assert_eq!(bvh.num_primitives(), aabbs.len());
+                assert!(bvh.depth() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_builders() {
+        // All-equal Morton codes exercise the fallback midpoint split.
+        let aabbs = vec![Aabb::cube(Vec3::splat(1.0), 0.2); 33];
+        for b in all_builders() {
+            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 2 });
+            validate_bvh(&bvh).unwrap();
+            assert_eq!(bvh.num_primitives(), 33);
+        }
+    }
+
+    #[test]
+    fn point_bvh_uses_width_2r() {
+        let points = vec![Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0)];
+        let bvh = build_point_bvh(&points, 0.75, BuildParams::default());
+        // Each leaf primitive AABB must be the cube of width 1.5 around its point.
+        for (i, &p) in points.iter().enumerate() {
+            assert_eq!(bvh.prim_aabbs[i], Aabb::cube(p, 1.5));
+        }
+        validate_bvh(&bvh).unwrap();
+    }
+
+    #[test]
+    fn planar_input_builds() {
+        // KITTI-like: all points in a thin z slab.
+        let mut pts = grid_points(8);
+        for p in &mut pts {
+            p.z *= 1e-3;
+        }
+        let aabbs: Vec<Aabb> = pts.iter().map(|&p| Aabb::cube(p, 0.6)).collect();
+        for b in all_builders() {
+            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 4 });
+            validate_bvh(&bvh).unwrap();
+        }
+    }
+
+    #[test]
+    fn morton_split_positions_are_interior() {
+        let codes: Vec<u64> = vec![0, 1, 2, 3, 8, 9, 10, 11];
+        let s = find_morton_split(&codes);
+        assert!(s >= 1 && s < codes.len());
+        assert_eq!(s, 4); // split where bit 3 flips
+        assert_eq!(find_morton_split(&[7, 7, 7, 7]), 2); // equal codes -> midpoint
+    }
+
+    #[test]
+    fn lbvh_depth_is_logarithmic_for_uniform_points() {
+        let points = grid_points(10); // 1000 points
+        let bvh = build_point_bvh(&points, 0.5, BuildParams::default());
+        // A pathological chain would be ~250 deep; a healthy tree is O(log n).
+        assert!(bvh.depth() <= 24, "depth {} too large", bvh.depth());
+    }
+}

@@ -1,0 +1,36 @@
+//! # rtnn-bvh
+//!
+//! Bounding Volume Hierarchy construction and traversal — the data structure
+//! at the heart of the RTNN formulation (the paper's Section 2.2) and the
+//! structure the simulated RT cores traverse.
+//!
+//! The real system delegates BVH construction to the (non-programmable)
+//! OptiX runtime; here we provide three builders:
+//!
+//! * [`builder::BvhBuilder::Lbvh`] — Morton-sort + top-down split at the
+//!   highest differing Morton bit. Linear-ish in the number of primitives,
+//!   which is the property Appendix B of the paper measures (Figure 15).
+//!   This is the default builder and the one the `rtnn-optix` acceleration
+//!   structure uses.
+//! * [`builder::BvhBuilder::MedianSplit`] — classic object-median split on
+//!   the longest axis; slower to build, slightly better trees. Used by the
+//!   PCLOctree-like baseline comparisons and by ablation benches.
+//! * [`builder::BvhBuilder::BinnedSah`] — binned surface-area-heuristic
+//!   builder; the highest quality trees, the slowest builds.
+//!
+//! Traversal implements the OptiX ray–AABB semantics (Conditions 1 and 2 of
+//! the paper) and reports the per-ray statistics (nodes visited, primitive
+//! AABBs tested) that the GPU simulator converts into cycles, cache traffic
+//! and occupancy.
+
+pub mod builder;
+pub mod node;
+pub mod stats;
+pub mod traverse;
+pub mod validate;
+
+pub use builder::{build_bvh, build_point_bvh, BuildParams, BvhBuilder};
+pub use node::{Bvh, BvhNode, NodeKind};
+pub use stats::BvhStats;
+pub use traverse::{TraversalControl, TraversalStats, TraversalTrace};
+pub use validate::{validate_bvh, BvhValidationError};

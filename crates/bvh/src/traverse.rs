@@ -1,0 +1,304 @@
+//! Stack-based BVH traversal with OptiX intersection semantics.
+//!
+//! Traversal visits every node whose AABB intersects the ray (Conditions 1
+//! and 2 of the paper); at leaves, each primitive AABB is tested against the
+//! ray and, on a hit, the caller-supplied visitor — the IS shader in OptiX
+//! terms — is invoked with the primitive id. The visitor can terminate the
+//! ray (the AH shader's `optixTerminateRay`, used by RTNN when `K`
+//! neighbors have been found).
+//!
+//! Two entry points:
+//!
+//! * [`Bvh::traverse`] — counts work (node visits, primitive tests) without
+//!   recording which nodes were touched; used by correctness tests and CPU
+//!   oracles.
+//! * [`Bvh::traverse_traced`] — additionally appends the indices of visited
+//!   nodes and scanned primitive slots to a [`TraversalTrace`]; the GPU
+//!   simulator replays those as memory accesses for cache and divergence
+//!   modelling.
+
+use crate::node::{Bvh, NodeKind};
+use rtnn_math::Ray;
+
+/// Visitor verdict after a primitive hit (the IS/AH shader return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalControl {
+    /// Keep traversing.
+    Continue,
+    /// Terminate this ray immediately (AH shader termination).
+    Terminate,
+}
+
+/// Per-ray work counters produced by a traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// BVH nodes whose AABB was tested against the ray (internal + leaf).
+    pub nodes_visited: u64,
+    /// Leaf nodes entered.
+    pub leaves_visited: u64,
+    /// Primitive AABBs tested against the ray inside leaves.
+    pub prim_tests: u64,
+    /// Primitive AABB tests that hit, i.e. IS shader invocations.
+    pub is_calls: u64,
+    /// Whether the visitor terminated the ray early.
+    pub terminated: bool,
+}
+
+impl TraversalStats {
+    /// Accumulate another ray's stats into this one.
+    pub fn merge(&mut self, other: &TraversalStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.prim_tests += other.prim_tests;
+        self.is_calls += other.is_calls;
+        self.terminated |= other.terminated;
+    }
+}
+
+/// The memory-touch trace of one ray: which node slots and primitive slots
+/// it read, in order. Slot indices (not byte addresses) are recorded; the
+/// simulator maps them onto its address space.
+#[derive(Debug, Clone, Default)]
+pub struct TraversalTrace {
+    /// Indices into `Bvh::nodes`, in visit order.
+    pub node_visits: Vec<u32>,
+    /// Indices into `Bvh::prim_indices` (leaf slots), in test order.
+    pub prim_visits: Vec<u32>,
+}
+
+impl TraversalTrace {
+    /// Clear the trace for reuse.
+    pub fn clear(&mut self) {
+        self.node_visits.clear();
+        self.prim_visits.clear();
+    }
+}
+
+impl Bvh {
+    /// Traverse the BVH with `ray`, invoking `on_hit(prim_id)` for every
+    /// primitive whose AABB the ray intersects. Returns work counters.
+    pub fn traverse<F>(&self, ray: &Ray, mut on_hit: F) -> TraversalStats
+    where
+        F: FnMut(u32) -> TraversalControl,
+    {
+        self.traverse_impl(ray, &mut on_hit, None)
+    }
+
+    /// As [`Bvh::traverse`], additionally recording the visited node /
+    /// primitive slots into `trace` (which is cleared first).
+    pub fn traverse_traced<F>(
+        &self,
+        ray: &Ray,
+        trace: &mut TraversalTrace,
+        mut on_hit: F,
+    ) -> TraversalStats
+    where
+        F: FnMut(u32) -> TraversalControl,
+    {
+        trace.clear();
+        self.traverse_impl(ray, &mut on_hit, Some(trace))
+    }
+
+    fn traverse_impl<F>(
+        &self,
+        ray: &Ray,
+        on_hit: &mut F,
+        mut trace: Option<&mut TraversalTrace>,
+    ) -> TraversalStats
+    where
+        F: FnMut(u32) -> TraversalControl,
+    {
+        let mut stats = TraversalStats::default();
+        if self.nodes.is_empty() {
+            return stats;
+        }
+        // Explicit stack; depth is bounded by tree depth which is O(log n)
+        // for our builders, but size generously to cope with skewed trees.
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        stack.push(0);
+        'rays: while let Some(node_idx) = stack.pop() {
+            let node = &self.nodes[node_idx as usize];
+            stats.nodes_visited += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.node_visits.push(node_idx);
+            }
+            if !node.aabb.intersects_ray(ray) {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Internal { left, right } => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+                NodeKind::Leaf { start, count } => {
+                    stats.leaves_visited += 1;
+                    for slot in start..start + count {
+                        let prim_id = self.prim_indices[slot as usize];
+                        stats.prim_tests += 1;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.prim_visits.push(slot);
+                        }
+                        if self.prim_aabbs[prim_id as usize].intersects_ray(ray) {
+                            stats.is_calls += 1;
+                            if on_hit(prim_id) == TraversalControl::Terminate {
+                                stats.terminated = true;
+                                break 'rays;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Collect every primitive id whose AABB contains `query` (i.e. would
+    /// trigger the IS shader for a point-probe ray from `query`). Reference
+    /// helper used by tests and by the first-hit scheduling pass oracle.
+    pub fn primitives_containing(&self, query: rtnn_math::Vec3) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.traverse(&Ray::point_probe(query), |pid| {
+            out.push(pid);
+            TraversalControl::Continue
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_point_bvh, BuildParams};
+    use rtnn_math::{Aabb, Vec3};
+
+    fn sample_points() -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                for z in 0..5 {
+                    pts.push(Vec3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_bvh_traversal_is_a_noop() {
+        let bvh = Bvh::empty();
+        let stats = bvh.traverse(&Ray::point_probe(Vec3::ZERO), |_| TraversalControl::Continue);
+        assert_eq!(stats, TraversalStats::default());
+    }
+
+    #[test]
+    fn traversal_finds_exactly_the_enclosing_aabbs() {
+        let points = sample_points();
+        let radius = 0.9;
+        let bvh = build_point_bvh(&points, radius, BuildParams::default());
+        let query = Vec3::new(1.2, 2.1, 3.3);
+        let mut hits = bvh.primitives_containing(query);
+        hits.sort();
+        // Brute-force expectation: points whose width-2r cube contains query.
+        let mut expected: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| Aabb::cube(p, 2.0 * radius).contains_point(query))
+            .map(|(i, _)| i as u32)
+            .collect();
+        expected.sort();
+        assert_eq!(hits, expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn early_termination_stops_the_ray() {
+        let points = sample_points();
+        let bvh = build_point_bvh(&points, 2.0, BuildParams::default());
+        let query = Vec3::new(2.0, 2.0, 2.0);
+        let mut count = 0;
+        let stats = bvh.traverse(&Ray::point_probe(query), |_| {
+            count += 1;
+            if count == 3 {
+                TraversalControl::Terminate
+            } else {
+                TraversalControl::Continue
+            }
+        });
+        assert_eq!(count, 3);
+        assert!(stats.terminated);
+        assert_eq!(stats.is_calls, 3);
+        // Without termination there are far more than 3 enclosing AABBs.
+        assert!(bvh.primitives_containing(query).len() > 3);
+    }
+
+    #[test]
+    fn stats_relationships_hold() {
+        let points = sample_points();
+        let bvh = build_point_bvh(&points, 0.7, BuildParams::default());
+        let stats =
+            bvh.traverse(&Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)), |_| TraversalControl::Continue);
+        assert!(stats.nodes_visited >= stats.leaves_visited);
+        assert!(stats.prim_tests >= stats.is_calls);
+        assert!(!stats.terminated);
+    }
+
+    #[test]
+    fn trace_records_every_visited_node() {
+        let points = sample_points();
+        let bvh = build_point_bvh(&points, 0.7, BuildParams::default());
+        let mut trace = TraversalTrace::default();
+        let stats = bvh.traverse_traced(&Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)), &mut trace, |_| {
+            TraversalControl::Continue
+        });
+        assert_eq!(trace.node_visits.len() as u64, stats.nodes_visited);
+        assert_eq!(trace.prim_visits.len() as u64, stats.prim_tests);
+        assert_eq!(trace.node_visits[0], 0, "traversal starts at the root");
+        // Reusing the trace clears previous contents.
+        let stats2 = bvh.traverse_traced(&Ray::point_probe(Vec3::new(-10.0, 0.0, 0.0)), &mut trace, |_| {
+            TraversalControl::Continue
+        });
+        assert_eq!(trace.node_visits.len() as u64, stats2.nodes_visited);
+        assert_eq!(stats2.is_calls, 0);
+    }
+
+    #[test]
+    fn far_away_query_visits_only_the_root() {
+        let points = sample_points();
+        let bvh = build_point_bvh(&points, 0.5, BuildParams::default());
+        let stats = bvh
+            .traverse(&Ray::point_probe(Vec3::new(1000.0, 1000.0, 1000.0)), |_| TraversalControl::Continue);
+        assert_eq!(stats.nodes_visited, 1);
+        assert_eq!(stats.is_calls, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TraversalStats { nodes_visited: 1, leaves_visited: 1, prim_tests: 2, is_calls: 1, terminated: false };
+        let b = TraversalStats { nodes_visited: 3, leaves_visited: 1, prim_tests: 4, is_calls: 2, terminated: true };
+        a.merge(&b);
+        assert_eq!(a.nodes_visited, 4);
+        assert_eq!(a.prim_tests, 6);
+        assert_eq!(a.is_calls, 3);
+        assert!(a.terminated);
+    }
+
+    #[test]
+    fn coherent_queries_share_traversal_paths() {
+        // Two nearby queries touch mostly the same nodes; two distant queries
+        // do not. This is the microscopic fact behind Observation 1.
+        let points = sample_points();
+        let bvh = build_point_bvh(&points, 0.9, BuildParams::default());
+        let trace_of = |q: Vec3| {
+            let mut t = TraversalTrace::default();
+            bvh.traverse_traced(&Ray::point_probe(q), &mut t, |_| TraversalControl::Continue);
+            t.node_visits.iter().copied().collect::<std::collections::HashSet<_>>()
+        };
+        let a = trace_of(Vec3::new(1.0, 1.0, 1.0));
+        let b = trace_of(Vec3::new(1.1, 1.05, 0.95));
+        let c = trace_of(Vec3::new(3.9, 3.9, 3.9));
+        let overlap = |x: &std::collections::HashSet<u32>, y: &std::collections::HashSet<u32>| {
+            x.intersection(y).count() as f64 / x.union(y).count().max(1) as f64
+        };
+        assert!(overlap(&a, &b) > overlap(&a, &c));
+    }
+}

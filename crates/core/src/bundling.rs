@@ -1,0 +1,273 @@
+//! Partition bundling (Section 5.2 and Appendices A/C).
+//!
+//! Every partition needs its own BVH; when a partition is small, the build
+//! cost outweighs the traversal savings. The bundling algorithm picks how
+//! many partitions to keep separate:
+//!
+//! 1. Sort partitions by query count (empirically inversely correlated with
+//!    AABB size — Figure 16; our partitioner produces them sorted by width,
+//!    so this is a re-sort by `N`).
+//! 2. For every candidate bundle count `M_o`, keep the `M_o − 1` partitions
+//!    with the most queries separate and merge the rest into one bundle
+//!    whose AABB width is the maximum of its members (the theorem of
+//!    Appendix C shows this shape is optimal for a given `M_o`).
+//! 3. Evaluate the total cost (build + search) of each `M_o` with the
+//!    calibrated cost model and pick the minimum.
+
+use crate::cost_model::CostCoefficients;
+use crate::partition::Partition;
+use crate::result::{SearchMode, SearchParams};
+
+/// A bundling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundlePlan {
+    /// Each element is the set of partition indices merged into one bundle.
+    pub groups: Vec<Vec<usize>>,
+    /// Estimated total cost (build + search) of this plan in milliseconds.
+    pub estimated_cost_ms: f64,
+    /// Estimated cost of leaving every partition separate, for comparison.
+    pub unbundled_cost_ms: f64,
+}
+
+impl BundlePlan {
+    /// Number of bundles (i.e. BVH builds) the plan requires.
+    pub fn num_bundles(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Search-cost estimate for a set of partitions sharing one BVH whose AABB
+/// width is `width`.
+fn search_cost_ms(
+    members: &[&Partition],
+    width: f64,
+    params: &SearchParams,
+    coeffs: &CostCoefficients,
+) -> f64 {
+    match params.mode {
+        SearchMode::Knn => {
+            // k2 · Σ(N_i ρ_i) · S³  (Equation 4 summed over members).
+            let weighted_density: f64 =
+                members.iter().map(|p| p.len() as f64 * p.density).sum();
+            coeffs.k_is_knn_ms * weighted_density * width.powi(3)
+        }
+        SearchMode::Range => {
+            // k3 · N · K, with k3 depending on whether the bundle's AABB still
+            // fits inside the search sphere (Appendix A).
+            let n: f64 = members.iter().map(|p| p.len() as f64).sum();
+            let inscribed = 2.0 * params.radius as f64 / 3.0_f64.sqrt();
+            let k3 = if width <= inscribed {
+                coeffs.k_is_range_no_sphere_ms
+            } else {
+                coeffs.k_is_range_sphere_ms
+            };
+            k3 * n * params.k as f64
+        }
+    }
+}
+
+/// Total cost of a candidate plan described by `groups`.
+fn plan_cost_ms(
+    partitions: &[Partition],
+    groups: &[Vec<usize>],
+    num_points: usize,
+    params: &SearchParams,
+    coeffs: &CostCoefficients,
+) -> f64 {
+    groups
+        .iter()
+        .map(|group| {
+            let members: Vec<&Partition> = group.iter().map(|&i| &partitions[i]).collect();
+            let width = members.iter().map(|p| p.aabb_width as f64).fold(0.0, f64::max);
+            coeffs.build_ms(num_points) + search_cost_ms(&members, width, params, coeffs)
+        })
+        .sum()
+}
+
+/// Compute the optimal bundling of `partitions` for a point cloud of
+/// `num_points` points.
+pub fn plan_bundles(
+    partitions: &[Partition],
+    num_points: usize,
+    params: &SearchParams,
+    coeffs: &CostCoefficients,
+) -> BundlePlan {
+    if partitions.is_empty() {
+        return BundlePlan { groups: Vec::new(), estimated_cost_ms: 0.0, unbundled_cost_ms: 0.0 };
+    }
+    // Indices sorted by descending query count: the first M_o - 1 stay
+    // separate under the Appendix C theorem.
+    let mut by_queries: Vec<usize> = (0..partitions.len()).collect();
+    by_queries.sort_by_key(|&i| std::cmp::Reverse(partitions[i].len()));
+
+    let unbundled: Vec<Vec<usize>> = (0..partitions.len()).map(|i| vec![i]).collect();
+    let unbundled_cost = plan_cost_ms(partitions, &unbundled, num_points, params, coeffs);
+
+    let mut best_groups = unbundled;
+    let mut best_cost = unbundled_cost;
+    for m_o in 1..=partitions.len() {
+        let separate = &by_queries[..m_o - 1];
+        let bundled: Vec<usize> = by_queries[m_o - 1..].to_vec();
+        let mut groups: Vec<Vec<usize>> = separate.iter().map(|&i| vec![i]).collect();
+        if !bundled.is_empty() {
+            groups.push(bundled);
+        }
+        let cost = plan_cost_ms(partitions, &groups, num_points, params, coeffs);
+        if cost < best_cost {
+            best_cost = cost;
+            best_groups = groups;
+        }
+    }
+    BundlePlan { groups: best_groups, estimated_cost_ms: best_cost, unbundled_cost_ms: unbundled_cost }
+}
+
+/// Materialise a plan: merge the partitions of each group into one
+/// partition whose AABB width is the maximum of its members.
+pub fn apply_bundles(partitions: &[Partition], plan: &BundlePlan, params: &SearchParams) -> Vec<Partition> {
+    let inscribed = 2.0 * params.radius / 3.0_f32.sqrt();
+    plan.groups
+        .iter()
+        .map(|group| {
+            let width = group.iter().map(|&i| partitions[i].aabb_width).fold(0.0f32, f32::max);
+            let megacell_width =
+                group.iter().map(|&i| partitions[i].megacell_width).fold(0.0f32, f32::max);
+            let mut query_ids = Vec::new();
+            let mut weighted_density = 0.0f64;
+            let mut total = 0usize;
+            for &i in group {
+                query_ids.extend_from_slice(&partitions[i].query_ids);
+                weighted_density += partitions[i].density * partitions[i].len() as f64;
+                total += partitions[i].len();
+            }
+            let sphere_test = match params.mode {
+                SearchMode::Knn => true,
+                SearchMode::Range => width > inscribed,
+            };
+            Partition {
+                aabb_width: width,
+                query_ids,
+                megacell_width,
+                sphere_test,
+                density: if total > 0 { weighted_density / total as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn_gpusim::Device;
+
+    fn coeffs() -> CostCoefficients {
+        CostCoefficients::calibrate(&Device::rtx_2080())
+    }
+
+    /// Synthetic partitions following the Figure 16 shape: query count and
+    /// AABB width inversely correlated.
+    fn synthetic_partitions(sizes_and_widths: &[(usize, f32)]) -> Vec<Partition> {
+        let mut next_query = 0u32;
+        sizes_and_widths
+            .iter()
+            .map(|&(n, w)| {
+                let ids: Vec<u32> = (next_query..next_query + n as u32).collect();
+                next_query += n as u32;
+                Partition {
+                    aabb_width: w,
+                    query_ids: ids,
+                    megacell_width: w / 1.5,
+                    sphere_test: true,
+                    density: 32.0 / (w as f64 / 1.5).powi(3),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_partitions_give_an_empty_plan() {
+        let plan = plan_bundles(&[], 1000, &SearchParams::knn(1.0, 8), &coeffs());
+        assert_eq!(plan.num_bundles(), 0);
+        assert_eq!(plan.estimated_cost_ms, 0.0);
+    }
+
+    #[test]
+    fn plan_never_costs_more_than_no_bundling() {
+        let parts = synthetic_partitions(&[(100_000, 0.4), (20_000, 0.8), (3_000, 1.4), (200, 2.0), (40, 2.6)]);
+        for params in [SearchParams::knn(1.5, 32), SearchParams::range(1.5, 32)] {
+            let plan = plan_bundles(&parts, 500_000, &params, &coeffs());
+            assert!(plan.estimated_cost_ms <= plan.unbundled_cost_ms + 1e-12);
+            assert!(plan.num_bundles() >= 1 && plan.num_bundles() <= parts.len());
+        }
+    }
+
+    #[test]
+    fn tiny_partitions_get_bundled() {
+        // Many tiny partitions: the per-partition build cost dominates, so
+        // the planner must merge them.
+        let parts = synthetic_partitions(&[(50, 0.4), (40, 0.6), (30, 0.9), (20, 1.3), (10, 1.9), (5, 2.5)]);
+        let plan = plan_bundles(&parts, 2_000_000, &SearchParams::knn(1.5, 16), &coeffs());
+        assert!(plan.num_bundles() < parts.len(), "expected bundling, got {:?}", plan.groups);
+    }
+
+    #[test]
+    fn huge_partitions_stay_separate_for_knn() {
+        // Very large partitions with very different AABB sizes: merging them
+        // would blow up the search cost (Equation 5), so the planner keeps
+        // them apart even though that means more builds.
+        let parts = synthetic_partitions(&[(4_000_000, 0.2), (2_000_000, 1.0), (1_000_000, 3.0)]);
+        let plan = plan_bundles(&parts, 100_000, &SearchParams::knn(2.0, 32), &coeffs());
+        assert_eq!(plan.num_bundles(), parts.len());
+    }
+
+    #[test]
+    fn every_partition_appears_exactly_once_in_the_plan() {
+        let parts = synthetic_partitions(&[(1000, 0.5), (500, 0.8), (100, 1.2), (10, 2.0)]);
+        let plan = plan_bundles(&parts, 50_000, &SearchParams::range(1.5, 16), &coeffs());
+        let mut seen = vec![false; parts.len()];
+        for g in &plan.groups {
+            for &i in g {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn apply_bundles_merges_queries_and_takes_the_max_width() {
+        let parts = synthetic_partitions(&[(10, 0.5), (5, 1.0), (2, 2.0)]);
+        let plan = BundlePlan {
+            groups: vec![vec![0], vec![1, 2]],
+            estimated_cost_ms: 0.0,
+            unbundled_cost_ms: 0.0,
+        };
+        let params = SearchParams::range(2.0, 8);
+        let merged = apply_bundles(&parts, &plan, &params);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].len(), 10);
+        assert_eq!(merged[1].len(), 7);
+        assert_eq!(merged[1].aabb_width, 2.0);
+        // Total queries preserved.
+        let total: usize = merged.iter().map(Partition::len).sum();
+        assert_eq!(total, 17);
+        // The merged bundle's width (2.0) is not inside the inscribed cube of
+        // a radius-2 sphere (2·2/√3 ≈ 2.31), so the sphere test... is skipped
+        // only when width <= inscribed; 2.0 <= 2.31, so it may be skipped.
+        assert!(!merged[1].sphere_test);
+    }
+
+    #[test]
+    fn bundled_search_cost_exceeds_separate_search_cost_for_knn() {
+        // Equation 5: merging increases the search component (ignoring build
+        // savings) because the bundle inherits the largest AABB.
+        let parts = synthetic_partitions(&[(1000, 0.4), (800, 1.2)]);
+        let params = SearchParams::knn(2.0, 16);
+        let c = coeffs();
+        let separate: f64 = parts
+            .iter()
+            .map(|p| search_cost_ms(&[p], p.aabb_width as f64, &params, &c))
+            .sum();
+        let merged = search_cost_ms(&[&parts[0], &parts[1]], 1.2, &params, &c);
+        assert!(merged > separate);
+    }
+}

@@ -1,0 +1,545 @@
+//! The end-to-end RTNN search engine: ties together the basic mapping, query
+//! scheduling, partitioning and bundling, and produces the per-phase time
+//! breakdown of Figure 12.
+
+use crate::approx::ApproxMode;
+use crate::bundling::{apply_bundles, plan_bundles};
+use crate::cost_model::CostCoefficients;
+use crate::partition::{partition_queries, KnnAabbRule, Partition, PartitionSet};
+use crate::result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
+use crate::scheduling::{schedule_queries, QuerySchedule};
+use crate::shaders::{KnnProgram, QueryIndexing, RangeProgram};
+use rtnn_bvh::BuildParams;
+use rtnn_gpusim::device::OutOfDeviceMemory;
+use rtnn_gpusim::kernel::point_cloud_bytes;
+use rtnn_gpusim::{Device, IsShaderKind};
+use rtnn_math::Vec3;
+use rtnn_optix::{Gas, LaunchMetrics, Pipeline};
+
+/// Which of the paper's optimisations are enabled — the five configurations
+/// compared in Figure 13 (the `Oracle` variant is an exhaustive search over
+/// these configurations and lives in the bench harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// The basic mapping only (Section 3.1); equivalent to the FastRNN
+    /// baseline for KNN.
+    NoOpt,
+    /// Plus spatially-ordered query scheduling (Section 4).
+    Sched,
+    /// Plus query partitioning with one BVH per partition (Section 5.1).
+    SchedPartition,
+    /// Plus partition bundling with the analytical cost model (Section 5.2).
+    /// The default.
+    #[default]
+    Full,
+}
+
+impl OptLevel {
+    /// All levels in ascending order (used by the ablation bench).
+    pub fn all() -> [OptLevel; 4] {
+        [OptLevel::NoOpt, OptLevel::Sched, OptLevel::SchedPartition, OptLevel::Full]
+    }
+
+    /// Label used in figures and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::NoOpt => "NoOpt",
+            OptLevel::Sched => "Sched.",
+            OptLevel::SchedPartition => "Sched.+Partition",
+            OptLevel::Full => "Sched.+Partition+Bundle",
+        }
+    }
+
+    fn scheduling(&self) -> bool {
+        *self >= OptLevel::Sched
+    }
+
+    fn partitioning(&self) -> bool {
+        *self >= OptLevel::SchedPartition
+    }
+
+    fn bundling(&self) -> bool {
+        *self >= OptLevel::Full
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RtnnConfig {
+    /// Search radius, K, and variant.
+    pub params: SearchParams,
+    /// Which optimisations to enable.
+    pub opt: OptLevel,
+    /// BVH builder configuration.
+    pub build: BuildParams,
+    /// How KNN partition AABB widths are derived (default: guaranteed-exact).
+    pub knn_rule: KnnAabbRule,
+    /// Approximation mode (default: exact).
+    pub approx: ApproxMode,
+    /// Grid-resolution budget for the megacell pass (stands in for the GPU
+    /// memory cap the paper mentions).
+    pub grid_max_cells: usize,
+}
+
+impl RtnnConfig {
+    /// A configuration with every optimisation enabled and exact results.
+    pub fn new(params: SearchParams) -> Self {
+        RtnnConfig {
+            params,
+            opt: OptLevel::Full,
+            build: BuildParams::default(),
+            knn_rule: KnnAabbRule::default(),
+            approx: ApproxMode::default(),
+            grid_max_cells: 1 << 21,
+        }
+    }
+
+    /// Set the optimisation level.
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Set the KNN AABB rule.
+    pub fn with_knn_rule(mut self, rule: KnnAabbRule) -> Self {
+        self.knn_rule = rule;
+        self
+    }
+
+    /// Set the approximation mode.
+    pub fn with_approx(mut self, approx: ApproxMode) -> Self {
+        self.approx = approx;
+        self
+    }
+
+    /// Set the megacell grid budget.
+    pub fn with_grid_max_cells(mut self, cells: usize) -> Self {
+        self.grid_max_cells = cells;
+        self
+    }
+}
+
+/// Errors a search can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The search parameters or approximation mode are invalid.
+    InvalidConfig(String),
+    /// The working set does not fit in the simulated device memory (the
+    /// `OOM` outcomes of Figure 11).
+    OutOfDeviceMemory(OutOfDeviceMemory),
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SearchError::OutOfDeviceMemory(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<OutOfDeviceMemory> for SearchError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        SearchError::OutOfDeviceMemory(e)
+    }
+}
+
+/// The RTNN search engine, bound to a simulated device.
+#[derive(Debug, Clone)]
+pub struct Rtnn<'d> {
+    device: &'d Device,
+    config: RtnnConfig,
+}
+
+impl<'d> Rtnn<'d> {
+    /// Create an engine.
+    pub fn new(device: &'d Device, config: RtnnConfig) -> Self {
+        Rtnn { device, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RtnnConfig {
+        &self.config
+    }
+
+    /// The device the engine runs on.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// Run the search: for every query, find its neighbors among `points`
+    /// according to the configured [`SearchParams`].
+    pub fn search(&self, points: &[Vec3], queries: &[Vec3]) -> Result<SearchResults, SearchError> {
+        let cfg = &self.config;
+        cfg.params.validate().map_err(SearchError::InvalidConfig)?;
+        cfg.approx.validate().map_err(SearchError::InvalidConfig)?;
+        let params = cfg.params;
+
+        let mut breakdown = TimeBreakdown::default();
+        let mut search_metrics = LaunchMetrics::default();
+        let mut fs_metrics = LaunchMetrics::default();
+
+        // Data transfer (the `Data` component): points + queries in, result
+        // ids out.
+        let footprint = point_cloud_bytes(points.len(), queries.len(), params.k);
+        self.device.check_allocation(footprint)?;
+        breakdown.data_ms = self.device.transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
+            + self.device.transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
+
+        if queries.is_empty() {
+            return Ok(SearchResults {
+                neighbors: Vec::new(),
+                breakdown,
+                search_metrics,
+                fs_metrics,
+                num_partitions: 0,
+                num_bundles: 0,
+            });
+        }
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        if points.is_empty() {
+            return Ok(SearchResults {
+                neighbors,
+                breakdown,
+                search_metrics,
+                fs_metrics,
+                num_partitions: 0,
+                num_bundles: 0,
+            });
+        }
+
+        let pipeline = Pipeline::new(self.device);
+        let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
+
+        // Global GAS: used directly by the NoOpt/Sched paths and by the
+        // first-hit scheduling pass; reused by any partition that falls back
+        // to the full AABB width.
+        let global_gas = Gas::build(
+            self.device,
+            &point_aabbs(points, full_width),
+            cfg.build,
+        )?;
+        breakdown.bvh_ms += global_gas.build_time_ms();
+
+        // Query scheduling (Section 4).
+        let schedule = if cfg.opt.scheduling() {
+            let s = schedule_queries(self.device, &global_gas, points, queries);
+            breakdown.fs_ms += s.fs_metrics.time_ms();
+            breakdown.opt_ms += s.sort_metrics.time_ms;
+            s
+        } else {
+            QuerySchedule::identity(queries.len())
+        };
+        fs_metrics = schedule.fs_metrics.clone();
+
+        // Query partitioning (Section 5.1) and bundling (Section 5.2).
+        let (partitions, num_partitions, num_bundles) = if cfg.opt.partitioning() {
+            let set: PartitionSet = partition_queries(
+                self.device,
+                points,
+                queries,
+                &schedule.order,
+                &params,
+                cfg.knn_rule,
+                cfg.grid_max_cells,
+            );
+            breakdown.opt_ms += set.opt_metrics.time_ms;
+            let raw_count = set.partitions.len();
+            let parts = if cfg.opt.bundling() {
+                let coeffs = CostCoefficients::calibrate(self.device);
+                let plan = plan_bundles(&set.partitions, points.len(), &params, &coeffs);
+                apply_bundles(&set.partitions, &plan, &params)
+            } else {
+                set.partitions
+            };
+            let bundles = parts.len();
+            (parts, raw_count, bundles)
+        } else {
+            let single = Partition {
+                aabb_width: full_width,
+                query_ids: schedule.order.clone(),
+                megacell_width: full_width,
+                sphere_test: !cfg.approx.skip_sphere_test(),
+                density: 0.0,
+            };
+            (vec![single], 1, 1)
+        };
+
+        // Search every partition with its own acceleration structure.
+        for part in &partitions {
+            if part.is_empty() {
+                continue;
+            }
+            let reuse_global = (part.aabb_width - full_width).abs() <= f32::EPSILON * full_width;
+            let gas_storage;
+            let gas = if reuse_global {
+                &global_gas
+            } else {
+                gas_storage = Gas::build(
+                    self.device,
+                    &point_aabbs(points, part.aabb_width * cfg.approx.aabb_width_factor().min(1.0)),
+                    cfg.build,
+                )?;
+                breakdown.bvh_ms += gas_storage.build_time_ms();
+                &gas_storage
+            };
+
+            let sphere_test = part.sphere_test && !cfg.approx.skip_sphere_test();
+            let launch_metrics = match params.mode {
+                SearchMode::Range => {
+                    let program = RangeProgram {
+                        points,
+                        queries,
+                        indexing: QueryIndexing::Mapped(&part.query_ids),
+                        radius: params.radius,
+                        k: params.k,
+                        sphere_test,
+                    };
+                    let kind = if sphere_test {
+                        IsShaderKind::RangeSphereTest
+                    } else {
+                        IsShaderKind::RangeNoSphereTest
+                    };
+                    let launch = pipeline.launch(gas, part.len(), &program, kind);
+                    for (launch_idx, payload) in launch.payloads.into_iter().enumerate() {
+                        neighbors[part.query_ids[launch_idx] as usize] = payload;
+                    }
+                    launch.metrics
+                }
+                SearchMode::Knn => {
+                    let program = KnnProgram {
+                        points,
+                        queries,
+                        indexing: QueryIndexing::Mapped(&part.query_ids),
+                        radius: params.radius,
+                        k: params.k,
+                    };
+                    let launch = pipeline.launch(gas, part.len(), &program, IsShaderKind::Knn);
+                    for (launch_idx, payload) in launch.payloads.into_iter().enumerate() {
+                        neighbors[part.query_ids[launch_idx] as usize] = payload.into_sorted_ids();
+                    }
+                    launch.metrics
+                }
+            };
+            breakdown.search_ms += launch_metrics.time_ms();
+            search_metrics.merge_sequential(&launch_metrics);
+        }
+
+        Ok(SearchResults {
+            neighbors,
+            breakdown,
+            search_metrics,
+            fs_metrics,
+            num_partitions,
+            num_bundles,
+        })
+    }
+}
+
+/// The per-point AABBs of Listing 1: width-`w` cubes centred at the points.
+fn point_aabbs(points: &[Vec3], width: f32) -> Vec<rtnn_math::Aabb> {
+    rtnn_parallel::par_map(points.len(), |i| rtnn_math::Aabb::cube(points[i], width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_all;
+
+    fn grid_points(n_per_axis: usize, spacing: f32) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    pts.push(Vec3::new(x as f32, y as f32, z as f32) * spacing);
+                }
+            }
+        }
+        pts
+    }
+
+    fn run(params: SearchParams, opt: OptLevel, points: &[Vec3], queries: &[Vec3]) -> SearchResults {
+        let device = Device::rtx_2080();
+        let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
+        engine.search(points, queries).unwrap()
+    }
+
+    #[test]
+    fn range_search_matches_oracle_at_every_opt_level() {
+        let points = grid_points(7, 1.0);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        let params = SearchParams::range(1.6, 64);
+        for opt in OptLevel::all() {
+            let results = run(params, opt, &points, &queries);
+            check_all(&points, &queries, &params, &results.neighbors)
+                .unwrap_or_else(|(q, e)| panic!("{opt:?}, query {q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn knn_search_matches_oracle_at_every_opt_level() {
+        let points = grid_points(7, 0.5);
+        let queries: Vec<Vec3> = points.iter().step_by(5).copied().collect();
+        let params = SearchParams::knn(1.2, 10);
+        for opt in OptLevel::all() {
+            let results = run(params, opt, &points, &queries);
+            check_all(&points, &queries, &params, &results.neighbors)
+                .unwrap_or_else(|(q, e)| panic!("{opt:?}, query {q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn range_search_respects_the_k_cap() {
+        let points = grid_points(6, 0.3);
+        let queries = vec![Vec3::new(0.9, 0.9, 0.9)];
+        let params = SearchParams::range(1.0, 5);
+        let results = run(params, OptLevel::Full, &points, &queries);
+        assert_eq!(results.neighbors[0].len(), 5);
+        check_all(&points, &queries, &params, &results.neighbors).unwrap();
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let device = Device::rtx_2080();
+        let engine = Rtnn::new(&device, RtnnConfig::new(SearchParams::range(1.0, 4)));
+        let no_queries = engine.search(&[Vec3::ZERO], &[]).unwrap();
+        assert!(no_queries.neighbors.is_empty());
+        let no_points = engine.search(&[], &[Vec3::ZERO, Vec3::ONE]).unwrap();
+        assert_eq!(no_points.neighbors.len(), 2);
+        assert!(no_points.neighbors.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let device = Device::rtx_2080();
+        let bad_radius = Rtnn::new(&device, RtnnConfig::new(SearchParams::range(-1.0, 4)));
+        assert!(matches!(
+            bad_radius.search(&[Vec3::ZERO], &[Vec3::ZERO]),
+            Err(SearchError::InvalidConfig(_))
+        ));
+        let bad_approx = Rtnn::new(
+            &device,
+            RtnnConfig::new(SearchParams::range(1.0, 4))
+                .with_approx(ApproxMode::ShrunkenAabb { factor: 2.0 }),
+        );
+        let err = bad_approx.search(&[Vec3::ZERO], &[Vec3::ZERO]).unwrap_err();
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn breakdown_components_reflect_the_opt_level() {
+        let points = grid_points(8, 1.0);
+        let queries = points.clone();
+        let params = SearchParams::knn(2.0, 8);
+        let noopt = run(params, OptLevel::NoOpt, &points, &queries);
+        assert_eq!(noopt.breakdown.fs_ms, 0.0);
+        assert_eq!(noopt.breakdown.opt_ms, 0.0);
+        assert_eq!(noopt.num_partitions, 1);
+        let sched = run(params, OptLevel::Sched, &points, &queries);
+        assert!(sched.breakdown.fs_ms > 0.0);
+        assert!(sched.breakdown.opt_ms > 0.0);
+        let full = run(params, OptLevel::Full, &points, &queries);
+        assert!(full.num_partitions >= 1);
+        assert!(full.num_bundles <= full.num_partitions);
+        assert!(full.breakdown.total_ms() > 0.0);
+        assert!(full.breakdown.data_ms > 0.0);
+    }
+
+    #[test]
+    fn partitioning_reduces_is_calls_on_dense_clouds() {
+        // Observation 2 turned into the Section 5 optimisation: per-partition
+        // AABBs are smaller than 2r, so the search does fewer IS calls.
+        let points = grid_points(10, 0.25);
+        let queries = points.clone();
+        let params = SearchParams::knn(2.0, 8);
+        let sched = run(params, OptLevel::Sched, &points, &queries);
+        let part = run(params, OptLevel::SchedPartition, &points, &queries);
+        assert!(
+            part.search_metrics.is_calls < sched.search_metrics.is_calls,
+            "partitioned {} vs global {}",
+            part.search_metrics.is_calls,
+            sched.search_metrics.is_calls
+        );
+        check_all(&points, &queries, &params, &part.neighbors).unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+    }
+
+    #[test]
+    fn approximate_modes_trade_recall_for_speed_within_bounds() {
+        let points = grid_points(8, 0.5);
+        let queries: Vec<Vec3> = points.iter().step_by(7).copied().collect();
+        let params = SearchParams::range(1.0, 1000);
+        let device = Device::rtx_2080();
+        let exact = Rtnn::new(&device, RtnnConfig::new(params).with_opt(OptLevel::Sched))
+            .search(&points, &queries)
+            .unwrap();
+        // Shrunken AABBs: subset of the exact result, never outside r.
+        let shrunk = Rtnn::new(
+            &device,
+            RtnnConfig::new(params).with_opt(OptLevel::Sched).with_approx(ApproxMode::ShrunkenAabb { factor: 0.6 }),
+        )
+        .search(&points, &queries)
+        .unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            let exact_set: std::collections::HashSet<u32> = exact.neighbors[qi].iter().copied().collect();
+            for &id in &shrunk.neighbors[qi] {
+                assert!(exact_set.contains(&id));
+                assert!(q.distance(points[id as usize]) < params.radius);
+            }
+            assert!(shrunk.neighbors[qi].len() <= exact.neighbors[qi].len());
+        }
+        // Skipped sphere test: superset within sqrt(3) * r.
+        let skipped = Rtnn::new(
+            &device,
+            RtnnConfig::new(params).with_opt(OptLevel::Sched).with_approx(ApproxMode::SkipSphereTest),
+        )
+        .search(&points, &queries)
+        .unwrap();
+        let bound = ApproxMode::SkipSphereTest.distance_bound(params.radius) + 1e-5;
+        for (qi, q) in queries.iter().enumerate() {
+            assert!(skipped.neighbors[qi].len() >= exact.neighbors[qi].len());
+            for &id in &skipped.neighbors[qi] {
+                assert!(q.distance(points[id as usize]) <= bound);
+            }
+        }
+        // And it does less shader work than the exact search.
+        assert!(skipped.search_metrics.kernel.sm_cycles < exact.search_metrics.kernel.sm_cycles);
+    }
+
+    #[test]
+    fn knn_heuristic_rules_still_produce_bounded_results() {
+        // The paper's equi-volume heuristic is not guaranteed exact, but all
+        // returned neighbors must respect the radius bound and count cap.
+        let points = grid_points(8, 0.5);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        let params = SearchParams::knn(1.5, 6);
+        let device = Device::rtx_2080();
+        let results = Rtnn::new(
+            &device,
+            RtnnConfig::new(params).with_knn_rule(KnnAabbRule::EquiVolume),
+        )
+        .search(&points, &queries)
+        .unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            assert!(results.neighbors[qi].len() <= params.k);
+            for &id in &results.neighbors[qi] {
+                assert!(q.distance(points[id as usize]) < params.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn oom_is_reported_for_clouds_that_do_not_fit() {
+        let device = Device::tiny_test_device(); // 256 MB
+        let engine = Rtnn::new(&device, RtnnConfig::new(SearchParams::knn(1.0, 1_000_000)));
+        // 30M queries * 1M results would need terabytes; the footprint check
+        // fires before any allocation happens host-side.
+        let points = vec![Vec3::ZERO; 8];
+        let queries = vec![Vec3::ZERO; 100_000];
+        assert!(matches!(
+            engine.search(&points, &queries),
+            Err(SearchError::OutOfDeviceMemory(_))
+        ));
+    }
+}

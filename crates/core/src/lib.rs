@@ -1,0 +1,72 @@
+//! # rtnn
+//!
+//! RTNN: neighbor search (fixed-radius and K-nearest-neighbor) formulated as
+//! hardware-accelerated ray casting, reproducing Zhu, *"RTNN: Accelerating
+//! Neighbor Search Using Hardware Ray Tracing"*, PPoPP 2022.
+//!
+//! The library runs on the simulated Turing-class GPU provided by
+//! `rtnn-gpusim` through the OptiX-like pipeline of `rtnn-optix`; on that
+//! substrate it implements the paper's three layers:
+//!
+//! 1. **The basic mapping** (Section 3.1): every search point becomes an
+//!    AABB of width `2r` circumscribing its `r`-sphere, a BVH is built over
+//!    those AABBs, and every query casts a degenerate short ray from its
+//!    position. Traversal prunes points whose AABB does not contain the
+//!    query (step 1, RT cores); the IS shader performs the sphere test and
+//!    records neighbors (step 2, SMs), terminating the ray once `K`
+//!    neighbors are found for range search or maintaining a bounded
+//!    priority queue for KNN.
+//! 2. **Query scheduling** (Section 4): a truncated first-hit launch
+//!    associates each query with one enclosing leaf AABB; sorting queries by
+//!    the Morton code of that AABB's centre makes adjacent rays spatially
+//!    close, taming warp divergence and cache misses.
+//! 3. **Query partitioning and bundling** (Section 5): a uniform grid over
+//!    the points lets each query grow a *megacell* until it provably
+//!    contains enough neighbors; queries with similar megacell sizes share a
+//!    partition whose BVH uses the smallest safe AABB width, and an
+//!    analytical cost model bundles partitions so that BVH-construction
+//!    overhead never outweighs the traversal savings.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtnn::{Rtnn, RtnnConfig, SearchMode, SearchParams};
+//! use rtnn_gpusim::Device;
+//! use rtnn_math::Vec3;
+//!
+//! let device = Device::rtx_2080();
+//! let points: Vec<Vec3> = (0..1000)
+//!     .map(|i| Vec3::new((i % 10) as f32, ((i / 10) % 10) as f32, (i / 100) as f32))
+//!     .collect();
+//! let queries = points.clone();
+//!
+//! let config = RtnnConfig::new(SearchParams {
+//!     radius: 1.5,
+//!     k: 8,
+//!     mode: SearchMode::Knn,
+//! });
+//! let engine = Rtnn::new(&device, config);
+//! let results = engine.search(&points, &queries).unwrap();
+//! assert_eq!(results.neighbors.len(), queries.len());
+//! assert!(results.breakdown.total_ms() > 0.0);
+//! ```
+
+pub mod approx;
+pub mod bundling;
+pub mod cost_model;
+pub mod engine;
+pub mod megacell;
+pub mod partition;
+pub mod result;
+pub mod scheduling;
+pub mod shaders;
+pub mod verify;
+
+pub use approx::ApproxMode;
+pub use bundling::{apply_bundles, plan_bundles, BundlePlan};
+pub use cost_model::CostCoefficients;
+pub use engine::{OptLevel, Rtnn, RtnnConfig, SearchError};
+pub use megacell::{MegacellGrid, MegacellResult};
+pub use partition::{KnnAabbRule, Partition, PartitionSet};
+pub use result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
+pub use scheduling::{raster_order, schedule_queries, QuerySchedule};

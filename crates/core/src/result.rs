@@ -1,0 +1,170 @@
+//! Search parameters, results and the per-phase time breakdown.
+
+use rtnn_optix::LaunchMetrics;
+use serde::{Deserialize, Serialize};
+
+/// The two neighbor-search variants the paper targets (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// Fixed-radius (range) search: return up to `K` neighbors within `r`.
+    Range,
+    /// K-nearest-neighbor search: return the `K` nearest neighbors within `r`.
+    Knn,
+}
+
+/// The search interface of Section 2.1: every search carries a radius `r`
+/// and a maximum neighbor count `K`, for both variants. An unbounded KNN is
+/// emulated with a very large `r`, an unbounded range search with a very
+/// large `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Search radius `r` (must be positive).
+    pub radius: f32,
+    /// Maximum neighbor count `K` (must be at least 1).
+    pub k: usize,
+    /// Which variant to run.
+    pub mode: SearchMode,
+}
+
+impl SearchParams {
+    /// Range-search parameters.
+    pub fn range(radius: f32, k: usize) -> Self {
+        SearchParams { radius, k, mode: SearchMode::Range }
+    }
+
+    /// KNN parameters.
+    pub fn knn(radius: f32, k: usize) -> Self {
+        SearchParams { radius, k, mode: SearchMode::Knn }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.radius > 0.0) || !self.radius.is_finite() {
+            return Err(format!("search radius must be positive and finite, got {}", self.radius));
+        }
+        if self.k == 0 {
+            return Err("maximum neighbor count K must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The five components of Figure 12: data transfer, optimisation overhead
+/// (query reordering + partitioning), BVH builds, the first (scheduling)
+/// search, and the actual search. All in simulated milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Host↔device transfers (`Data`).
+    pub data_ms: f64,
+    /// Query reordering and partitioning kernels (`Opt`).
+    pub opt_ms: f64,
+    /// Acceleration-structure builds (`BVH`).
+    pub bvh_ms: f64,
+    /// The first-hit scheduling launch (`FS`).
+    pub fs_ms: f64,
+    /// The actual neighbor-search launches (`Search`).
+    pub search_ms: f64,
+}
+
+impl TimeBreakdown {
+    /// End-to-end simulated time.
+    pub fn total_ms(&self) -> f64 {
+        self.data_ms + self.opt_ms + self.bvh_ms + self.fs_ms + self.search_ms
+    }
+
+    /// The five components as `(label, milliseconds)` pairs in the order the
+    /// paper's Figure 12 stacks them.
+    pub fn components(&self) -> [(&'static str, f64); 5] {
+        [
+            ("Data", self.data_ms),
+            ("Opt", self.opt_ms),
+            ("BVH", self.bvh_ms),
+            ("FS", self.fs_ms),
+            ("Search", self.search_ms),
+        ]
+    }
+
+    /// Each component as a fraction of the total (zero total gives zeros).
+    pub fn fractions(&self) -> [(&'static str, f64); 5] {
+        let total = self.total_ms();
+        let mut out = self.components();
+        for (_, v) in out.iter_mut() {
+            *v = if total > 0.0 { *v / total } else { 0.0 };
+        }
+        out
+    }
+}
+
+/// The output of one RTNN search.
+#[derive(Debug, Clone)]
+pub struct SearchResults {
+    /// Per-query neighbor ids (indices into the `points` array given to
+    /// [`crate::Rtnn::search`]), in the original query order. KNN results
+    /// are sorted by increasing distance.
+    pub neighbors: Vec<Vec<u32>>,
+    /// Per-phase simulated time.
+    pub breakdown: TimeBreakdown,
+    /// Aggregated metrics of the actual search launches.
+    pub search_metrics: LaunchMetrics,
+    /// Aggregated metrics of the first-hit scheduling launch (zero when
+    /// scheduling is disabled).
+    pub fs_metrics: LaunchMetrics,
+    /// Number of query partitions searched (1 when partitioning is off).
+    pub num_partitions: usize,
+    /// Number of partitions after bundling (equals `num_partitions` when
+    /// bundling is off or made no difference).
+    pub num_bundles: usize,
+}
+
+impl SearchResults {
+    /// Total number of neighbor links reported.
+    pub fn total_neighbors(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Simulated end-to-end time in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.breakdown.total_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        assert!(SearchParams::range(1.0, 10).validate().is_ok());
+        assert!(SearchParams::knn(0.5, 1).validate().is_ok());
+        assert!(SearchParams::range(0.0, 10).validate().is_err());
+        assert!(SearchParams::range(-1.0, 10).validate().is_err());
+        assert!(SearchParams::range(f32::NAN, 10).validate().is_err());
+        assert!(SearchParams::range(1.0, 0).validate().is_err());
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = TimeBreakdown { data_ms: 1.0, opt_ms: 2.0, bvh_ms: 3.0, fs_ms: 4.0, search_ms: 10.0 };
+        assert_eq!(b.total_ms(), 20.0);
+        let f = b.fractions();
+        assert_eq!(f[0].0, "Data");
+        assert!((f[4].1 - 0.5).abs() < 1e-12);
+        let sum: f64 = f.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(TimeBreakdown::default().fractions()[0].1, 0.0);
+    }
+
+    #[test]
+    fn results_counters() {
+        let r = SearchResults {
+            neighbors: vec![vec![1, 2], vec![], vec![3]],
+            breakdown: TimeBreakdown { search_ms: 5.0, ..Default::default() },
+            search_metrics: LaunchMetrics::default(),
+            fs_metrics: LaunchMetrics::default(),
+            num_partitions: 1,
+            num_bundles: 1,
+        };
+        assert_eq!(r.total_neighbors(), 3);
+        assert_eq!(r.total_time_ms(), 5.0);
+    }
+}

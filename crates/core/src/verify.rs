@@ -1,0 +1,182 @@
+//! Brute-force oracles and result-contract checkers.
+//!
+//! Used by the unit/integration/property tests of this crate, by the
+//! `rtnn-baselines` tests and by the examples to demonstrate that the
+//! accelerated search returns the same neighbors as an exhaustive scan.
+
+use crate::result::{SearchMode, SearchParams};
+use rtnn_math::Vec3;
+
+/// All point ids strictly within `radius` of `query` (unordered).
+pub fn brute_force_range(points: &[Vec3], query: Vec3, radius: f32) -> Vec<u32> {
+    let r2 = radius * radius;
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| query.distance_squared(p) < r2)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// The `k` nearest point ids within `radius` of `query`, sorted by
+/// increasing distance (ties broken by id).
+pub fn brute_force_knn(points: &[Vec3], query: Vec3, radius: f32, k: usize) -> Vec<u32> {
+    let r2 = radius * radius;
+    let mut candidates: Vec<(f32, u32)> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| {
+            let d2 = query.distance_squared(p);
+            (d2 < r2).then_some((d2, i as u32))
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    candidates.truncate(k);
+    candidates.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Check one query's result against the library contract.
+///
+/// * Range: every reported id is within `r`, ids are unique, and the count is
+///   `min(K, |neighbors within r|)` (which K of them is unspecified).
+/// * KNN: the reported distances are exactly the `min(K, |within r|)` smallest
+///   distances (identities may differ only among equidistant points).
+pub fn check_result(
+    points: &[Vec3],
+    query: Vec3,
+    params: &SearchParams,
+    result: &[u32],
+) -> Result<(), String> {
+    let r2 = params.radius * params.radius;
+    // Uniqueness and radius bound.
+    let mut seen = std::collections::HashSet::new();
+    for &id in result {
+        if id as usize >= points.len() {
+            return Err(format!("neighbor id {id} out of range"));
+        }
+        if !seen.insert(id) {
+            return Err(format!("neighbor id {id} reported twice"));
+        }
+        let d2 = query.distance_squared(points[id as usize]);
+        if d2 >= r2 {
+            return Err(format!("neighbor {id} at distance² {d2} is outside radius² {r2}"));
+        }
+    }
+    let exhaustive = brute_force_range(points, query, params.radius);
+    let expected_count = exhaustive.len().min(params.k);
+    if result.len() != expected_count {
+        return Err(format!(
+            "expected {expected_count} neighbors (of {} within r, K={}), got {}",
+            exhaustive.len(),
+            params.k,
+            result.len()
+        ));
+    }
+    if params.mode == SearchMode::Knn {
+        let expected = brute_force_knn(points, query, params.radius, params.k);
+        let dist = |id: u32| query.distance_squared(points[id as usize]);
+        let mut got: Vec<f32> = result.iter().map(|&i| dist(i)).collect();
+        let mut want: Vec<f32> = expected.iter().map(|&i| dist(i)).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(want.iter()) {
+            if (g - w).abs() > 1e-5 * (1.0 + w.abs()) {
+                return Err(format!("KNN distance mismatch: got {g}, expected {w}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check every query of a batch; returns the index of the first failing
+/// query and its error.
+pub fn check_all(
+    points: &[Vec3],
+    queries: &[Vec3],
+    params: &SearchParams,
+    results: &[Vec<u32>],
+) -> Result<(), (usize, String)> {
+    assert_eq!(queries.len(), results.len(), "one result list per query expected");
+    for (qi, (q, res)) in queries.iter().zip(results.iter()).enumerate() {
+        check_result(points, *q, params, res).map_err(|e| (qi, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(0.0, 0.9, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.1, 0.1, 0.1),
+        ]
+    }
+
+    #[test]
+    fn brute_force_range_matches_manual_count() {
+        let ids = brute_force_range(&sample(), Vec3::ZERO, 1.0);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 4]);
+        assert!(brute_force_range(&sample(), Vec3::new(10.0, 0.0, 0.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn brute_force_knn_orders_by_distance() {
+        let ids = brute_force_knn(&sample(), Vec3::ZERO, 10.0, 3);
+        assert_eq!(ids, vec![0, 4, 1]);
+        // Radius bound applies before the K cut.
+        assert_eq!(brute_force_knn(&sample(), Vec3::ZERO, 0.4, 3), vec![0, 4]);
+        // k larger than the candidate set.
+        assert_eq!(brute_force_knn(&sample(), Vec3::ZERO, 0.05, 10), vec![0]);
+    }
+
+    #[test]
+    fn check_result_accepts_correct_answers() {
+        let points = sample();
+        let params = SearchParams::range(1.0, 10);
+        let ok = brute_force_range(&points, Vec3::ZERO, 1.0);
+        assert!(check_result(&points, Vec3::ZERO, &params, &ok).is_ok());
+        // Range with K cap: any 2 of the 4 in-radius points are acceptable.
+        let params_capped = SearchParams::range(1.0, 2);
+        assert!(check_result(&points, Vec3::ZERO, &params_capped, &[1, 2]).is_ok());
+        // KNN must report the closest distances.
+        let params_knn = SearchParams::knn(1.0, 2);
+        assert!(check_result(&points, Vec3::ZERO, &params_knn, &[0, 4]).is_ok());
+    }
+
+    #[test]
+    fn check_result_rejects_contract_violations() {
+        let points = sample();
+        let params = SearchParams::range(1.0, 10);
+        // Too few neighbors.
+        assert!(check_result(&points, Vec3::ZERO, &params, &[0, 1]).is_err());
+        // Out-of-radius neighbor.
+        assert!(check_result(&points, Vec3::ZERO, &params, &[0, 1, 2, 3]).is_err());
+        // Duplicate.
+        assert!(check_result(&points, Vec3::ZERO, &params, &[0, 0, 1, 2]).is_err());
+        // Out-of-range id.
+        assert!(check_result(&points, Vec3::ZERO, &params, &[0, 1, 2, 99]).is_err());
+        // KNN reporting a suboptimal neighbor set.
+        let params_knn = SearchParams::knn(1.0, 2);
+        assert!(check_result(&points, Vec3::ZERO, &params_knn, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn check_all_reports_the_failing_query() {
+        let points = sample();
+        let params = SearchParams::range(1.0, 10);
+        let queries = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let good = brute_force_range(&points, Vec3::ZERO, 1.0);
+        let results = vec![good, vec![0]]; // second query should be empty
+        match check_all(&points, &queries, &params, &results) {
+            Err((1, _)) => {}
+            other => panic!("expected failure at query 1, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text `.xyz` point-cloud I/O.
+//!
+//! One point per line, `x y z` separated by whitespace; `#` starts a
+//! comment. This is the least-common-denominator format the original RTNN
+//! repository and most point-cloud tools accept, so users can feed their own
+//! data (real KITTI frames, real Stanford scans) into the examples and the
+//! bench harness.
+
+use crate::PointCloud;
+use rtnn_math::Vec3;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the `.xyz` reader.
+#[derive(Debug)]
+pub enum XyzError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line did not contain three finite floats.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for XyzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XyzError::Io(e) => write!(f, "I/O error: {e}"),
+            XyzError::Parse { line, content } => write!(f, "line {line}: cannot parse '{content}'"),
+        }
+    }
+}
+
+impl std::error::Error for XyzError {}
+
+impl From<std::io::Error> for XyzError {
+    fn from(e: std::io::Error) -> Self {
+        XyzError::Io(e)
+    }
+}
+
+/// Parse `.xyz` content from any reader.
+pub fn read_xyz<R: Read>(reader: R, name: &str) -> Result<PointCloud, XyzError> {
+    let mut points = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| s.and_then(|t| t.parse::<f32>().ok()).filter(|v| v.is_finite());
+        match (parse(it.next()), parse(it.next()), parse(it.next())) {
+            (Some(x), Some(y), Some(z)) => points.push(Vec3::new(x, y, z)),
+            _ => return Err(XyzError::Parse { line: idx + 1, content: trimmed.to_string() }),
+        }
+    }
+    Ok(PointCloud::new(name, points))
+}
+
+/// Read a `.xyz` file from disk.
+pub fn read_xyz_file(path: impl AsRef<Path>) -> Result<PointCloud, XyzError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("xyz").to_string();
+    read_xyz(file, &name)
+}
+
+/// Write a cloud to any writer in `.xyz` format.
+pub fn write_xyz<W: Write>(mut writer: W, cloud: &PointCloud) -> std::io::Result<()> {
+    writeln!(writer, "# {} ({} points)", cloud.name, cloud.len())?;
+    for p in &cloud.points {
+        writeln!(writer, "{} {} {}", p.x, p.y, p.z)?;
+    }
+    Ok(())
+}
+
+/// Write a cloud to a `.xyz` file on disk.
+pub fn write_xyz_file(path: impl AsRef<Path>, cloud: &PointCloud) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_xyz(std::io::BufWriter::new(file), cloud)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let cloud = PointCloud::new(
+            "roundtrip",
+            vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.5, 0.25, 1e6)],
+        );
+        let mut buf = Vec::new();
+        write_xyz(&mut buf, &cloud).unwrap();
+        let back = read_xyz(&buf[..], "roundtrip").unwrap();
+        assert_eq!(back.points, cloud.points);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n1 2 3\n  # another comment\n4 5 6\n";
+        let pc = read_xyz(text.as_bytes(), "t").unwrap();
+        assert_eq!(pc.len(), 2);
+        assert_eq!(pc.points[1], Vec3::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let text = "1 2 3\nnot a point\n";
+        match read_xyz(text.as_bytes(), "t") {
+            Err(XyzError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // NaN is rejected too.
+        assert!(read_xyz("1 2 NaN\n".as_bytes(), "t").is_err());
+        // Missing component.
+        assert!(read_xyz("1 2\n".as_bytes(), "t").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rtnn_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cloud.xyz");
+        let cloud = PointCloud::new("disk", vec![Vec3::ZERO, Vec3::ONE]);
+        write_xyz_file(&path, &cloud).unwrap();
+        let back = read_xyz_file(&path).unwrap();
+        assert_eq!(back.points, cloud.points);
+        assert_eq!(back.name, "cloud");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        match read_xyz_file("/definitely/not/here.xyz") {
+            Err(XyzError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! LiDAR-like point clouds (the KITTI stand-in).
+//!
+//! The paper notes the property that matters for RTNN: "Points in the KITTI
+//! self-driving car dataset are mostly distributed in the xy-plane (the
+//! ground) while being confined in a very narrow z-range (height)"
+//! (Section 6.1). The generator reproduces that structure:
+//!
+//! * a dense ground sheet with small height noise, sampled with a radial
+//!   density falloff (LiDAR returns thin out with distance from the sensor);
+//! * a set of box-shaped obstacles (vehicles, walls, poles) whose vertical
+//!   faces contribute the off-plane points;
+//! * everything confined to a `z` slab a couple of metres tall while the
+//!   `x`/`y` extent spans tens of metres.
+
+use crate::PointCloud;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtnn_math::Vec3;
+
+/// Parameters of the LiDAR-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LidarParams {
+    /// Total number of points.
+    pub num_points: usize,
+    /// Half-extent of the scene in x and y (metres).
+    pub half_extent_xy: f32,
+    /// Height of the z slab (metres).
+    pub height: f32,
+    /// Fraction of points on the ground sheet (the rest sample obstacles).
+    pub ground_fraction: f32,
+    /// Number of box obstacles.
+    pub num_obstacles: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for LidarParams {
+    fn default() -> Self {
+        LidarParams {
+            num_points: 100_000,
+            half_extent_xy: 60.0,
+            height: 3.0,
+            ground_fraction: 0.7,
+            num_obstacles: 60,
+            seed: 0x51DA,
+        }
+    }
+}
+
+/// Generate a LiDAR-like cloud.
+pub fn generate(params: &LidarParams) -> PointCloud {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut points = Vec::with_capacity(params.num_points);
+
+    // Obstacle boxes: centre (x, y), half sizes, height.
+    struct Obstacle {
+        cx: f32,
+        cy: f32,
+        hx: f32,
+        hy: f32,
+        h: f32,
+    }
+    let obstacles: Vec<Obstacle> = (0..params.num_obstacles)
+        .map(|_| Obstacle {
+            cx: rng.gen_range(-params.half_extent_xy..params.half_extent_xy),
+            cy: rng.gen_range(-params.half_extent_xy..params.half_extent_xy),
+            hx: rng.gen_range(0.3..2.5),
+            hy: rng.gen_range(0.3..2.5),
+            h: rng.gen_range(0.5..params.height),
+        })
+        .collect();
+
+    let ground_points = (params.num_points as f32 * params.ground_fraction) as usize;
+    for _ in 0..ground_points {
+        // Radial density falloff: sample radius with sqrt bias toward the
+        // sensor at the origin, like rotating-scanner returns.
+        let u: f32 = rng.gen();
+        let r = params.half_extent_xy * u.powf(0.75);
+        let theta = rng.gen_range(0.0..std::f32::consts::TAU);
+        let x = r * theta.cos();
+        let y = r * theta.sin();
+        let z = rng.gen_range(0.0..0.08); // ground roughness
+        points.push(Vec3::new(x, y, z));
+    }
+    // Obstacle points: sample the vertical faces of the boxes.
+    while points.len() < params.num_points {
+        let ob = &obstacles[rng.gen_range(0..obstacles.len().max(1))];
+        let z = rng.gen_range(0.0..ob.h);
+        // Pick one of the four vertical faces.
+        let (x, y) = match rng.gen_range(0..4u32) {
+            0 => (ob.cx - ob.hx, ob.cy + rng.gen_range(-ob.hy..ob.hy)),
+            1 => (ob.cx + ob.hx, ob.cy + rng.gen_range(-ob.hy..ob.hy)),
+            2 => (ob.cx + rng.gen_range(-ob.hx..ob.hx), ob.cy - ob.hy),
+            _ => (ob.cx + rng.gen_range(-ob.hx..ob.hx), ob.cy + ob.hy),
+        };
+        points.push(Vec3::new(x, y, z));
+    }
+
+    PointCloud::new(format!("LiDAR-{}", params.num_points), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_point_count() {
+        let pc = generate(&LidarParams { num_points: 20_000, ..Default::default() });
+        assert_eq!(pc.len(), 20_000);
+    }
+
+    #[test]
+    fn z_extent_is_much_narrower_than_xy_extent() {
+        // The defining KITTI property from Section 6.1.
+        let pc = generate(&LidarParams { num_points: 30_000, ..Default::default() });
+        let b = pc.bounds();
+        let ext = b.extent();
+        assert!(ext.z <= 3.5);
+        assert!(ext.x > 10.0 * ext.z);
+        assert!(ext.y > 10.0 * ext.z);
+    }
+
+    #[test]
+    fn majority_of_points_are_near_the_ground() {
+        let params = LidarParams { num_points: 30_000, ..Default::default() };
+        let pc = generate(&params);
+        let near_ground = pc.points.iter().filter(|p| p.z < 0.1).count();
+        assert!(near_ground as f32 >= 0.6 * params.num_points as f32);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&LidarParams { num_points: 1000, seed: 1, ..Default::default() });
+        let b = generate(&LidarParams { num_points: 1000, seed: 1, ..Default::default() });
+        assert_eq!(a.points, b.points);
+    }
+}

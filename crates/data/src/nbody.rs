@@ -1,0 +1,171 @@
+//! Cosmological N-body-like point clouds (the Millennium-simulation
+//! stand-in).
+//!
+//! The paper (Section 6.1, footnote 3) describes the property that matters:
+//! on small scales the galaxy distribution is hierarchically clustered
+//! (approximately fractal), on large scales it slowly approaches
+//! uniformity, so the local point density varies by orders of magnitude.
+//! That non-uniformity is what makes query partitioning expensive for the
+//! N-body inputs (Figure 12 / Figure 13b).
+//!
+//! The generator builds an explicit hierarchy: top-level cluster centres are
+//! uniform in the box; each level spawns sub-clusters around its parent with
+//! a geometrically shrinking radius; leaf clusters emit Gaussian point
+//! blobs. A small fraction of points is sprinkled uniformly as the "field
+//! galaxy" background.
+
+use crate::PointCloud;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtnn_math::Vec3;
+
+/// Parameters of the clustered generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NBodyParams {
+    /// Total number of points.
+    pub num_points: usize,
+    /// Box side length (the Millennium run is 500 Mpc/h on a side).
+    pub box_size: f32,
+    /// Number of top-level clusters.
+    pub top_level_clusters: usize,
+    /// Hierarchy depth (levels of sub-clustering).
+    pub levels: u32,
+    /// Sub-clusters spawned per cluster per level.
+    pub branching: usize,
+    /// Fraction of points in the uniform background.
+    pub background_fraction: f32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for NBodyParams {
+    fn default() -> Self {
+        NBodyParams {
+            num_points: 100_000,
+            box_size: 500.0,
+            top_level_clusters: 24,
+            levels: 3,
+            branching: 4,
+            background_fraction: 0.08,
+            seed: 0x9B0D,
+        }
+    }
+}
+
+/// Generate a hierarchically clustered cloud.
+pub fn generate(params: &NBodyParams) -> PointCloud {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut centres: Vec<(Vec3, f32)> = (0..params.top_level_clusters)
+        .map(|_| {
+            (
+                Vec3::new(
+                    rng.gen::<f32>() * params.box_size,
+                    rng.gen::<f32>() * params.box_size,
+                    rng.gen::<f32>() * params.box_size,
+                ),
+                params.box_size * 0.08,
+            )
+        })
+        .collect();
+
+    // Refine the hierarchy.
+    for _ in 0..params.levels {
+        let mut next = Vec::with_capacity(centres.len() * params.branching);
+        for &(c, radius) in &centres {
+            for _ in 0..params.branching {
+                let offset = gaussian_vec(&mut rng) * radius;
+                next.push((c + offset, radius * 0.35));
+            }
+        }
+        centres = next;
+    }
+
+    let background = (params.num_points as f32 * params.background_fraction) as usize;
+    let clustered = params.num_points - background;
+    let mut points = Vec::with_capacity(params.num_points);
+    for i in 0..clustered {
+        let (c, radius) = centres[i % centres.len()];
+        let p = c + gaussian_vec(&mut rng) * radius;
+        points.push(clamp_to_box(p, params.box_size));
+    }
+    for _ in 0..background {
+        points.push(Vec3::new(
+            rng.gen::<f32>() * params.box_size,
+            rng.gen::<f32>() * params.box_size,
+            rng.gen::<f32>() * params.box_size,
+        ));
+    }
+    PointCloud::new(format!("NBody-{}", params.num_points), points)
+}
+
+/// Approximate standard 3D Gaussian via the sum of uniforms (Irwin–Hall);
+/// accurate enough for cluster shapes and avoids a Box-Muller dependency.
+fn gaussian_vec(rng: &mut ChaCha8Rng) -> Vec3 {
+    let mut g = || {
+        let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum();
+        s - 6.0
+    };
+    Vec3::new(g(), g(), g()) * 0.5
+}
+
+fn clamp_to_box(p: Vec3, size: f32) -> Vec3 {
+    Vec3::new(p.x.clamp(0.0, size), p.y.clamp(0.0, size), p.z.clamp(0.0, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn_math::{GridCoord, PointBins, UniformGrid};
+
+    #[test]
+    fn respects_count_and_box() {
+        let params = NBodyParams { num_points: 20_000, ..Default::default() };
+        let pc = generate(&params);
+        assert_eq!(pc.len(), 20_000);
+        let b = pc.bounds();
+        assert!(b.min.min_component() >= 0.0);
+        assert!(b.max.max_component() <= params.box_size);
+    }
+
+    #[test]
+    fn density_is_strongly_non_uniform() {
+        // Bin the points into a coarse grid: the most populated cell must be
+        // far denser than the average cell — the defining contrast with the
+        // uniform and scan datasets.
+        let params = NBodyParams { num_points: 40_000, ..Default::default() };
+        let pc = generate(&params);
+        let grid = UniformGrid::new(pc.bounds(), params.box_size / 16.0);
+        let bins = PointBins::build(grid, &pc.points);
+        let n_cells = bins.grid().num_cells();
+        let mut counts: Vec<u32> = (0..n_cells)
+            .map(|i| bins.cell_count(bins.grid().coord_of_index(i)))
+            .collect();
+        let max_count = *counts.iter().max().unwrap();
+        let mean = pc.len() as f64 / n_cells as f64;
+        assert!(max_count as f64 > 20.0 * mean, "max {max_count} vs mean {mean:.1}");
+        // The densest 5% of cells hold the majority of the points (they would
+        // hold ~5% under a uniform distribution).
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = counts.len().div_ceil(20);
+        let in_top: u64 = counts[..top].iter().map(|&c| c as u64).sum();
+        assert!(
+            in_top as f64 > 0.5 * pc.len() as f64,
+            "top-5% cells hold only {in_top} of {} points",
+            pc.len()
+        );
+        // Keep the coordinate type alive in the signature.
+        let _ = GridCoord::new(0, 0, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = NBodyParams { num_points: 3000, seed: 11, ..Default::default() };
+        assert_eq!(generate(&p).points, generate(&p).points);
+    }
+
+    #[test]
+    fn background_fraction_of_zero_still_works() {
+        let p = NBodyParams { num_points: 1000, background_fraction: 0.0, ..Default::default() };
+        assert_eq!(generate(&p).len(), 1000);
+    }
+}

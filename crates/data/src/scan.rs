@@ -1,0 +1,169 @@
+//! 3D-scan-like point clouds (the Stanford Bunny / Dragon / Buddha
+//! stand-ins).
+//!
+//! Scanned models are closed surfaces sampled roughly uniformly: the points
+//! occupy all three dimensions (unlike LiDAR), but they lie on a 2D manifold
+//! (unlike a volumetric distribution), which gives the characteristic
+//! moderate, locally uniform density the paper contrasts with the N-body
+//! trace. The three models are simple parametric surfaces of increasing
+//! geometric complexity:
+//!
+//! * [`ScanModel::Blob`] ("Bunny") — a unit sphere perturbed by smooth bumps;
+//! * [`ScanModel::TorusKnot`] ("Dragon") — a tube swept along a (2,3) torus
+//!   knot — long, thin and curled like the Asian Dragon scan;
+//! * [`ScanModel::StackedBlobs`] ("Buddha") — several blobs stacked along z,
+//!   mimicking a tall statue with multiple lobes.
+//!
+//! Every model is normalised into the unit cube `[0,1]³`, matching the
+//! paper's note that "the points in Buddha are bounded in a 1³ cube"
+//! (Section 6.4).
+
+use crate::PointCloud;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtnn_math::{Aabb, Vec3};
+
+/// Which surface to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanModel {
+    /// Bumpy sphere ("Bunny").
+    Blob,
+    /// Tube along a (2,3) torus knot ("Dragon").
+    TorusKnot,
+    /// Stacked bumpy spheres ("Buddha").
+    StackedBlobs,
+}
+
+/// Parameters of the scan generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanParams {
+    /// Which model to sample.
+    pub model: ScanModel,
+    /// Number of surface samples.
+    pub num_points: usize,
+    /// Surface noise amplitude (scanner noise).
+    pub noise: f32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScanParams {
+    fn default() -> Self {
+        ScanParams { model: ScanModel::Blob, num_points: 50_000, noise: 0.002, seed: 0x5CA9 }
+    }
+}
+
+/// Generate a surface-sampled cloud, normalised into `[0,1]³`.
+pub fn generate(params: &ScanParams) -> PointCloud {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut points = Vec::with_capacity(params.num_points);
+    for _ in 0..params.num_points {
+        let p = match params.model {
+            ScanModel::Blob => sample_blob(&mut rng, 0.0),
+            ScanModel::TorusKnot => sample_torus_knot(&mut rng),
+            ScanModel::StackedBlobs => {
+                let lobe = rng.gen_range(0..3u32);
+                let mut p = sample_blob(&mut rng, lobe as f32 * 1.3);
+                p.z += lobe as f32 * 1.6;
+                p = p * (1.0 - 0.15 * lobe as f32); // upper lobes shrink
+                p
+            }
+        };
+        let noise = Vec3::new(
+            rng.gen_range(-params.noise..=params.noise),
+            rng.gen_range(-params.noise..=params.noise),
+            rng.gen_range(-params.noise..=params.noise),
+        );
+        points.push(p + noise);
+    }
+    normalize_unit_cube(&mut points);
+    let name = match params.model {
+        ScanModel::Blob => "Scan-Bunny",
+        ScanModel::TorusKnot => "Scan-Dragon",
+        ScanModel::StackedBlobs => "Scan-Buddha",
+    };
+    PointCloud::new(format!("{name}-{}", params.num_points), points)
+}
+
+/// Uniform point on a bumpy unit sphere; `phase` decorrelates the bumps
+/// between lobes of the stacked model.
+fn sample_blob(rng: &mut ChaCha8Rng, phase: f32) -> Vec3 {
+    // Uniform direction via normalised Gaussian-ish rejection-free sampling.
+    let u: f32 = rng.gen_range(-1.0..1.0);
+    let theta = rng.gen_range(0.0..std::f32::consts::TAU);
+    let s = (1.0 - u * u).sqrt();
+    let dir = Vec3::new(s * theta.cos(), s * theta.sin(), u);
+    // Smooth bump field modulates the radius.
+    let bump = 0.15 * ((5.0 * dir.x + phase).sin() * (4.0 * dir.y - phase).cos() + (3.0 * dir.z).sin());
+    dir * (1.0 + bump)
+}
+
+/// Point on a tube of radius 0.18 swept along a (2,3) torus knot.
+fn sample_torus_knot(rng: &mut ChaCha8Rng) -> Vec3 {
+    let t = rng.gen_range(0.0..std::f32::consts::TAU);
+    let (p, q) = (2.0, 3.0);
+    let r = (q * t).cos() + 2.0;
+    let centre = Vec3::new(r * (p * t).cos(), r * (p * t).sin(), -(q * t).sin());
+    // Tube cross-section: random angle around the curve, approximate frame.
+    let phi = rng.gen_range(0.0..std::f32::consts::TAU);
+    let tube = 0.18;
+    let normal = Vec3::new((p * t).cos(), (p * t).sin(), 0.0);
+    let binormal = Vec3::new(0.0, 0.0, 1.0);
+    centre + (normal * phi.cos() + binormal * phi.sin()) * tube
+}
+
+/// Scale and translate points so the bounding box fits exactly in `[0,1]³`
+/// (preserving the aspect ratio).
+fn normalize_unit_cube(points: &mut [Vec3]) {
+    let bounds = Aabb::from_points(points);
+    if bounds.is_empty() {
+        return;
+    }
+    let scale = 1.0 / bounds.longest_extent().max(f32::MIN_POSITIVE);
+    for p in points.iter_mut() {
+        *p = (*p - bounds.min) * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_generate_requested_counts_inside_unit_cube() {
+        for model in [ScanModel::Blob, ScanModel::TorusKnot, ScanModel::StackedBlobs] {
+            let pc = generate(&ScanParams { model, num_points: 10_000, ..Default::default() });
+            assert_eq!(pc.len(), 10_000);
+            let b = pc.bounds();
+            let unit = Aabb::new(Vec3::splat(-1e-4), Vec3::splat(1.0 + 1e-4));
+            assert!(unit.contains_aabb(&b), "{model:?} bounds {b:?}");
+        }
+    }
+
+    #[test]
+    fn points_lie_on_a_thin_surface_not_a_volume() {
+        // For a surface sampling, shrinking towards the centroid by a few
+        // percent moves essentially every point off the sample set; more
+        // robustly, the fraction of points in the central 20%-size core of
+        // the bounding box should be tiny (a volumetric distribution would
+        // put ~0.8% there, a blob surface none).
+        let pc = generate(&ScanParams { model: ScanModel::Blob, num_points: 20_000, ..Default::default() });
+        let centre = Vec3::splat(0.5);
+        let core = Aabb::cube(centre, 0.2);
+        let inside = pc.points.iter().filter(|p| core.contains_point(**p)).count();
+        assert!(inside < pc.len() / 100, "{inside} points in the hollow core");
+    }
+
+    #[test]
+    fn models_are_distinct() {
+        let a = generate(&ScanParams { model: ScanModel::Blob, num_points: 500, ..Default::default() });
+        let b = generate(&ScanParams { model: ScanModel::TorusKnot, num_points: 500, ..Default::default() });
+        assert_ne!(a.points, b.points);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ScanParams { model: ScanModel::TorusKnot, num_points: 777, noise: 0.001, seed: 3 };
+        assert_eq!(generate(&p).points, generate(&p).points);
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniformly distributed point clouds — the "neutral" workload used by the
+//! characterisation experiments of Section 3.2 (queries assigned uniformly
+//! to grid cells).
+
+use crate::PointCloud;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtnn_math::{Aabb, Vec3};
+
+/// Parameters for the uniform generator.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformParams {
+    /// Number of points to generate.
+    pub num_points: usize,
+    /// Bounding box to fill.
+    pub bounds: Aabb,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniformParams {
+    fn default() -> Self {
+        UniformParams {
+            num_points: 10_000,
+            bounds: Aabb::new(Vec3::ZERO, Vec3::splat(100.0)),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate a uniformly distributed cloud.
+pub fn generate(params: &UniformParams) -> PointCloud {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let lo = params.bounds.min;
+    let ext = params.bounds.extent();
+    let points = (0..params.num_points)
+        .map(|_| {
+            Vec3::new(
+                lo.x + rng.gen::<f32>() * ext.x,
+                lo.y + rng.gen::<f32>() * ext.y,
+                lo.z + rng.gen::<f32>() * ext.z,
+            )
+        })
+        .collect();
+    PointCloud::new(format!("Uniform-{}", params.num_points), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_count_and_bounds() {
+        let params = UniformParams { num_points: 5000, ..Default::default() };
+        let pc = generate(&params);
+        assert_eq!(pc.len(), 5000);
+        let b = pc.bounds();
+        assert!(params.bounds.contains_aabb(&b));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&UniformParams { seed: 7, num_points: 100, ..Default::default() });
+        let b = generate(&UniformParams { seed: 7, num_points: 100, ..Default::default() });
+        let c = generate(&UniformParams { seed: 8, num_points: 100, ..Default::default() });
+        assert_eq!(a.points, b.points);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn fills_the_volume_roughly_evenly() {
+        let pc = generate(&UniformParams { num_points: 8000, ..Default::default() });
+        // Split the box into octants; each should hold roughly 1/8 of points.
+        let c = Vec3::splat(50.0);
+        let mut counts = [0usize; 8];
+        for p in &pc.points {
+            let idx = (p.x > c.x) as usize | ((p.y > c.y) as usize) << 1 | ((p.z > c.z) as usize) << 2;
+            counts[idx] += 1;
+        }
+        for &n in &counts {
+            assert!((600..1400).contains(&n), "octant count {n} far from 1000");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The simulated device: warp scheduling across SM shards, acceleration-
+//! structure build timing, and PCIe transfer timing.
+
+use crate::config::DeviceConfig;
+use crate::metrics::KernelMetrics;
+use crate::shard::SmShard;
+use parking_lot::Mutex;
+use rtnn_parallel::par_for_chunks;
+
+/// Error returned when a simulated allocation exceeds device memory —
+/// the analogue of the `OOM` entries in Figure 11.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes the allocation requested.
+    pub requested_bytes: u64,
+    /// Bytes the device has in total.
+    pub capacity_bytes: u64,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allocation of {} bytes exceeds device memory of {} bytes",
+            self.requested_bytes, self.capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// A simulated GPU. Cheap to clone conceptually but exposed by reference;
+/// launches do not mutate it (each launch builds fresh shard state), so one
+/// device can be shared across experiments.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+}
+
+impl Device {
+    /// Wrap a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device { config }
+    }
+
+    /// The RTX 2080 preset.
+    pub fn rtx_2080() -> Self {
+        Device::new(DeviceConfig::rtx_2080())
+    }
+
+    /// The RTX 2080 Ti preset.
+    pub fn rtx_2080_ti() -> Self {
+        Device::new(DeviceConfig::rtx_2080_ti())
+    }
+
+    /// A tiny device for unit tests.
+    pub fn tiny_test_device() -> Self {
+        Device::new(DeviceConfig::tiny_test_device())
+    }
+
+    /// The device configuration.
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Simulated milliseconds to build an acceleration structure over
+    /// `num_prims` primitive AABBs: a fixed launch overhead plus a linear
+    /// per-primitive term (Figure 15 / Equation 3), scaled by SM count
+    /// relative to the 68-SM reference device.
+    pub fn accel_build_time_ms(&self, num_prims: usize) -> f64 {
+        if num_prims == 0 {
+            return 0.0;
+        }
+        let c = &self.config.cost;
+        let rate = c.accel_build_prims_per_ms_ref * (self.config.num_sms as f64 / 68.0);
+        c.accel_build_fixed_ms + num_prims as f64 / rate
+    }
+
+    /// Simulated milliseconds to copy `bytes` from host to device over PCIe.
+    pub fn transfer_h2d_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.config.cost.pcie_gbps * 1e9) * 1e3
+    }
+
+    /// Simulated milliseconds of *visible* device-to-host copy time (most of
+    /// it overlaps with compute, per the paper's footnote 4).
+    pub fn transfer_d2h_ms(&self, bytes: u64) -> f64 {
+        self.transfer_h2d_ms(bytes) * self.config.cost.d2h_visible_fraction
+    }
+
+    /// Check whether an allocation of `bytes` fits in device memory.
+    pub fn check_allocation(&self, bytes: u64) -> Result<(), OutOfDeviceMemory> {
+        if bytes > self.config.memory_bytes {
+            Err(OutOfDeviceMemory { requested_bytes: bytes, capacity_bytes: self.config.memory_bytes })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Execute a kernel of `num_threads` threads grouped into warps of
+    /// `config.warp_size`.
+    ///
+    /// `warp_fn(first_thread..last_thread, shard)` simulates one warp: it
+    /// performs whatever algorithmic work the kernel does for those threads,
+    /// charges the work to `shard`, and returns the per-thread results (one
+    /// `R` per thread in the range, in order).
+    ///
+    /// Warps are assigned to SM shards round-robin (warp `w` runs on SM
+    /// `w % num_sms`), shards are simulated in parallel on the host, and the
+    /// kernel's simulated time is the cycle count of the busiest shard.
+    pub fn run_warps<R, F>(&self, num_threads: usize, warp_fn: F) -> (Vec<R>, KernelMetrics)
+    where
+        R: Send + Default + Clone,
+        F: Fn(std::ops::Range<usize>, &mut SmShard) -> Vec<R> + Sync,
+    {
+        let warp_size = self.config.warp_size;
+        let num_warps = num_threads.div_ceil(warp_size);
+        let num_sms = self.config.num_sms;
+
+        let mut results: Vec<R> = vec![R::default(); num_threads];
+        let shards: Mutex<Vec<SmShard>> = Mutex::new(Vec::with_capacity(num_sms));
+
+        {
+            let results_ptr = ResultsPtr(results.as_mut_ptr());
+            // One chunk per SM; chunks run in parallel on the host.
+            par_for_chunks(num_sms, 1, |sm_range| {
+                let ptr = results_ptr;
+                for sm in sm_range {
+                    let mut shard = SmShard::new(&self.config);
+                    // Warps assigned to this SM: sm, sm + num_sms, ...
+                    let mut w = sm;
+                    while w < num_warps {
+                        let start = w * warp_size;
+                        let end = (start + warp_size).min(num_threads);
+                        shard.begin_warp();
+                        let warp_results = warp_fn(start..end, &mut shard);
+                        debug_assert_eq!(warp_results.len(), end - start);
+                        for (offset, r) in warp_results.into_iter().enumerate() {
+                            // SAFETY: thread indices are partitioned across
+                            // warps, and warps across SMs, so each element is
+                            // written exactly once.
+                            unsafe { ptr.0.add(start + offset).write(r) };
+                        }
+                        w += num_sms;
+                    }
+                    shards.lock().push(shard);
+                }
+            });
+        }
+
+        let shards = shards.into_inner();
+        let mut metrics = KernelMetrics {
+            warps: num_warps as u64,
+            threads: num_threads as u64,
+            ..Default::default()
+        };
+        let mut useful = 0.0;
+        let mut issued = 0.0;
+        for shard in &shards {
+            let cycles = shard.cycles();
+            metrics.total_cycles += cycles;
+            metrics.critical_path_cycles = metrics.critical_path_cycles.max(cycles);
+            let (rt, sm, mem) = shard.cycle_breakdown();
+            metrics.rt_core_cycles += rt;
+            metrics.sm_cycles += sm;
+            metrics.mem_stall_cycles += mem;
+            metrics.memory.merge(&shard.memory_stats());
+            let (u, i) = shard.simt_work();
+            useful += u;
+            issued += i;
+        }
+        metrics.simt_efficiency = if issued > 0.0 { (useful / issued).clamp(0.0, 1.0) } else { 1.0 };
+        metrics.time_ms = self.config.cycles_to_ms(metrics.critical_path_cycles);
+        (results, metrics)
+    }
+}
+
+/// Disjoint-write pointer wrapper (same pattern as `rtnn-parallel`).
+struct ResultsPtr<T>(*mut T);
+impl<T> Clone for ResultsPtr<T> {
+    fn clone(&self) -> Self {
+        ResultsPtr(self.0)
+    }
+}
+impl<T> Copy for ResultsPtr<T> {}
+unsafe impl<T> Send for ResultsPtr<T> {}
+unsafe impl<T> Sync for ResultsPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IsShaderKind;
+
+    #[test]
+    fn build_time_is_linear_in_primitives() {
+        let d = Device::rtx_2080();
+        let t0 = d.accel_build_time_ms(0);
+        let t1 = d.accel_build_time_ms(1_000_000);
+        let t2 = d.accel_build_time_ms(2_000_000);
+        let t4 = d.accel_build_time_ms(4_000_000);
+        assert_eq!(t0, 0.0);
+        // Linear beyond the fixed overhead: equal increments.
+        let d1 = t2 - t1;
+        let d2 = t4 - t2;
+        assert!((d2 - 2.0 * d1).abs() < 1e-9);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn ti_builds_faster_than_2080() {
+        let n = 10_000_000;
+        assert!(Device::rtx_2080_ti().accel_build_time_ms(n) < Device::rtx_2080().accel_build_time_ms(n));
+    }
+
+    #[test]
+    fn transfer_times_scale_with_bytes() {
+        let d = Device::rtx_2080();
+        let one_gb = d.transfer_h2d_ms(1_000_000_000);
+        assert!((one_gb - 1000.0 / 12.0).abs() < 1.0);
+        assert!(d.transfer_d2h_ms(1_000_000_000) < one_gb);
+        assert_eq!(d.transfer_h2d_ms(0), 0.0);
+    }
+
+    #[test]
+    fn allocation_check() {
+        let d = Device::tiny_test_device();
+        assert!(d.check_allocation(1024).is_ok());
+        let err = d.check_allocation(u64::MAX).unwrap_err();
+        assert!(err.requested_bytes > err.capacity_bytes);
+        assert!(err.to_string().contains("exceeds device memory"));
+    }
+
+    #[test]
+    fn run_warps_returns_per_thread_results_in_order() {
+        let d = Device::tiny_test_device();
+        let n = 1000;
+        let (results, metrics) = d.run_warps(n, |range, shard| {
+            shard.charge_sm_ops(range.len() as f64);
+            range.map(|i| i as u64 * 3).collect()
+        });
+        assert_eq!(results.len(), n);
+        for (i, &r) in results.iter().enumerate() {
+            assert_eq!(r, i as u64 * 3);
+        }
+        assert_eq!(metrics.threads, n as u64);
+        assert_eq!(metrics.warps, n.div_ceil(32) as u64);
+        assert!(metrics.time_ms > 0.0);
+        assert!(metrics.total_cycles >= metrics.critical_path_cycles);
+    }
+
+    #[test]
+    fn zero_threads_is_a_noop() {
+        let d = Device::tiny_test_device();
+        let (results, metrics) = d.run_warps::<u32, _>(0, |_, _| Vec::new());
+        assert!(results.is_empty());
+        assert_eq!(metrics.warps, 0);
+        assert_eq!(metrics.time_ms, 0.0);
+    }
+
+    #[test]
+    fn balanced_work_beats_imbalanced_work() {
+        // Same total work; one distribution concentrates it in a single warp.
+        let d = Device::tiny_test_device();
+        let n = 32 * 64;
+        let total_ops = 32_000.0;
+        let (_, balanced) = d.run_warps(n, |range, shard| {
+            shard.charge_sm_ops(total_ops / (n as f64 / range.len() as f64));
+            vec![(); range.len()]
+        });
+        let (_, imbalanced) = d.run_warps(n, |range, shard| {
+            if range.start == 0 {
+                shard.charge_sm_ops(total_ops);
+            }
+            vec![(); range.len()]
+        });
+        assert!(imbalanced.time_ms > balanced.time_ms);
+    }
+
+    #[test]
+    fn more_sms_means_faster_kernels() {
+        let work = |range: std::ops::Range<usize>, shard: &mut SmShard| {
+            shard.charge_is_calls(range.len() as f64, IsShaderKind::RangeSphereTest);
+            vec![(); range.len()]
+        };
+        let n = 100_000;
+        let (_, small) = Device::rtx_2080().run_warps(n, work);
+        let (_, big) = Device::rtx_2080_ti().run_warps(n, work);
+        assert!(big.time_ms < small.time_ms);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = Device::rtx_2080();
+        let run = || {
+            d.run_warps(10_000, |range, shard| {
+                let addrs: Vec<u64> = range.clone().map(|i| (i as u64 % 997) * 64).collect();
+                shard.access_warp_memory(&addrs);
+                shard.charge_sm_ops(range.len() as f64);
+                vec![(); range.len()]
+            })
+            .1
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-SM simulation state.
+//!
+//! The device splits work into warps and assigns warps round-robin to SM
+//! shards. Each shard owns a private L1 and a 1/`num_sms` slice of the L2,
+//! which keeps the simulation deterministic even when shards are simulated
+//! on different host threads. Warp executors (the OptiX pipeline, the plain
+//! SM kernel runner) charge their work to the shard through the methods
+//! below; the device then reduces shard cycle counts into a kernel time.
+
+use crate::cache::SetAssociativeCache;
+use crate::config::{CostModel, DeviceConfig, IsShaderKind};
+use crate::metrics::MemoryStats;
+
+/// Simulation state of one streaming multiprocessor (plus its RT core and
+/// its slice of the L2).
+#[derive(Debug, Clone)]
+pub struct SmShard {
+    cost: CostModel,
+    l1: SetAssociativeCache,
+    l2: SetAssociativeCache,
+    cycles: f64,
+    rt_core_cycles: f64,
+    sm_cycles: f64,
+    mem_stall_cycles: f64,
+    dram_accesses: u64,
+    useful_lane_work: f64,
+    issued_warp_work: f64,
+    warps_executed: u64,
+    /// Scratch buffer for intra-warp coalescing.
+    line_scratch: Vec<u64>,
+}
+
+impl SmShard {
+    /// Create a shard for one SM of `config`.
+    pub fn new(config: &DeviceConfig) -> Self {
+        let mut l2_cfg = config.l2;
+        l2_cfg.capacity_bytes = (l2_cfg.capacity_bytes / config.num_sms.max(1))
+            .max(l2_cfg.line_bytes * l2_cfg.ways);
+        SmShard {
+            cost: config.cost,
+            l1: SetAssociativeCache::new(config.l1),
+            l2: SetAssociativeCache::new(l2_cfg),
+            cycles: 0.0,
+            rt_core_cycles: 0.0,
+            sm_cycles: 0.0,
+            mem_stall_cycles: 0.0,
+            dram_accesses: 0,
+            useful_lane_work: 0.0,
+            issued_warp_work: 0.0,
+            warps_executed: 0,
+            line_scratch: Vec::with_capacity(64),
+        }
+    }
+
+    /// The cost model in effect.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mark the start of a warp (bumps the warp counter).
+    pub fn begin_warp(&mut self) {
+        self.warps_executed += 1;
+    }
+
+    /// Charge `units` BVH node tests to the RT core.
+    pub fn charge_rt_node_tests(&mut self, units: f64) {
+        let c = units * self.cost.node_test_cycles;
+        self.rt_core_cycles += c;
+        self.cycles += c;
+    }
+
+    /// Charge `units` primitive-AABB tests to the RT core.
+    pub fn charge_rt_prim_tests(&mut self, units: f64) {
+        let c = units * self.cost.prim_test_cycles;
+        self.rt_core_cycles += c;
+        self.cycles += c;
+    }
+
+    /// Charge `count` intersection-shader invocations of `kind` to the SM.
+    pub fn charge_is_calls(&mut self, count: f64, kind: IsShaderKind) {
+        let c = count * self.cost.is_call_cycles(kind);
+        self.sm_cycles += c;
+        self.cycles += c;
+    }
+
+    /// Charge `count` generic SM operations (used by baseline kernels).
+    pub fn charge_sm_ops(&mut self, count: f64) {
+        let c = count * self.cost.sm_op_cycles;
+        self.sm_cycles += c;
+        self.cycles += c;
+    }
+
+    /// Charge raw SM cycles (for shader bodies whose cost the caller already
+    /// expressed in cycles).
+    pub fn charge_sm_cycles(&mut self, cycles: f64) {
+        self.sm_cycles += cycles;
+        self.cycles += cycles;
+    }
+
+    /// Issue one warp-level memory transaction for every distinct cache line
+    /// touched by `addresses` (intra-warp coalescing), probe the cache
+    /// hierarchy and charge the resulting stall cycles.
+    pub fn access_warp_memory(&mut self, addresses: &[u64]) {
+        if addresses.is_empty() {
+            return;
+        }
+        // Coalesce: one transaction per distinct line.
+        self.line_scratch.clear();
+        for &a in addresses {
+            self.line_scratch.push(self.l1.line_of(a));
+        }
+        self.line_scratch.sort_unstable();
+        self.line_scratch.dedup();
+
+        let mut stall = 0.0;
+        let line_bytes = self.l1.config().line_bytes as u64;
+        // Iterate lines; borrow rules: compute addresses first.
+        let lines = std::mem::take(&mut self.line_scratch);
+        for &line in &lines {
+            let addr = line * line_bytes;
+            if self.l1.access(addr) {
+                stall += self.cost.l1_hit_cycles;
+            } else if self.l2.access(addr) {
+                stall += self.cost.l2_hit_cycles;
+            } else {
+                self.dram_accesses += 1;
+                stall += self.cost.dram_cycles;
+            }
+        }
+        self.line_scratch = lines;
+        let visible = stall * (1.0 - self.cost.latency_hiding);
+        self.mem_stall_cycles += visible;
+        self.cycles += visible;
+    }
+
+    /// Record SIMT efficiency inputs for one warp: `useful` is the sum of
+    /// per-lane work items, `issued` is the work the warp actually had to
+    /// issue in lockstep (≥ `useful / warp_size`). Both in arbitrary but
+    /// consistent units.
+    pub fn note_simt_work(&mut self, useful: f64, issued: f64) {
+        self.useful_lane_work += useful;
+        self.issued_warp_work += issued;
+    }
+
+    /// Total cycles accumulated on this shard.
+    #[inline]
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Number of warps executed on this shard.
+    #[inline]
+    pub fn warps_executed(&self) -> u64 {
+        self.warps_executed
+    }
+
+    /// Breakdown `(rt_core, sm, mem_stall)` cycles.
+    pub fn cycle_breakdown(&self) -> (f64, f64, f64) {
+        (self.rt_core_cycles, self.sm_cycles, self.mem_stall_cycles)
+    }
+
+    /// SIMT efficiency inputs `(useful, issued)`.
+    pub fn simt_work(&self) -> (f64, f64) {
+        (self.useful_lane_work, self.issued_warp_work)
+    }
+
+    /// Memory counters for this shard.
+    pub fn memory_stats(&self) -> MemoryStats {
+        MemoryStats { l1: self.l1.stats(), l2: self.l2.stats(), dram_accesses: self.dram_accesses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn shard() -> SmShard {
+        SmShard::new(&DeviceConfig::tiny_test_device())
+    }
+
+    #[test]
+    fn charges_accumulate_cycles() {
+        let mut s = shard();
+        assert_eq!(s.cycles(), 0.0);
+        s.charge_rt_node_tests(10.0);
+        s.charge_is_calls(2.0, IsShaderKind::Knn);
+        s.charge_sm_ops(5.0);
+        let (rt, sm, mem) = s.cycle_breakdown();
+        assert!(rt > 0.0 && sm > 0.0);
+        assert_eq!(mem, 0.0);
+        assert!((s.cycles() - (rt + sm)).abs() < 1e-9);
+        // KNN IS calls are the most expensive item charged here.
+        assert!(sm > rt);
+    }
+
+    #[test]
+    fn coalescing_counts_one_access_per_line() {
+        let mut s = shard();
+        // 32 addresses inside a single 64-byte line: one L1 access.
+        let addrs: Vec<u64> = (0..32u64).map(|i| 1024 + i).collect();
+        s.access_warp_memory(&addrs);
+        assert_eq!(s.memory_stats().l1.accesses, 1);
+        // 32 addresses on 32 different lines: 32 accesses.
+        let spread: Vec<u64> = (0..32u64).map(|i| 100_000 + i * 64).collect();
+        s.access_warp_memory(&spread);
+        assert_eq!(s.memory_stats().l1.accesses, 33);
+    }
+
+    #[test]
+    fn repeated_warp_accesses_hit_in_l1() {
+        let mut s = shard();
+        let addrs: Vec<u64> = (0..4u64).map(|i| i * 64).collect();
+        s.access_warp_memory(&addrs);
+        let cold_cycles = s.cycles();
+        s.access_warp_memory(&addrs);
+        let warm_cycles = s.cycles() - cold_cycles;
+        assert!(warm_cycles < cold_cycles, "warm {warm_cycles} vs cold {cold_cycles}");
+        assert!(s.memory_stats().l1.hits >= 4);
+    }
+
+    #[test]
+    fn dram_accesses_are_counted() {
+        let mut s = shard();
+        // Stream far more distinct lines than L1+L2 shard capacity.
+        for i in 0..2000u64 {
+            s.access_warp_memory(&[i * 64]);
+        }
+        let m = s.memory_stats();
+        assert!(m.dram_accesses > 0);
+        assert!(s.cycle_breakdown().2 > 0.0);
+    }
+
+    #[test]
+    fn empty_memory_access_is_free() {
+        let mut s = shard();
+        s.access_warp_memory(&[]);
+        assert_eq!(s.cycles(), 0.0);
+        assert_eq!(s.memory_stats().l1.accesses, 0);
+    }
+
+    #[test]
+    fn simt_bookkeeping() {
+        let mut s = shard();
+        s.begin_warp();
+        s.note_simt_work(32.0, 32.0);
+        s.begin_warp();
+        s.note_simt_work(8.0, 32.0);
+        assert_eq!(s.warps_executed(), 2);
+        let (useful, issued) = s.simt_work();
+        assert_eq!(useful, 40.0);
+        assert_eq!(issued, 64.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! # rtnn-parallel
+//!
+//! A small CPU parallel-execution substrate used by the host-side stages of
+//! the reproduction (BVH construction, query sorting, dataset generation)
+//! and by the GPU simulator to execute independent warps concurrently.
+//!
+//! The approved dependency set does not include `rayon`, so this crate
+//! provides the handful of primitives the workspace needs on top of
+//! `crossbeam` scoped threads and `parking_lot`:
+//!
+//! * [`par_for_chunks`] — dynamic (work-stealing-ish) scheduling of index
+//!   ranges over a fixed set of worker threads;
+//! * [`par_map`] — parallel map over `0..n` producing a `Vec<R>`;
+//! * [`par_map_slice`] — parallel map over a slice;
+//! * [`par_reduce`] — parallel map-reduce over index chunks;
+//! * [`par_sort_by_key`] — parallel merge of per-chunk sorts (used for the
+//!   Morton sorts in the LBVH builder and the query scheduler).
+//!
+//! All functions fall back to sequential execution for small inputs so unit
+//! tests on tiny data never pay thread start-up costs.
+
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads};
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs smaller than this run sequentially.
+const SEQUENTIAL_CUTOFF: usize = 2048;
+
+/// Split `0..n` into dynamically scheduled chunks of at least `min_chunk`
+/// items and run `f` on each chunk, using the workspace thread pool.
+///
+/// `f` receives the index range of the chunk. Chunks are claimed from a
+/// shared atomic counter, so imbalanced chunk costs still load-balance.
+pub fn par_for_chunks<F>(n: usize, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = current_num_threads();
+    if n == 0 {
+        return;
+    }
+    if n <= SEQUENTIAL_CUTOFF.min(min_chunk.max(1)) || threads <= 1 {
+        f(0..n);
+        return;
+    }
+    // Aim for ~4 chunks per thread for load balancing, but never below
+    // min_chunk items per chunk.
+    let chunk = (n / (threads * 4)).max(min_chunk.max(1));
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                f(start..end);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map over `0..n`: returns `vec![f(0), f(1), ..., f(n-1)]`.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send + Default + Clone,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out = vec![R::default(); n];
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        par_for_chunks(n, 64, |range| {
+            let ptr = out_ptr;
+            for i in range {
+                // SAFETY: each index is visited by exactly one chunk, so no
+                // two threads write the same element, and `out` outlives the
+                // scope inside `par_for_chunks`.
+                unsafe { ptr.0.add(i).write(f(i)) };
+            }
+        });
+    }
+    out
+}
+
+/// Parallel map over a slice.
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map-reduce: `f` maps each index chunk to a partial accumulator,
+/// `reduce` folds the partials together (order unspecified).
+pub fn par_reduce<A, F, R>(n: usize, min_chunk: usize, identity: A, f: F, reduce: R) -> A
+where
+    A: Send + Clone,
+    F: Fn(Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    if n == 0 {
+        return identity;
+    }
+    let partials = parking_lot::Mutex::new(Vec::new());
+    par_for_chunks(n, min_chunk, |range| {
+        let partial = f(range);
+        partials.lock().push(partial);
+    });
+    partials.into_inner().into_iter().fold(identity, reduce)
+}
+
+/// Parallel stable sort of `items` by a key function: the slice is split
+/// into per-thread chunks, each chunk is sorted, and the chunks are merged.
+pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F)
+where
+    T: Send + Clone,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads();
+    if n <= SEQUENTIAL_CUTOFF || threads <= 1 {
+        items.sort_by_key(|t| key(t));
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    // Sort each chunk in parallel.
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        par_for_chunks(threads, 1, |range| {
+            // Capture the wrapper (not its raw-pointer field) so the closure
+            // stays `Sync` under edition-2021 disjoint capture rules.
+            let base = base;
+            for t in range {
+                let start = t * chunk;
+                if start >= n {
+                    continue;
+                }
+                let end = ((t + 1) * chunk).min(n);
+                // SAFETY: chunks are disjoint.
+                let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                slice.sort_by_key(|t| key(t));
+            }
+        });
+    }
+    // Iteratively merge neighbouring sorted runs. The merge passes are
+    // sequential (there are only log2(threads) of them and they are
+    // memory-bandwidth bound); each pass copies the current contents once.
+    let mut run = chunk;
+    while run < n {
+        let src = items.to_vec();
+        let mut start = 0;
+        while start < n {
+            let mid = (start + run).min(n);
+            let end = (start + 2 * run).min(n);
+            merge_by_key(&src[start..mid], &src[mid..end], &mut items[start..end], &key);
+            start = end;
+        }
+        run *= 2;
+    }
+}
+
+fn merge_by_key<T: Clone, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T], key: &F) {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&a[i]) <= key(&b[j]) {
+            out[k] = a[i].clone();
+            i += 1;
+        } else {
+            out[k] = b[j].clone();
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < a.len() {
+        out[k] = a[i].clone();
+        i += 1;
+        k += 1;
+    }
+    while j < b.len() {
+        out[k] = b[j].clone();
+        j += 1;
+        k += 1;
+    }
+}
+
+/// A raw pointer wrapper that asserts Send/Sync so disjoint-index writes can
+/// cross the scoped-thread boundary. All uses in this crate guarantee each
+/// element is written by at most one thread.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_every_index_once() {
+        let n = 100_000;
+        let hits = (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        par_for_chunks(n, 128, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        par_for_chunks(0, 16, |_| panic!("no chunks expected"));
+        let seen = AtomicUsize::new(0);
+        par_for_chunks(1, 16, |r| {
+            assert_eq!(r, 0..1);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert!(par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let n = 50_000;
+        let par = par_map(n, |i| (i * i) as u64);
+        let seq: Vec<u64> = (0..n).map(|i| (i * i) as u64).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_slice_matches() {
+        let data: Vec<i64> = (0..30_000).map(|i| i - 15_000).collect();
+        let out = par_map_slice(&data, |&x| x.abs());
+        assert_eq!(out, data.iter().map(|x| x.abs()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let n = 100_000u64;
+        let total = par_reduce(
+            n as usize,
+            128,
+            0u64,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, n * (n - 1) / 2);
+        assert_eq!(par_reduce(0, 1, 7u64, |_| 0, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn sort_by_key_sorts_large_inputs() {
+        let n = 200_000;
+        let mut data: Vec<u64> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 17).collect();
+        let mut expected = data.clone();
+        expected.sort();
+        par_sort_by_key(&mut data, |&x| x);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn sort_by_key_is_correct_on_small_inputs() {
+        let mut v = vec![5u32, 1, 4, 2, 3];
+        par_sort_by_key(&mut v, |&x| x);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reduce_runs_work_in_parallel_threads() {
+        // Not a strict parallelism assertion (machine may have 1 CPU), just a
+        // smoke test that the atomic accumulation path is exercised.
+        let counter = AtomicU64::new(0);
+        par_for_chunks(10_000, 64, |range| {
+            counter.fetch_add(range.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+}

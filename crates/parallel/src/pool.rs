@@ -1,0 +1,46 @@
+//! Thread-count configuration for the workspace.
+//!
+//! The simulator and the host-side algorithms both use
+//! [`current_num_threads`] worker threads. The default is the machine's
+//! available parallelism; tests and benchmarks that need determinism in
+//! timing-sensitive assertions can pin it with [`set_num_threads`] (results
+//! are deterministic regardless — only wall-clock time changes).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used by the `par_*` helpers. Defaults to
+/// `std::thread::available_parallelism()`, clamped to at least 1.
+pub fn current_num_threads() -> usize {
+    let configured = NUM_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Override the number of worker threads for the whole process. Passing 0
+/// restores the default (machine parallelism).
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_at_least_one() {
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn override_round_trips() {
+        set_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+    }
+}

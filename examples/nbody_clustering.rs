@@ -1,0 +1,94 @@
+//! Friends-of-friends galaxy clustering on the N-body-like dataset — the
+//! cosmology workload of the paper's evaluation (the Millennium-simulation
+//! trace). Two galaxies belong to the same group if they are within a
+//! linking length of each other; the groups are the connected components of
+//! the fixed-radius neighbor graph, which RTNN computes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example nbody_clustering
+//! ```
+
+use rtnn::{Rtnn, RtnnConfig, SearchParams};
+use rtnn_data::nbody::{self, NBodyParams};
+use rtnn_gpusim::Device;
+
+/// Union-find with path compression.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+fn main() {
+    let cloud = nbody::generate(&NBodyParams { num_points: 60_000, ..Default::default() });
+    let points = cloud.points;
+    println!("N-body trace: {} galaxies in a {:.0} Mpc/h box", points.len(), 500.0);
+
+    // Linking length: a fraction of the mean inter-particle spacing.
+    let box_volume = 500.0f32.powi(3);
+    let mean_spacing = (box_volume / points.len() as f32).cbrt();
+    let linking_length = 0.3 * mean_spacing;
+    println!("mean spacing {mean_spacing:.2}, linking length {linking_length:.2}");
+
+    let device = Device::rtx_2080();
+    let params = SearchParams::range(linking_length, 64);
+    let engine = Rtnn::new(&device, RtnnConfig::new(params));
+    let result = engine.search(&points, &points).expect("friends-of-friends neighbor search");
+    println!(
+        "neighbor graph built in simulated {:.2} ms ({} partitions -> {} bundles, {} edges)",
+        result.total_time_ms(),
+        result.num_partitions,
+        result.num_bundles,
+        result.total_neighbors()
+    );
+
+    // Connected components = friends-of-friends groups.
+    let mut uf = UnionFind::new(points.len());
+    for (i, neigh) in result.neighbors.iter().enumerate() {
+        for &j in neigh {
+            uf.union(i as u32, j);
+        }
+    }
+    let mut group_sizes = std::collections::HashMap::new();
+    for i in 0..points.len() as u32 {
+        *group_sizes.entry(uf.find(i)).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = group_sizes.values().copied().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let groups_ge_5 = sizes.iter().filter(|&&s| s >= 5).count();
+    println!(
+        "{} groups total, {} with at least 5 members, largest group has {} galaxies",
+        sizes.len(),
+        groups_ge_5,
+        sizes[0]
+    );
+    // A hierarchically clustered distribution must produce some rich groups
+    // and many isolated field galaxies.
+    assert!(sizes[0] >= 10, "expected at least one rich cluster");
+    assert!(sizes.len() > 100, "expected many separate groups");
+    println!("friends-of-friends clustering finished ✓");
+}

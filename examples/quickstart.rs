@@ -1,0 +1,61 @@
+//! Quickstart: build a small point cloud, run both search modes on the
+//! simulated RTX 2080, and verify the results against a brute-force scan.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rtnn::verify::{brute_force_knn, check_all};
+use rtnn::{Rtnn, RtnnConfig, SearchParams};
+use rtnn_data::uniform::{self, UniformParams};
+use rtnn_gpusim::Device;
+
+fn main() {
+    // 1. A uniformly distributed cloud of 50k points; the queries are the
+    //    points themselves (the common case in physics simulation).
+    let cloud = uniform::generate(&UniformParams { num_points: 50_000, seed: 7, ..Default::default() });
+    let points = cloud.points.clone();
+    let queries: Vec<_> = points.iter().step_by(10).copied().collect();
+    println!("points: {}, queries: {}", points.len(), queries.len());
+
+    // 2. The simulated GPU the search runs on.
+    let device = Device::rtx_2080();
+
+    // 3. Fixed-radius search: up to 32 neighbors within r = 2.5.
+    let range_params = SearchParams::range(2.5, 32);
+    let engine = Rtnn::new(&device, RtnnConfig::new(range_params));
+    let range = engine.search(&points, &queries).expect("range search");
+    println!(
+        "range search: {} neighbor links, {} partitions -> {} bundles, simulated {:.2} ms",
+        range.total_neighbors(),
+        range.num_partitions,
+        range.num_bundles,
+        range.total_time_ms()
+    );
+    for (label, ms) in range.breakdown.components() {
+        println!("  {label:<6} {ms:>8.3} ms");
+    }
+    check_all(&points, &queries, &range_params, &range.neighbors)
+        .expect("range results match the brute-force oracle");
+
+    // 4. KNN search: the 8 nearest neighbors within the same radius.
+    let knn_params = SearchParams::knn(2.5, 8);
+    let engine = Rtnn::new(&device, RtnnConfig::new(knn_params));
+    let knn = engine.search(&points, &queries).expect("knn search");
+    println!(
+        "knn search:   {} neighbor links, simulated {:.2} ms ({} IS calls)",
+        knn.total_neighbors(),
+        knn.total_time_ms(),
+        knn.search_metrics.is_calls
+    );
+    check_all(&points, &queries, &knn_params, &knn.neighbors)
+        .expect("knn results match the brute-force oracle");
+
+    // 5. Spot-check one query against the oracle explicitly.
+    let q = 3;
+    let expected = brute_force_knn(&points, queries[q], 2.5, 8);
+    assert_eq!(knn.neighbors[q], expected);
+    println!("query {q}: nearest neighbors {:?}", &knn.neighbors[q]);
+    println!("all results verified against the brute-force oracle ✓");
+}

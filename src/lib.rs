@@ -1,0 +1,16 @@
+//! Umbrella crate for the RTNN reproduction workspace.
+//!
+//! This crate exists so the repository root can host the runnable
+//! [`examples/`](https://github.com/horizon-research/rtnn) and the
+//! cross-crate integration tests in `tests/`. It re-exports the public
+//! surface of every member crate so examples can write `use rtnn_repro::...`
+//! or depend on the individual crates directly.
+
+pub use rtnn;
+pub use rtnn_baselines as baselines;
+pub use rtnn_bvh as bvh;
+pub use rtnn_data as data;
+pub use rtnn_gpusim as gpusim;
+pub use rtnn_math as math;
+pub use rtnn_optix as optix;
+pub use rtnn_parallel as parallel;
