@@ -28,26 +28,39 @@ impl BruteForce {
         knn: bool,
     ) -> BaselineRun {
         let r2 = request.radius * request.radius;
-        let (neighbors, metrics) = run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
-            let q = queries[qi];
-            let mut found: Vec<(f32, u32)> = Vec::new();
-            for (pi, &p) in points.iter().enumerate() {
-                let d2 = q.distance_squared(p);
-                if d2 < r2 {
-                    found.push((d2, pi as u32));
+        let (neighbors, metrics) =
+            run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
+                let q = queries[qi];
+                let mut found: Vec<(f32, u32)> = Vec::new();
+                for (pi, &p) in points.iter().enumerate() {
+                    let d2 = q.distance_squared(p);
+                    if d2 < r2 {
+                        found.push((d2, pi as u32));
+                    }
                 }
-            }
-            found.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-            found.truncate(request.k);
-            let ids: Vec<u32> = found.into_iter().map(|(_, id)| id).collect();
-            // Every thread reads every point once; sample the address stream
-            // (one address per 32 points) to keep the trace bounded while the
-            // op count carries the full cost.
-            let addresses: Vec<u64> =
-                (0..points.len() as u32).step_by(32).map(point_address).collect();
-            let extra_sort_ops = if knn { (ids.len() as u64).max(1) * 4 } else { 0 };
-            (ids, ThreadWork::new(points.len() as u64 * OPS_PER_DISTANCE_TEST + extra_sort_ops, addresses))
-        });
+                found.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                found.truncate(request.k);
+                let ids: Vec<u32> = found.into_iter().map(|(_, id)| id).collect();
+                // Every thread reads every point once; sample the address stream
+                // (one address per 32 points) to keep the trace bounded while the
+                // op count carries the full cost.
+                let addresses: Vec<u64> = (0..points.len() as u32)
+                    .step_by(32)
+                    .map(point_address)
+                    .collect();
+                let extra_sort_ops = if knn {
+                    (ids.len() as u64).max(1) * 4
+                } else {
+                    0
+                };
+                (
+                    ids,
+                    ThreadWork::new(
+                        points.len() as u64 * OPS_PER_DISTANCE_TEST + extra_sort_ops,
+                        addresses,
+                    ),
+                )
+            });
         BaselineRun {
             neighbors,
             build_ms: 0.0,
@@ -104,9 +117,16 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(17).copied().collect();
         let request = SearchRequest::new(1.0, 64);
-        let run = BruteForce.range_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::range(1.0, 64), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = BruteForce
+            .range_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::range(1.0, 64),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
         assert!(run.search_ms > 0.0);
         assert_eq!(run.build_ms, 0.0);
     }
@@ -117,7 +137,9 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(31).copied().collect();
         let request = SearchRequest::new(2.0, 5);
-        let run = BruteForce.knn_search(&device, &points, &queries, request).unwrap();
+        let run = BruteForce
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
         for (qi, q) in queries.iter().enumerate() {
             assert_eq!(run.neighbors[qi], brute_force_knn(&points, *q, 2.0, 5));
         }
@@ -132,7 +154,9 @@ mod tests {
         let small = BruteForce
             .range_search(&device, &points[..100], &queries[..20], request)
             .unwrap();
-        let large = BruteForce.range_search(&device, &points, &queries, request).unwrap();
+        let large = BruteForce
+            .range_search(&device, &points, &queries, request)
+            .unwrap();
         assert!(large.search_ms > small.search_ms);
     }
 }

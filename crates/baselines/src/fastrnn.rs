@@ -74,9 +74,16 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(19).copied().collect();
         let request = SearchRequest::new(1.2, 5);
-        let run = FastRnn.knn_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::knn(1.2, 5), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = FastRnn
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::knn(1.2, 5),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
         assert!(run.build_ms > 0.0);
         assert!(run.search_ms > 0.0);
     }
@@ -102,7 +109,9 @@ mod tests {
             .collect();
         let queries = points.clone();
         let request = SearchRequest::new(2.5, 8);
-        let fastrnn = FastRnn.knn_search(&device, &points, &queries, request).unwrap();
+        let fastrnn = FastRnn
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
         let rtnn_full = Rtnn::new(&device, RtnnConfig::new(SearchParams::knn(2.0, 8)))
             .search(&points, &queries)
             .unwrap();

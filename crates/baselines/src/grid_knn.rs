@@ -7,7 +7,9 @@
 //! maintaining a bounded priority queue of the `K` closest candidates.
 
 use crate::common::{transfer_ms, Baseline, BaselineRun, SearchRequest};
-use rtnn_gpusim::kernel::{cell_offset_address, point_address, run_sm_kernel, SmKernelConfig, ThreadWork};
+use rtnn_gpusim::kernel::{
+    cell_offset_address, point_address, run_sm_kernel, SmKernelConfig, ThreadWork,
+};
 use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, GridCoord, PointBins, UniformGrid, Vec3};
 
@@ -58,9 +60,13 @@ impl Baseline for GridKnn {
         }
         let grid = UniformGrid::new(bounds, request.radius);
         let bins = PointBins::build(grid, points);
-        let (_, build_metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-            ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
-        });
+        let (_, build_metrics) =
+            run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
+                (
+                    (),
+                    ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+                )
+            });
 
         let r2 = request.radius * request.radius;
         let (neighbors, search_metrics) =
@@ -69,8 +75,11 @@ impl Baseline for GridKnn {
                 let grid = bins.grid();
                 let dims = grid.dims();
                 let c = grid.cell_of(q);
-                let lo =
-                    GridCoord::new(c.x.saturating_sub(1), c.y.saturating_sub(1), c.z.saturating_sub(1));
+                let lo = GridCoord::new(
+                    c.x.saturating_sub(1),
+                    c.y.saturating_sub(1),
+                    c.z.saturating_sub(1),
+                );
                 let hi = GridCoord::new(
                     (c.x + 1).min(dims[0] - 1),
                     (c.y + 1).min(dims[1] - 1),
@@ -97,7 +106,10 @@ impl Baseline for GridKnn {
                     }
                 }
                 let ids: Vec<u32> = best.into_iter().map(|(_, id)| id).collect();
-                (ids, ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses))
+                (
+                    ids,
+                    ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses),
+                )
             });
         Some(BaselineRun {
             neighbors,
@@ -129,12 +141,23 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(23).copied().collect();
         let request = SearchRequest::new(0.9, 6);
-        let run = GridKnn.knn_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::knn(0.9, 6), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = GridKnn
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::knn(0.9, 6),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
         // Spot-check exact id agreement (no ties in this cloud).
         for (qi, q) in queries.iter().enumerate().take(5) {
-            assert_eq!(run.neighbors[qi], brute_force_knn(&points, *q, 0.9, 6), "query {qi}");
+            assert_eq!(
+                run.neighbors[qi],
+                brute_force_knn(&points, *q, 0.9, 6),
+                "query {qi}"
+            );
         }
     }
 
@@ -150,7 +173,11 @@ mod tests {
     fn radius_bound_is_respected() {
         // All neighbors beyond the radius are rejected even if K is not met.
         let device = Device::rtx_2080();
-        let points = vec![Vec3::ZERO, Vec3::new(0.4, 0.0, 0.0), Vec3::new(3.0, 0.0, 0.0)];
+        let points = vec![
+            Vec3::ZERO,
+            Vec3::new(0.4, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        ];
         let queries = vec![Vec3::ZERO];
         let run = GridKnn
             .knn_search(&device, &points, &queries, SearchRequest::new(1.0, 10))
@@ -166,7 +193,12 @@ mod tests {
             .unwrap();
         assert!(run.neighbors[0].is_empty());
         let run2 = GridKnn
-            .knn_search(&device, &cloud(), &[Vec3::new(999.0, 999.0, 999.0)], SearchRequest::new(1.0, 4))
+            .knn_search(
+                &device,
+                &cloud(),
+                &[Vec3::new(999.0, 999.0, 999.0)],
+                SearchRequest::new(1.0, 4),
+            )
             .unwrap();
         assert!(run2.neighbors[0].is_empty());
     }

@@ -8,7 +8,9 @@
 //! test-suite bottleneck first).
 
 use crate::common::{transfer_ms, Baseline, BaselineRun, SearchRequest};
-use rtnn_gpusim::kernel::{point_address, run_sm_kernel, tree_node_address, SmKernelConfig, ThreadWork};
+use rtnn_gpusim::kernel::{
+    point_address, run_sm_kernel, tree_node_address, SmKernelConfig, ThreadWork,
+};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 
@@ -23,8 +25,16 @@ const OPS_PER_BUILD_POINT: u64 = 12;
 
 #[derive(Debug, Clone)]
 enum KdNode {
-    Internal { axis: u8, split: f32, left: u32, right: u32 },
-    Leaf { start: u32, count: u32 },
+    Internal {
+        axis: u8,
+        split: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        count: u32,
+    },
 }
 
 /// A balanced k-d tree over a point cloud.
@@ -40,7 +50,10 @@ impl KdTree {
         if points.is_empty() {
             return None;
         }
-        let mut tree = KdTree { nodes: Vec::new(), point_ids: (0..points.len() as u32).collect() };
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            point_ids: (0..points.len() as u32).collect(),
+        };
         let n = points.len();
         tree.build_node(points, 0, n);
         Some(tree)
@@ -50,7 +63,10 @@ impl KdTree {
         let count = end - start;
         let node_index = self.nodes.len() as u32;
         if count <= LEAF_SIZE {
-            self.nodes.push(KdNode::Leaf { start: start as u32, count: count as u32 });
+            self.nodes.push(KdNode::Leaf {
+                start: start as u32,
+                count: count as u32,
+            });
             return node_index;
         }
         // Split on the axis with the largest spread of the contained points.
@@ -70,18 +86,28 @@ impl KdTree {
         } as usize;
         if extent[axis] <= 0.0 {
             // All points identical along every axis: leave as an oversized leaf.
-            self.nodes.push(KdNode::Leaf { start: start as u32, count: count as u32 });
+            self.nodes.push(KdNode::Leaf {
+                start: start as u32,
+                count: count as u32,
+            });
             return node_index;
         }
         let mid = start + count / 2;
         self.point_ids[start..end].select_nth_unstable_by(count / 2, |&a, &b| {
-            points[a as usize][axis].partial_cmp(&points[b as usize][axis]).unwrap()
+            points[a as usize][axis]
+                .partial_cmp(&points[b as usize][axis])
+                .unwrap()
         });
         let split = points[self.point_ids[mid] as usize][axis];
         self.nodes.push(KdNode::Leaf { start: 0, count: 0 }); // placeholder
         let left = self.build_node(points, start, mid);
         let right = self.build_node(points, mid, end);
-        self.nodes[node_index as usize] = KdNode::Internal { axis: axis as u8, split, left, right };
+        self.nodes[node_index as usize] = KdNode::Internal {
+            axis: axis as u8,
+            split,
+            left,
+            right,
+        };
         node_index
     }
 
@@ -105,9 +131,18 @@ impl KdTree {
             nodes_visited += 1;
             addresses.push(tree_node_address(ni));
             match &self.nodes[ni as usize] {
-                KdNode::Internal { axis, split, left, right } => {
+                KdNode::Internal {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
                     let delta = q[*axis as usize] - *split;
-                    let (near, far) = if delta <= 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) = if delta <= 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
                     stack.push((far, d2_region.max(delta * delta)));
                     stack.push((near, d2_region));
                 }
@@ -151,9 +186,18 @@ impl KdTree {
             nodes_visited += 1;
             addresses.push(tree_node_address(ni));
             match &self.nodes[ni as usize] {
-                KdNode::Internal { axis, split, left, right } => {
+                KdNode::Internal {
+                    axis,
+                    split,
+                    left,
+                    right,
+                } => {
                     let delta = q[*axis as usize] - *split;
-                    let (near, far) = if delta <= 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) = if delta <= 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
                     stack.push((far, d2_region.max(delta * delta)));
                     stack.push((near, d2_region));
                 }
@@ -211,14 +255,21 @@ impl Baseline for KdTreeSearch {
                 data_ms,
             });
         };
-        let (_, build_metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-            ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
-        });
+        let (_, build_metrics) =
+            run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
+                (
+                    (),
+                    ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+                )
+            });
         let (neighbors, search_metrics) =
             run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
                 let (ids, nodes, tests, addresses) =
                     tree.radius_search(points, queries[qi], request.radius, request.k);
-                (ids, ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses))
+                (
+                    ids,
+                    ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses),
+                )
             });
         Some(BaselineRun {
             neighbors,
@@ -244,14 +295,21 @@ impl Baseline for KdTreeSearch {
                 data_ms,
             });
         };
-        let (_, build_metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-            ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
-        });
+        let (_, build_metrics) =
+            run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
+                (
+                    (),
+                    ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+                )
+            });
         let (neighbors, search_metrics) =
             run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
                 let (ids, nodes, tests, addresses) =
                     tree.knn_search(points, queries[qi], request.radius, request.k);
-                (ids, ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses))
+                (
+                    ids,
+                    ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses),
+                )
             });
         Some(BaselineRun {
             neighbors,
@@ -293,21 +351,37 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(29).copied().collect();
         let request = SearchRequest::new(0.9, 512);
-        let run = KdTreeSearch.range_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::range(0.9, 512), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = KdTreeSearch
+            .range_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::range(0.9, 512),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
     }
 
     #[test]
     fn knn_matches_the_oracle() {
         let device = Device::rtx_2080();
         let points = cloud();
-        let queries: Vec<Vec3> =
-            points.iter().step_by(53).map(|&p| p + Vec3::new(0.01, -0.02, 0.03)).collect();
+        let queries: Vec<Vec3> = points
+            .iter()
+            .step_by(53)
+            .map(|&p| p + Vec3::new(0.01, -0.02, 0.03))
+            .collect();
         let request = SearchRequest::new(1.5, 7);
-        let run = KdTreeSearch.knn_search(&device, &points, &queries, request).unwrap();
+        let run = KdTreeSearch
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
         for (qi, q) in queries.iter().enumerate() {
-            assert_eq!(run.neighbors[qi], brute_force_knn(&points, *q, 1.5, 7), "query {qi}");
+            assert_eq!(
+                run.neighbors[qi],
+                brute_force_knn(&points, *q, 1.5, 7),
+                "query {qi}"
+            );
         }
     }
 

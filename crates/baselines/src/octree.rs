@@ -8,7 +8,9 @@
 //! `K = 1`; the same restrictions apply here.
 
 use crate::common::{transfer_ms, Baseline, BaselineRun, SearchRequest};
-use rtnn_gpusim::kernel::{point_address, run_sm_kernel, tree_node_address, SmKernelConfig, ThreadWork};
+use rtnn_gpusim::kernel::{
+    point_address, run_sm_kernel, tree_node_address, SmKernelConfig, ThreadWork,
+};
 use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, Vec3};
 
@@ -29,7 +31,11 @@ enum OctNode {
     /// Children indices (missing octants collapse to `u32::MAX`).
     Internal { children: [u32; 8], bounds: Aabb },
     /// Leaf owning a slice of the reordered point-id array.
-    Leaf { start: u32, count: u32, bounds: Aabb },
+    Leaf {
+        start: u32,
+        count: u32,
+        bounds: Aabb,
+    },
 }
 
 /// An octree over a point cloud.
@@ -52,24 +58,44 @@ impl Octree {
         // Cubify so octants stay cubical.
         let half = bounds.longest_extent() * 0.5;
         let bounds = Aabb::cube(bounds.center(), 2.0 * half);
-        let mut tree = Octree { nodes: Vec::new(), point_ids: (0..points.len() as u32).collect() };
+        let mut tree = Octree {
+            nodes: Vec::new(),
+            point_ids: (0..points.len() as u32).collect(),
+        };
         let n = points.len();
         tree.subdivide(points, bounds, 0, n, 0);
         Some(tree)
     }
 
-    fn subdivide(&mut self, points: &[Vec3], bounds: Aabb, start: usize, end: usize, depth: u32) -> u32 {
+    fn subdivide(
+        &mut self,
+        points: &[Vec3],
+        bounds: Aabb,
+        start: usize,
+        end: usize,
+        depth: u32,
+    ) -> u32 {
         let count = end - start;
         let node_index = self.nodes.len() as u32;
         if count <= LEAF_SIZE || depth >= MAX_DEPTH {
-            self.nodes.push(OctNode::Leaf { start: start as u32, count: count as u32, bounds });
+            self.nodes.push(OctNode::Leaf {
+                start: start as u32,
+                count: count as u32,
+                bounds,
+            });
             return node_index;
         }
-        self.nodes.push(OctNode::Leaf { start: 0, count: 0, bounds }); // placeholder
+        self.nodes.push(OctNode::Leaf {
+            start: 0,
+            count: 0,
+            bounds,
+        }); // placeholder
         let centre = bounds.center();
         // Partition the id range into the 8 octants (stable bucket sort).
         let octant_of = |p: Vec3| -> usize {
-            ((p.x > centre.x) as usize) | (((p.y > centre.y) as usize) << 1) | (((p.z > centre.z) as usize) << 2)
+            ((p.x > centre.x) as usize)
+                | (((p.y > centre.y) as usize) << 1)
+                | (((p.z > centre.z) as usize) << 2)
         };
         let slice = self.point_ids[start..end].to_vec();
         let mut buckets: [Vec<u32>; 8] = Default::default();
@@ -143,7 +169,12 @@ impl Octree {
     }
 
     /// Approximate-free exact nearest neighbor (K = 1) within `radius`.
-    pub fn nearest(&self, points: &[Vec3], q: Vec3, radius: f32) -> (Option<u32>, u64, u64, Vec<u64>) {
+    pub fn nearest(
+        &self,
+        points: &[Vec3],
+        q: Vec3,
+        radius: f32,
+    ) -> (Option<u32>, u64, u64, Vec<u64>) {
         let mut best: Option<(f32, u32)> = None;
         let mut best_r2 = radius * radius;
         let mut nodes_visited = 0u64;
@@ -161,7 +192,11 @@ impl Octree {
                         continue;
                     }
                     // Push children ordered so the closest is processed first.
-                    let mut kids: Vec<u32> = children.iter().copied().filter(|&c| c != u32::MAX).collect();
+                    let mut kids: Vec<u32> = children
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != u32::MAX)
+                        .collect();
                     kids.sort_by(|&a, &b| {
                         let da = self.node_bounds(a).distance_squared_to_point(q);
                         let db = self.node_bounds(b).distance_squared_to_point(q);
@@ -169,7 +204,11 @@ impl Octree {
                     });
                     stack.extend(kids);
                 }
-                OctNode::Leaf { start, count, bounds } => {
+                OctNode::Leaf {
+                    start,
+                    count,
+                    bounds,
+                } => {
                     if bounds.distance_squared_to_point(q) >= best_r2 {
                         continue;
                     }
@@ -185,7 +224,12 @@ impl Octree {
                 }
             }
         }
-        (best.map(|(_, id)| id), nodes_visited, point_tests, addresses)
+        (
+            best.map(|(_, id)| id),
+            nodes_visited,
+            point_tests,
+            addresses,
+        )
     }
 
     fn node_bounds(&self, ni: u32) -> &Aabb {
@@ -248,14 +292,21 @@ impl Baseline for OctreeSearch {
                 data_ms,
             });
         };
-        let (_, build_metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-            ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
-        });
+        let (_, build_metrics) =
+            run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
+                (
+                    (),
+                    ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+                )
+            });
         let (neighbors, search_metrics) =
             run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
                 let (ids, nodes, tests, addresses) =
                     tree.radius_search(points, queries[qi], request.radius, request.k);
-                (ids, ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses))
+                (
+                    ids,
+                    ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses),
+                )
             });
         Some(BaselineRun {
             neighbors,
@@ -278,12 +329,17 @@ impl Baseline for OctreeSearch {
         }
         let data_ms = transfer_ms(device, points.len(), queries.len(), request.k);
         let tree = Octree::build(points)?;
-        let (_, build_metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-            ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
-        });
+        let (_, build_metrics) =
+            run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
+                (
+                    (),
+                    ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+                )
+            });
         let (neighbors, search_metrics) =
             run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
-                let (nearest, nodes, tests, addresses) = tree.nearest(points, queries[qi], request.radius);
+                let (nearest, nodes, tests, addresses) =
+                    tree.nearest(points, queries[qi], request.radius);
                 (
                     nearest.into_iter().collect::<Vec<u32>>(),
                     ThreadWork::new(nodes * OPS_PER_NODE + tests * OPS_PER_POINT_TEST, addresses),
@@ -330,18 +386,31 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(37).copied().collect();
         let request = SearchRequest::new(1.0, 256);
-        let run = OctreeSearch.range_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::range(1.0, 256), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = OctreeSearch
+            .range_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::range(1.0, 256),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
     }
 
     #[test]
     fn nearest_neighbor_matches_the_oracle() {
         let device = Device::rtx_2080();
         let points = cloud();
-        let queries: Vec<Vec3> = points.iter().step_by(41).map(|&p| p + Vec3::splat(0.05)).collect();
+        let queries: Vec<Vec3> = points
+            .iter()
+            .step_by(41)
+            .map(|&p| p + Vec3::splat(0.05))
+            .collect();
         let request = SearchRequest::new(2.0, 1);
-        let run = OctreeSearch.knn_search(&device, &points, &queries, request).unwrap();
+        let run = OctreeSearch
+            .knn_search(&device, &points, &queries, request)
+            .unwrap();
         for (qi, q) in queries.iter().enumerate() {
             let expected = brute_force_knn(&points, *q, 2.0, 1);
             assert_eq!(run.neighbors[qi], expected, "query {qi}");

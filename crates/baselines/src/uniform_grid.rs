@@ -9,7 +9,9 @@
 //! like the original.
 
 use crate::common::{transfer_ms, Baseline, BaselineRun, SearchRequest};
-use rtnn_gpusim::kernel::{cell_offset_address, point_address, run_sm_kernel, SmKernelConfig, ThreadWork};
+use rtnn_gpusim::kernel::{
+    cell_offset_address, point_address, run_sm_kernel, SmKernelConfig, ThreadWork,
+};
 use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, GridCoord, PointBins, UniformGrid, Vec3};
 
@@ -24,11 +26,7 @@ const OPS_PER_BUILD_POINT: u64 = 6;
 
 /// Build the grid (cell size = radius) and bin the points, charging the
 /// construction kernel to the device. Returns `None` for an empty cloud.
-fn build_bins(
-    device: &Device,
-    points: &[Vec3],
-    radius: f32,
-) -> Option<(PointBins, f64)> {
+fn build_bins(device: &Device, points: &[Vec3], radius: f32) -> Option<(PointBins, f64)> {
     if points.is_empty() {
         return None;
     }
@@ -40,7 +38,10 @@ fn build_bins(
     let bins = PointBins::build(grid, points);
     // Construction kernel: one thread per point (hash, histogram, scatter).
     let (_, metrics) = run_sm_kernel(device, points.len(), SmKernelConfig::default(), |pi| {
-        ((), ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]))
+        (
+            (),
+            ThreadWork::new(OPS_PER_BUILD_POINT, vec![point_address(pi as u32)]),
+        )
     });
     Some((bins, metrics.time_ms))
 }
@@ -61,7 +62,11 @@ fn scan_neighborhood(
     let mut out = Vec::new();
     let mut candidates = 0u64;
     let mut addresses = Vec::new();
-    let lo = GridCoord::new(c.x.saturating_sub(1), c.y.saturating_sub(1), c.z.saturating_sub(1));
+    let lo = GridCoord::new(
+        c.x.saturating_sub(1),
+        c.y.saturating_sub(1),
+        c.z.saturating_sub(1),
+    );
     let hi = GridCoord::new(
         (c.x + 1).min(dims[0] - 1),
         (c.y + 1).min(dims[1] - 1),
@@ -104,19 +109,32 @@ impl Baseline for UniformGridSearch {
         // Two passes over the neighbourhood: count then fill — the scan work
         // is charged twice, the results are produced in the second pass.
         let mut search_ms = 0.0;
-        let (_, count_metrics) = run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
-            let (_, candidates, addresses) =
-                scan_neighborhood(&bins, points, queries[qi], request.radius, usize::MAX);
-            ((), ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses))
-        });
+        let (_, count_metrics) =
+            run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
+                let (_, candidates, addresses) =
+                    scan_neighborhood(&bins, points, queries[qi], request.radius, usize::MAX);
+                (
+                    (),
+                    ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses),
+                )
+            });
         search_ms += count_metrics.time_ms;
-        let (neighbors, fill_metrics) = run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
-            let (ids, candidates, addresses) =
-                scan_neighborhood(&bins, points, queries[qi], request.radius, request.k);
-            (ids, ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses))
-        });
+        let (neighbors, fill_metrics) =
+            run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |qi| {
+                let (ids, candidates, addresses) =
+                    scan_neighborhood(&bins, points, queries[qi], request.radius, request.k);
+                (
+                    ids,
+                    ThreadWork::new(candidates * OPS_PER_CANDIDATE, addresses),
+                )
+            });
         search_ms += fill_metrics.time_ms;
-        Some(BaselineRun { neighbors, build_ms, search_ms, data_ms })
+        Some(BaselineRun {
+            neighbors,
+            build_ms,
+            search_ms,
+            data_ms,
+        })
     }
 
     fn knn_search(
@@ -152,9 +170,16 @@ mod tests {
         let points = cloud();
         let queries: Vec<Vec3> = points.iter().step_by(13).copied().collect();
         let request = SearchRequest::new(0.8, 128);
-        let run = UniformGridSearch.range_search(&device, &points, &queries, request).unwrap();
-        check_all(&points, &queries, &SearchParams::range(0.8, 128), &run.neighbors)
-            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        let run = UniformGridSearch
+            .range_search(&device, &points, &queries, request)
+            .unwrap();
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::range(0.8, 128),
+            &run.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
         assert!(run.build_ms > 0.0);
         assert!(run.search_ms > 0.0);
     }

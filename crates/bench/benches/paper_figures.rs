@@ -7,7 +7,6 @@
 //! implementation itself are caught by `cargo bench`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
 use rtnn_baselines::fastrnn::FastRnn;
 use rtnn_baselines::grid_knn::GridKnn;
@@ -19,6 +18,7 @@ use rtnn_bvh::{build_point_bvh, BuildParams, BvhBuilder};
 use rtnn_data::{Dataset, DatasetName};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
+use std::time::Duration;
 
 struct Fixture {
     points: Vec<Vec3>,
@@ -30,7 +30,12 @@ struct Fixture {
 fn fixture() -> Fixture {
     let cloud = Dataset::scaled(DatasetName::Kitti1M, 100).generate(); // 10k points
     let queries = cloud.queries_subsampled(4); // 2.5k queries
-    Fixture { points: cloud.points, queries, radius: DatasetName::Kitti1M.default_radius(), k: 16 }
+    Fixture {
+        points: cloud.points,
+        queries,
+        radius: DatasetName::Kitti1M.default_radius(),
+        k: 16,
+    }
 }
 
 /// Keep every Criterion group short: the interesting comparisons are the
@@ -45,10 +50,27 @@ fn bench_bvh_builders(c: &mut Criterion) {
     let f = fixture();
     let mut group = c.benchmark_group("bvh_build");
     configure(&mut group);
-    for builder in [BvhBuilder::Lbvh, BvhBuilder::MedianSplit, BvhBuilder::BinnedSah] {
-        group.bench_with_input(BenchmarkId::new("builder", format!("{builder:?}")), &builder, |b, &builder| {
-            b.iter(|| build_point_bvh(&f.points, f.radius, BuildParams { builder, max_leaf_size: 4 }))
-        });
+    for builder in [
+        BvhBuilder::Lbvh,
+        BvhBuilder::MedianSplit,
+        BvhBuilder::BinnedSah,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("builder", format!("{builder:?}")),
+            &builder,
+            |b, &builder| {
+                b.iter(|| {
+                    build_point_bvh(
+                        &f.points,
+                        f.radius,
+                        BuildParams {
+                            builder,
+                            max_leaf_size: 4,
+                        },
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -60,7 +82,11 @@ fn bench_rtnn_opt_levels(c: &mut Criterion) {
     configure(&mut group);
     for mode in [SearchMode::Range, SearchMode::Knn] {
         for opt in OptLevel::all() {
-            let params = SearchParams { radius: f.radius, k: f.k, mode };
+            let params = SearchParams {
+                radius: f.radius,
+                k: f.k,
+                mode,
+            };
             let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
             let id = BenchmarkId::new(format!("{mode:?}"), opt.label());
             group.bench_function(id, |b| {
@@ -84,7 +110,11 @@ fn bench_baselines(c: &mut Criterion) {
     ];
     for (name, baseline) in &range_baselines {
         group.bench_function(BenchmarkId::new("range", *name), |b| {
-            b.iter(|| baseline.range_search(&device, &f.points, &f.queries, request).unwrap());
+            b.iter(|| {
+                baseline
+                    .range_search(&device, &f.points, &f.queries, request)
+                    .unwrap()
+            });
         });
     }
     let knn_baselines: Vec<(&str, Box<dyn Baseline>)> = vec![
@@ -94,7 +124,11 @@ fn bench_baselines(c: &mut Criterion) {
     ];
     for (name, baseline) in &knn_baselines {
         group.bench_function(BenchmarkId::new("knn", *name), |b| {
-            b.iter(|| baseline.knn_search(&device, &f.points, &f.queries, request).unwrap());
+            b.iter(|| {
+                baseline
+                    .knn_search(&device, &f.points, &f.queries, request)
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -105,7 +139,9 @@ fn bench_scheduling_and_partitioning(c: &mut Criterion) {
     let device = Device::rtx_2080();
     let mut group = c.benchmark_group("optimisation_passes");
     configure(&mut group);
-    let gas = rtnn_optix::Gas::build_from_points(&device, &f.points, f.radius, BuildParams::default()).unwrap();
+    let gas =
+        rtnn_optix::Gas::build_from_points(&device, &f.points, f.radius, BuildParams::default())
+            .unwrap();
     group.bench_function("query_scheduling", |b| {
         b.iter(|| rtnn::schedule_queries(&device, &gas, &f.points, &f.queries));
     });

@@ -26,8 +26,12 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     let workload = characterization_workload(scale);
     // Keep the query count moderate: the large-AABB end of the sweep makes
     // every query intersect many AABBs.
-    let queries: Vec<Vec3> =
-        workload.queries.iter().take(scale.query_cap.min(5_000)).copied().collect();
+    let queries: Vec<Vec3> = workload
+        .queries
+        .iter()
+        .take(scale.query_cap.min(5_000))
+        .copied()
+        .collect();
 
     let mut table = Table::new(
         "Search time and IS calls vs AABB width (fixed query count)",
@@ -36,8 +40,13 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     let mut series: Vec<(f32, f64, u64)> = Vec::new();
     for factor in WIDTH_FACTORS {
         let width = workload.radius * factor;
-        let gas = Gas::build_from_points(&device, &workload.points, width / 2.0, BuildParams::default())
-            .expect("sweep workload fits the device");
+        let gas = Gas::build_from_points(
+            &device,
+            &workload.points,
+            width / 2.0,
+            BuildParams::default(),
+        )
+        .expect("sweep workload fits the device");
         // A pure step-1/step-2 exercise: range search with an effectively
         // unbounded K and a radius matching the AABB (the paper varies only
         // the AABB in the BVH).
@@ -49,12 +58,20 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             k: usize::MAX,
             sphere_test: true,
         };
-        let launch = Pipeline::new(&device).launch(&gas, queries.len(), &program, IsShaderKind::RangeSphereTest);
+        let launch = Pipeline::new(&device).launch(
+            &gas,
+            queries.len(),
+            &program,
+            IsShaderKind::RangeSphereTest,
+        );
         table.push_row(vec![
             format!("{width:.3}"),
             fmt_ms(launch.metrics.time_ms()),
             launch.metrics.is_calls.to_string(),
-            format!("{:.1}", launch.metrics.is_calls as f64 / queries.len() as f64),
+            format!(
+                "{:.1}",
+                launch.metrics.is_calls as f64 / queries.len() as f64
+            ),
         ]);
         series.push((width, launch.metrics.time_ms(), launch.metrics.is_calls));
     }
@@ -92,8 +109,11 @@ mod tests {
     #[test]
     fn is_calls_grow_with_width() {
         let report = run(&ExperimentScale::smoke_test());
-        let is_calls: Vec<u64> =
-            report.tables[0].rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let is_calls: Vec<u64> = report.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(is_calls.windows(2).all(|w| w[1] >= w[0]), "{is_calls:?}");
         assert!(*is_calls.last().unwrap() > *is_calls.first().unwrap());
     }

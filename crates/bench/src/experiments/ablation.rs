@@ -16,11 +16,20 @@ use rtnn_gpusim::Device;
 
 /// Simulated total time of one configuration.
 fn time_of(device: &Device, workload: &Workload, mode: SearchMode, opt: OptLevel) -> f64 {
-    let params = SearchParams { radius: workload.radius, k: DEFAULT_K, mode };
-    Rtnn::new(device, RtnnConfig::new(params).with_opt(opt).with_knn_rule(rtnn::KnnAabbRule::EquiVolume))
-        .search(&workload.points, &workload.queries)
-        .expect("ablation workload fits the device")
-        .total_time_ms()
+    let params = SearchParams {
+        radius: workload.radius,
+        k: DEFAULT_K,
+        mode,
+    };
+    Rtnn::new(
+        device,
+        RtnnConfig::new(params)
+            .with_opt(opt)
+            .with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
+    )
+    .search(&workload.points, &workload.queries)
+    .expect("ablation workload fits the device")
+    .total_time_ms()
 }
 
 /// Run the Figure 13 experiment.
@@ -32,14 +41,24 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         let workload = Workload::for_dataset(dataset, scale);
         let mut table = Table::new(
             format!("{} on {}", workload.name, device.config().name),
-            &["variant", "KNN time", "KNN speedup vs NoOpt", "range time", "range speedup vs NoOpt"],
+            &[
+                "variant",
+                "KNN time",
+                "KNN speedup vs NoOpt",
+                "range time",
+                "range speedup vs NoOpt",
+            ],
         );
         for mode_pair in [(SearchMode::Knn, SearchMode::Range)] {
             let (knn_mode, range_mode) = mode_pair;
-            let knn_times: Vec<f64> =
-                OptLevel::all().iter().map(|&o| time_of(&device, &workload, knn_mode, o)).collect();
-            let range_times: Vec<f64> =
-                OptLevel::all().iter().map(|&o| time_of(&device, &workload, range_mode, o)).collect();
+            let knn_times: Vec<f64> = OptLevel::all()
+                .iter()
+                .map(|&o| time_of(&device, &workload, knn_mode, o))
+                .collect();
+            let range_times: Vec<f64> = OptLevel::all()
+                .iter()
+                .map(|&o| time_of(&device, &workload, range_mode, o))
+                .collect();
             for (i, opt) in OptLevel::all().iter().enumerate() {
                 table.push_row(vec![
                     opt.label().to_string(),
@@ -50,8 +69,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
                 ]);
             }
             // Oracle: best over {Sched (no partition), Sched+Partition, Full}.
-            let oracle_knn =
-                knn_times[1].min(knn_times[2]).min(knn_times[3]);
+            let oracle_knn = knn_times[1].min(knn_times[2]).min(knn_times[3]);
             let oracle_range = range_times[1].min(range_times[2]).min(range_times[3]);
             table.push_row(vec![
                 "Oracle".to_string(),
@@ -96,14 +114,21 @@ mod tests {
         // must stay bounded, and the Oracle row must never lose to NoOpt.
         let report = run(&ExperimentScale::smoke_test());
         for t in &report.tables {
-            let speedup_of = |row: usize| -> f64 {
-                t.rows[row][2].trim_end_matches('x').parse().unwrap()
-            };
-            assert!(speedup_of(1) >= 0.5, "{}: scheduling overhead out of bounds", t.title);
+            let speedup_of =
+                |row: usize| -> f64 { t.rows[row][2].trim_end_matches('x').parse().unwrap() };
+            assert!(
+                speedup_of(1) >= 0.5,
+                "{}: scheduling overhead out of bounds",
+                t.title
+            );
             // The Oracle picks the best optimised variant; it must never be
             // dramatically worse than NoOpt even when overheads dominate.
             let oracle_row = t.rows.len() - 1;
-            assert!(speedup_of(oracle_row) >= 0.5, "{}: oracle pathologically slow", t.title);
+            assert!(
+                speedup_of(oracle_row) >= 0.5,
+                "{}: oracle pathologically slow",
+                t.title
+            );
         }
     }
 }

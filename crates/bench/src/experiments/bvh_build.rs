@@ -29,7 +29,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    let r2 = if syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
     (slope, intercept, r2)
 }
 
@@ -48,7 +52,11 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in &counts {
-        let cloud = uniform::generate(&UniformParams { num_points: n, seed: 42, ..Default::default() });
+        let cloud = uniform::generate(&UniformParams {
+            num_points: n,
+            seed: 42,
+            ..Default::default()
+        });
         let gas = Gas::build_from_points(&device, &cloud.points, 0.5, BuildParams::default())
             .expect("build sweep fits the device");
         table.push_row(vec![n.to_string(), fmt_ms(gas.build_time_ms())]);
@@ -82,7 +90,15 @@ mod tests {
     fn build_time_is_essentially_linear() {
         let report = run(&ExperimentScale::smoke_test());
         let note = report.notes.last().unwrap();
-        let r2: f64 = note.split("R² = ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
+        let r2: f64 = note
+            .split("R² = ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(r2 > 0.99, "R² {r2} too low: {note}");
     }
 }

@@ -23,7 +23,9 @@ fn scramble(order: &[u32]) -> Vec<u32> {
     }
     let mut state = 0x12345678u64;
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         out.swap(i, j);
     }
@@ -32,23 +34,36 @@ fn scramble(order: &[u32]) -> Vec<u32> {
 
 /// One run: NoOpt search (so the engine does not re-schedule the queries)
 /// over `queries` presented in the given order.
-fn run_ordered(device: &Device, points: &[Vec3], queries: &[Vec3], radius: f32) -> (f64, LaunchMetrics) {
+fn run_ordered(
+    device: &Device,
+    points: &[Vec3],
+    queries: &[Vec3],
+    radius: f32,
+) -> (f64, LaunchMetrics) {
     let config = RtnnConfig::new(SearchParams::knn(radius, DEFAULT_K)).with_opt(OptLevel::NoOpt);
     let engine = Rtnn::new(device, config);
-    let results = engine.search(points, queries).expect("coherence workload fits the device");
+    let results = engine
+        .search(points, queries)
+        .expect("coherence workload fits the device");
     (results.breakdown.search_ms, results.search_metrics)
 }
 
 /// Run the Figure 5 + Figure 6 experiment.
 pub fn run(scale: &ExperimentScale) -> FigureReport {
-    let mut report = FigureReport::new("Figures 5 and 6: ray coherence (ordered vs random queries)");
+    let mut report =
+        FigureReport::new("Figures 5 and 6: ray coherence (ordered vs random queries)");
     let device = Device::rtx_2080_ti();
     let workload = characterization_workload(scale);
     let radius = workload.radius;
 
     let mut fig5 = Table::new(
         "Figure 5: search time vs number of queries",
-        &["queries", "raster-order time", "random-order time", "random / raster"],
+        &[
+            "queries",
+            "raster-order time",
+            "random-order time",
+            "random / raster",
+        ],
     );
     let mut fig6 = Table::new(
         "Figure 6: cache hit rate and SM occupancy",
@@ -94,9 +109,9 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
 
     report.tables.push(fig5);
     report.tables.push(fig6);
-    report
-        .notes
-        .push("paper: random-order search is consistently ~4-5x slower than raster order (Fig. 5)".into());
+    report.notes.push(
+        "paper: random-order search is consistently ~4-5x slower than raster order (Fig. 5)".into(),
+    );
     report
 }
 

@@ -50,7 +50,11 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     let device = Device::rtx_2080();
     // The non-uniform N-body input produces the richest partition structure.
     let workload = Workload::for_dataset(DatasetName::NBody9M, scale);
-    let params = SearchParams { radius: workload.radius, k: DEFAULT_K, mode: SearchMode::Knn };
+    let params = SearchParams {
+        radius: workload.radius,
+        k: DEFAULT_K,
+        mode: SearchMode::Knn,
+    };
     let order: Vec<u32> = (0..workload.queries.len() as u32).collect();
     let set = partition_queries(
         &device,
@@ -83,7 +87,9 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     report.notes.push(format!(
         "rank correlation between AABB size and query count: {corr:.2} (paper: strongly negative — most queries live in the small-AABB partitions)"
     ));
-    report.notes.push(format!("{} partitions in total", set.partitions.len()));
+    report
+        .notes
+        .push(format!("{} partitions in total", set.partitions.len()));
     report
 }
 

@@ -19,27 +19,28 @@ const RADII: [f32; 4] = [0.00124, 0.0124, 0.124, 0.4];
 const KS: [usize; 5] = [1, 4, 16, 64, 128];
 
 fn rtnn_time(device: &Device, w: &Workload, params: SearchParams) -> f64 {
-    Rtnn::new(device, RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume))
-        .search(&w.points, &w.queries)
-        .map(|r| r.total_time_ms())
-        .unwrap_or(f64::INFINITY)
+    Rtnn::new(
+        device,
+        RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
+    )
+    .search(&w.points, &w.queries)
+    .map(|r| r.total_time_ms())
+    .unwrap_or(f64::INFINITY)
 }
 
 fn baseline_cell(
     baseline: &dyn Baseline,
     device: &Device,
     w: &Workload,
-    mode: SearchMode,
-    radius: f32,
-    k: usize,
+    params: SearchParams,
     rtnn_ms: f64,
     scale: &ExperimentScale,
 ) -> String {
     if w.brute_force_work() > scale.dnf_work_limit {
         return "DNF".into();
     }
-    let request = SearchRequest::new(radius, k);
-    let run = match mode {
+    let request = SearchRequest::new(params.radius, params.k);
+    let run = match params.mode {
         SearchMode::Range => baseline.range_search(device, &w.points, &w.queries, request),
         SearchMode::Knn => baseline.knn_search(device, &w.points, &w.queries, request),
     };
@@ -74,8 +75,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         let t = rtnn_time(&device, &w, params);
         by_r.push_row(vec![
             format!("{paper_r}"),
-            baseline_cell(&octree, &device, &w, SearchMode::Range, r, DEFAULT_K, t, scale),
-            baseline_cell(&cunsearch, &device, &w, SearchMode::Range, r, DEFAULT_K, t, scale),
+            baseline_cell(&octree, &device, &w, params, t, scale),
+            baseline_cell(&cunsearch, &device, &w, params, t, scale),
         ]);
     }
     report.tables.push(by_r);
@@ -90,14 +91,14 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         let params = SearchParams::knn(r, k);
         let t = rtnn_time(&device, &w, params);
         let pcl = if k == 1 {
-            baseline_cell(&octree, &device, &w, SearchMode::Knn, r, k, t, scale)
+            baseline_cell(&octree, &device, &w, params, t, scale)
         } else {
             "n/a".to_string()
         };
         by_k.push_row(vec![
             k.to_string(),
-            baseline_cell(&frnn, &device, &w, SearchMode::Knn, r, k, t, scale),
-            baseline_cell(&fastrnn, &device, &w, SearchMode::Knn, r, k, t, scale),
+            baseline_cell(&frnn, &device, &w, params, t, scale),
+            baseline_cell(&fastrnn, &device, &w, params, t, scale),
             pcl,
         ]);
     }

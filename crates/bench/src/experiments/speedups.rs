@@ -47,9 +47,16 @@ impl Outcome {
 }
 
 fn run_rtnn(device: &Device, workload: &Workload, mode: SearchMode) -> Option<SearchResults> {
-    let params = SearchParams { radius: workload.radius, k: DEFAULT_K, mode };
+    let params = SearchParams {
+        radius: workload.radius,
+        k: DEFAULT_K,
+        mode,
+    };
     // The paper's configuration: equi-volume KNN AABB heuristic (Section 5.1).
-    let engine = Rtnn::new(device, RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume));
+    let engine = Rtnn::new(
+        device,
+        RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
+    );
     engine.search(&workload.points, &workload.queries).ok()
 }
 
@@ -68,8 +75,12 @@ fn run_baseline(
     }
     let request = SearchRequest::new(workload.radius, DEFAULT_K);
     let run = match mode {
-        SearchMode::Range => baseline.range_search(device, &workload.points, &workload.queries, request),
-        SearchMode::Knn => baseline.knn_search(device, &workload.points, &workload.queries, request),
+        SearchMode::Range => {
+            baseline.range_search(device, &workload.points, &workload.queries, request)
+        }
+        SearchMode::Knn => {
+            baseline.knn_search(device, &workload.points, &workload.queries, request)
+        }
     };
     match run {
         Some(r) => Outcome::Time(r.total_ms()),
@@ -84,7 +95,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
 
 /// Run on an explicit device list (the smoke tests use a single device).
 pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureReport {
-    let mut report = FigureReport::new("Figures 11 and 12: speedups over baselines and time breakdown");
+    let mut report =
+        FigureReport::new("Figures 11 and 12: speedups over baselines and time breakdown");
     let octree = OctreeSearch;
     let cunsearch = UniformGridSearch;
     let frnn = GridKnn;
@@ -93,11 +105,29 @@ pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureRepo
     for device in devices {
         let mut fig11 = Table::new(
             format!("Figure 11: RTNN speedup on {}", device.config().name),
-            &["dataset", "PCLOctree (range)", "cuNSearch (range)", "FRNN (KNN)", "FastRNN (KNN)"],
+            &[
+                "dataset",
+                "PCLOctree (range)",
+                "cuNSearch (range)",
+                "FRNN (KNN)",
+                "FastRNN (KNN)",
+            ],
         );
         let mut fig12 = Table::new(
-            format!("Figure 12: RTNN time breakdown on {} (KNN | range, % of total)", device.config().name),
-            &["dataset", "Data", "Opt", "BVH", "FS", "Search", "total (KNN)", "total (range)"],
+            format!(
+                "Figure 12: RTNN time breakdown on {} (KNN | range, % of total)",
+                device.config().name
+            ),
+            &[
+                "dataset",
+                "Data",
+                "Opt",
+                "BVH",
+                "FS",
+                "Search",
+                "total (KNN)",
+                "total (range)",
+            ],
         );
         let mut octree_speedups = Vec::new();
         let mut cunsearch_speedups = Vec::new();
@@ -107,7 +137,13 @@ pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureRepo
         for name in evaluation_datasets() {
             let workload = Workload::for_dataset(name, scale);
             let Some(rtnn_range) = run_rtnn(device, &workload, SearchMode::Range) else {
-                fig11.push_row(vec![workload.name.clone(), "OOM".into(), "OOM".into(), "OOM".into(), "OOM".into()]);
+                fig11.push_row(vec![
+                    workload.name.clone(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
                 continue;
             };
             let Some(rtnn_knn) = run_rtnn(device, &workload, SearchMode::Knn) else {
@@ -144,7 +180,11 @@ pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureRepo
             let knn_frac = rtnn_knn.breakdown.fractions();
             let range_frac = rtnn_range.breakdown.fractions();
             let cell = |i: usize| {
-                format!("{:.0}% | {:.0}%", knn_frac[i].1 * 100.0, range_frac[i].1 * 100.0)
+                format!(
+                    "{:.0}% | {:.0}%",
+                    knn_frac[i].1 * 100.0,
+                    range_frac[i].1 * 100.0
+                )
             };
             fig12.push_row(vec![
                 workload.name.clone(),
@@ -169,9 +209,9 @@ pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureRepo
         report.tables.push(fig11);
         report.tables.push(fig12);
     }
-    report
-        .notes
-        .push("paper shape: speedups grow with input size, and KNN speedups exceed range speedups".into());
+    report.notes.push(
+        "paper shape: speedups grow with input size, and KNN speedups exceed range speedups".into(),
+    );
     report
 }
 
@@ -205,7 +245,11 @@ mod tests {
                     row[0]
                 );
             }
-            assert_ne!(row[2], "n/a", "cuNSearch supports range search on {}", row[0]);
+            assert_ne!(
+                row[2], "n/a",
+                "cuNSearch supports range search on {}",
+                row[0]
+            );
             assert_ne!(row[3], "n/a", "FRNN supports KNN on {}", row[0]);
         }
     }

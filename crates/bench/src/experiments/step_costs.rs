@@ -13,12 +13,24 @@ use rtnn_optix::{Gas, Pipeline};
 
 /// Run the micro-benchmark.
 pub fn run(scale: &ExperimentScale) -> FigureReport {
-    let mut report = FigureReport::new("Section 3.1 micro-benchmark: step 1 (traversal) vs step 2 (IS shader) cost");
+    let mut report = FigureReport::new(
+        "Section 3.1 micro-benchmark: step 1 (traversal) vs step 2 (IS shader) cost",
+    );
     let device = Device::rtx_2080();
     let workload = characterization_workload(scale);
-    let queries: Vec<Vec3> = workload.queries.iter().take(scale.query_cap.min(10_000)).copied().collect();
-    let gas = Gas::build_from_points(&device, &workload.points, workload.radius, BuildParams::default())
-        .expect("micro workload fits the device");
+    let queries: Vec<Vec3> = workload
+        .queries
+        .iter()
+        .take(scale.query_cap.min(10_000))
+        .copied()
+        .collect();
+    let gas = Gas::build_from_points(
+        &device,
+        &workload.points,
+        workload.radius,
+        BuildParams::default(),
+    )
+    .expect("micro workload fits the device");
     let program = RangeProgram {
         points: &workload.points,
         queries: &queries,
@@ -34,7 +46,12 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
 
     let mut table = Table::new(
         "Per-invocation cost-model constants and measured launch totals",
-        &["quantity", "count in launch", "cycles per invocation", "total cycles charged"],
+        &[
+            "quantity",
+            "count in launch",
+            "cycles per invocation",
+            "total cycles charged",
+        ],
     );
     table.push_row(vec![
         "step 1: BVH node traversal (RT cores)".into(),
@@ -74,7 +91,15 @@ mod tests {
     fn is_calls_are_at_least_an_order_of_magnitude_costlier() {
         let report = run(&ExperimentScale::smoke_test());
         let note = &report.notes[0];
-        let ratio: f64 = note.split(" = ").nth(1).unwrap().split(':').next().unwrap().parse().unwrap();
+        let ratio: f64 = note
+            .split(" = ")
+            .nth(1)
+            .unwrap()
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(ratio >= 10.0, "ratio {ratio} too small: {note}");
         assert_eq!(report.tables[0].rows.len(), 3);
     }

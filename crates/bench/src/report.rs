@@ -26,7 +26,12 @@ impl Table {
 
     /// Append a row; panics if the arity does not match the headers.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in table '{}'", self.title);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -86,7 +91,11 @@ pub struct FigureReport {
 impl FigureReport {
     /// Create an empty report.
     pub fn new(figure: impl Into<String>) -> Self {
-        FigureReport { figure: figure.into(), tables: Vec::new(), notes: Vec::new() }
+        FigureReport {
+            figure: figure.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Render for terminal output.

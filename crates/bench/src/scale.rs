@@ -22,7 +22,11 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        ExperimentScale { dataset_divisor: 250, query_cap: 100_000, dnf_work_limit: 4_000_000_000 }
+        ExperimentScale {
+            dataset_divisor: 250,
+            query_cap: 100_000,
+            dnf_work_limit: 4_000_000_000,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ impl ExperimentScale {
     /// A very small configuration used by unit tests of the experiment
     /// modules themselves (most datasets clamp to their 1000-point minimum).
     pub fn smoke_test() -> Self {
-        ExperimentScale { dataset_divisor: 10_000, query_cap: 500, dnf_work_limit: 200_000_000 }
+        ExperimentScale {
+            dataset_divisor: 10_000,
+            query_cap: 500,
+            dnf_work_limit: 200_000_000,
+        }
     }
 
     /// Query subsampling stride for a cloud of `num_points` points.
@@ -73,7 +81,10 @@ mod tests {
 
     #[test]
     fn stride_caps_queries() {
-        let s = ExperimentScale { query_cap: 100, ..Default::default() };
+        let s = ExperimentScale {
+            query_cap: 100,
+            ..Default::default()
+        };
         assert_eq!(s.query_stride(1000), 10);
         assert_eq!(s.query_stride(50), 1);
         assert_eq!(s.query_stride(101), 2);

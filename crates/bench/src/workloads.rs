@@ -103,8 +103,10 @@ mod tests {
             assert!(compensated_radius(name, 100) > compensated_radius(name, 10));
         }
         // Planar KITTI compensates more aggressively than the volumetric sets.
-        let kitti = compensated_radius(DatasetName::Kitti12M, 64) / DatasetName::Kitti12M.default_radius();
-        let scan = compensated_radius(DatasetName::Buddha4_6M, 64) / DatasetName::Buddha4_6M.default_radius();
+        let kitti =
+            compensated_radius(DatasetName::Kitti12M, 64) / DatasetName::Kitti12M.default_radius();
+        let scan = compensated_radius(DatasetName::Buddha4_6M, 64)
+            / DatasetName::Buddha4_6M.default_radius();
         assert!(kitti > scan);
     }
 }

@@ -36,7 +36,10 @@ pub struct BuildParams {
 
 impl Default for BuildParams {
     fn default() -> Self {
-        BuildParams { builder: BvhBuilder::Lbvh, max_leaf_size: 4 }
+        BuildParams {
+            builder: BvhBuilder::Lbvh,
+            max_leaf_size: 4,
+        }
     }
 }
 
@@ -47,10 +50,15 @@ pub fn build_bvh(prim_aabbs: &[Aabb], params: BuildParams) -> Bvh {
     if prim_aabbs.is_empty() {
         return Bvh::empty();
     }
-    assert!(params.max_leaf_size >= 1, "max_leaf_size must be at least 1");
+    assert!(
+        params.max_leaf_size >= 1,
+        "max_leaf_size must be at least 1"
+    );
     match params.builder {
         BvhBuilder::Lbvh => build_lbvh(prim_aabbs, params.max_leaf_size),
-        BvhBuilder::MedianSplit => build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Median),
+        BvhBuilder::MedianSplit => {
+            build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Median)
+        }
         BvhBuilder::BinnedSah => build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Sah),
     }
 }
@@ -102,22 +110,38 @@ fn build_lbvh(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
         if count <= ctx.max_leaf {
             nodes.push(BvhNode {
                 aabb,
-                kind: NodeKind::Leaf { start: start as u32, count: count as u32 },
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    count: count as u32,
+                },
             });
             return node_index;
         }
         let split = find_morton_split(&ctx.codes[start..end]) + start;
-        nodes.push(BvhNode { aabb, kind: NodeKind::Internal { left: 0, right: 0 } });
+        nodes.push(BvhNode {
+            aabb,
+            kind: NodeKind::Internal { left: 0, right: 0 },
+        });
         let left = emit(ctx, nodes, start, split);
         let right = emit(ctx, nodes, split, end);
         nodes[node_index as usize].kind = NodeKind::Internal { left, right };
         node_index
     }
 
-    let ctx = Ctx { prim_aabbs, prim_indices: &prim_indices, codes: &codes, max_leaf: max_leaf_size as usize };
+    let ctx = Ctx {
+        prim_aabbs,
+        prim_indices: &prim_indices,
+        codes: &codes,
+        max_leaf: max_leaf_size as usize,
+    };
     emit(&ctx, &mut nodes, 0, n);
 
-    Bvh { nodes, prim_indices, prim_aabbs: prim_aabbs.to_vec(), max_leaf_size }
+    Bvh {
+        nodes,
+        prim_indices,
+        prim_aabbs: prim_aabbs.to_vec(),
+        max_leaf_size,
+    }
 }
 
 /// Position (relative to the slice start) at which to split a Morton-sorted
@@ -182,7 +206,10 @@ fn build_recursive(prim_aabbs: &[Aabb], max_leaf_size: u32, rule: SplitRule) -> 
         if count <= max_leaf {
             nodes.push(BvhNode {
                 aabb,
-                kind: NodeKind::Leaf { start: offset as u32, count: count as u32 },
+                kind: NodeKind::Leaf {
+                    start: offset as u32,
+                    count: count as u32,
+                },
             });
             return node_index;
         }
@@ -194,25 +221,38 @@ fn build_recursive(prim_aabbs: &[Aabb], max_leaf_size: u32, rule: SplitRule) -> 
             count / 2
         } else {
             match rule {
-            SplitRule::Median => {
-                let mid = count / 2;
-                prim_indices.select_nth_unstable_by(mid, |&a, &b| {
-                    centroids[a as usize][axis]
-                        .partial_cmp(&centroids[b as usize][axis])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                mid
-            }
+                SplitRule::Median => {
+                    let mid = count / 2;
+                    prim_indices.select_nth_unstable_by(mid, |&a, &b| {
+                        centroids[a as usize][axis]
+                            .partial_cmp(&centroids[b as usize][axis])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    mid
+                }
                 SplitRule::Sah => {
                     sah_partition(prim_aabbs, centroids, prim_indices, axis, &centroid_bounds)
                 }
             }
         };
         let mid = mid.clamp(1, count - 1);
-        nodes.push(BvhNode { aabb, kind: NodeKind::Internal { left: 0, right: 0 } });
+        nodes.push(BvhNode {
+            aabb,
+            kind: NodeKind::Internal { left: 0, right: 0 },
+        });
         let (left_ids, right_ids) = prim_indices.split_at_mut(mid);
-        let left = emit(prim_aabbs, centroids, left_ids, nodes, offset, max_leaf, rule);
-        let right = emit(prim_aabbs, centroids, right_ids, nodes, offset + mid, max_leaf, rule);
+        let left = emit(
+            prim_aabbs, centroids, left_ids, nodes, offset, max_leaf, rule,
+        );
+        let right = emit(
+            prim_aabbs,
+            centroids,
+            right_ids,
+            nodes,
+            offset + mid,
+            max_leaf,
+            rule,
+        );
         nodes[node_index as usize].kind = NodeKind::Internal { left, right };
         node_index
     }
@@ -227,7 +267,12 @@ fn build_recursive(prim_aabbs: &[Aabb], max_leaf_size: u32, rule: SplitRule) -> 
         &rule,
     );
 
-    Bvh { nodes, prim_indices, prim_aabbs: prim_aabbs.to_vec(), max_leaf_size }
+    Bvh {
+        nodes,
+        prim_indices,
+        prim_aabbs: prim_aabbs.to_vec(),
+        max_leaf_size,
+    }
 }
 
 /// Partition `prim_indices` in place around the best of 8 binned SAH split
@@ -317,13 +362,23 @@ mod tests {
     }
 
     fn all_builders() -> [BvhBuilder; 3] {
-        [BvhBuilder::Lbvh, BvhBuilder::MedianSplit, BvhBuilder::BinnedSah]
+        [
+            BvhBuilder::Lbvh,
+            BvhBuilder::MedianSplit,
+            BvhBuilder::BinnedSah,
+        ]
     }
 
     #[test]
     fn empty_input_gives_empty_bvh() {
         for b in all_builders() {
-            let bvh = build_bvh(&[], BuildParams { builder: b, max_leaf_size: 4 });
+            let bvh = build_bvh(
+                &[],
+                BuildParams {
+                    builder: b,
+                    max_leaf_size: 4,
+                },
+            );
             assert!(bvh.is_empty());
         }
     }
@@ -332,7 +387,13 @@ mod tests {
     fn single_primitive() {
         let aabbs = [Aabb::cube(Vec3::new(1.0, 2.0, 3.0), 0.5)];
         for b in all_builders() {
-            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 4 });
+            let bvh = build_bvh(
+                &aabbs,
+                BuildParams {
+                    builder: b,
+                    max_leaf_size: 4,
+                },
+            );
             assert_eq!(bvh.num_nodes(), 1);
             assert_eq!(bvh.num_primitives(), 1);
             assert!(bvh.nodes[0].is_leaf());
@@ -346,7 +407,13 @@ mod tests {
         let aabbs: Vec<Aabb> = points.iter().map(|&p| Aabb::cube(p, 0.8)).collect();
         for b in all_builders() {
             for leaf in [1u32, 2, 4, 8] {
-                let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: leaf });
+                let bvh = build_bvh(
+                    &aabbs,
+                    BuildParams {
+                        builder: b,
+                        max_leaf_size: leaf,
+                    },
+                );
                 validate_bvh(&bvh).unwrap_or_else(|e| panic!("{b:?} leaf={leaf}: {e:?}"));
                 assert_eq!(bvh.num_primitives(), aabbs.len());
                 assert!(bvh.depth() >= 2);
@@ -359,7 +426,13 @@ mod tests {
         // All-equal Morton codes exercise the fallback midpoint split.
         let aabbs = vec![Aabb::cube(Vec3::splat(1.0), 0.2); 33];
         for b in all_builders() {
-            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 2 });
+            let bvh = build_bvh(
+                &aabbs,
+                BuildParams {
+                    builder: b,
+                    max_leaf_size: 2,
+                },
+            );
             validate_bvh(&bvh).unwrap();
             assert_eq!(bvh.num_primitives(), 33);
         }
@@ -385,7 +458,13 @@ mod tests {
         }
         let aabbs: Vec<Aabb> = pts.iter().map(|&p| Aabb::cube(p, 0.6)).collect();
         for b in all_builders() {
-            let bvh = build_bvh(&aabbs, BuildParams { builder: b, max_leaf_size: 4 });
+            let bvh = build_bvh(
+                &aabbs,
+                BuildParams {
+                    builder: b,
+                    max_leaf_size: 4,
+                },
+            );
             validate_bvh(&bvh).unwrap();
         }
     }

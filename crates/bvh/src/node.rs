@@ -56,7 +56,12 @@ pub struct Bvh {
 impl Bvh {
     /// An empty hierarchy (no primitives, no nodes).
     pub fn empty() -> Self {
-        Bvh { nodes: Vec::new(), prim_indices: Vec::new(), prim_aabbs: Vec::new(), max_leaf_size: 1 }
+        Bvh {
+            nodes: Vec::new(),
+            prim_indices: Vec::new(),
+            prim_aabbs: Vec::new(),
+            max_leaf_size: 1,
+        }
     }
 
     /// Number of primitives the BVH was built over.

@@ -45,7 +45,11 @@ impl Bvh {
             num_internal: self.nodes.len() - num_leaves,
             num_primitives: self.prim_aabbs.len(),
             max_depth: self.depth(),
-            avg_leaf_size: if num_leaves == 0 { 0.0 } else { leaf_prims as f64 / num_leaves as f64 },
+            avg_leaf_size: if num_leaves == 0 {
+                0.0
+            } else {
+                leaf_prims as f64 / num_leaves as f64
+            },
             max_leaf_size: max_leaf,
             total_leaf_volume,
         }

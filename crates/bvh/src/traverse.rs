@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn empty_bvh_traversal_is_a_noop() {
         let bvh = Bvh::empty();
-        let stats = bvh.traverse(&Ray::point_probe(Vec3::ZERO), |_| TraversalControl::Continue);
+        let stats = bvh.traverse(&Ray::point_probe(Vec3::ZERO), |_| {
+            TraversalControl::Continue
+        });
         assert_eq!(stats, TraversalStats::default());
     }
 
@@ -235,8 +237,9 @@ mod tests {
     fn stats_relationships_hold() {
         let points = sample_points();
         let bvh = build_point_bvh(&points, 0.7, BuildParams::default());
-        let stats =
-            bvh.traverse(&Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)), |_| TraversalControl::Continue);
+        let stats = bvh.traverse(&Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)), |_| {
+            TraversalControl::Continue
+        });
         assert!(stats.nodes_visited >= stats.leaves_visited);
         assert!(stats.prim_tests >= stats.is_calls);
         assert!(!stats.terminated);
@@ -247,16 +250,20 @@ mod tests {
         let points = sample_points();
         let bvh = build_point_bvh(&points, 0.7, BuildParams::default());
         let mut trace = TraversalTrace::default();
-        let stats = bvh.traverse_traced(&Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)), &mut trace, |_| {
-            TraversalControl::Continue
-        });
+        let stats = bvh.traverse_traced(
+            &Ray::point_probe(Vec3::new(2.5, 2.5, 2.5)),
+            &mut trace,
+            |_| TraversalControl::Continue,
+        );
         assert_eq!(trace.node_visits.len() as u64, stats.nodes_visited);
         assert_eq!(trace.prim_visits.len() as u64, stats.prim_tests);
         assert_eq!(trace.node_visits[0], 0, "traversal starts at the root");
         // Reusing the trace clears previous contents.
-        let stats2 = bvh.traverse_traced(&Ray::point_probe(Vec3::new(-10.0, 0.0, 0.0)), &mut trace, |_| {
-            TraversalControl::Continue
-        });
+        let stats2 = bvh.traverse_traced(
+            &Ray::point_probe(Vec3::new(-10.0, 0.0, 0.0)),
+            &mut trace,
+            |_| TraversalControl::Continue,
+        );
         assert_eq!(trace.node_visits.len() as u64, stats2.nodes_visited);
         assert_eq!(stats2.is_calls, 0);
     }
@@ -265,16 +272,29 @@ mod tests {
     fn far_away_query_visits_only_the_root() {
         let points = sample_points();
         let bvh = build_point_bvh(&points, 0.5, BuildParams::default());
-        let stats = bvh
-            .traverse(&Ray::point_probe(Vec3::new(1000.0, 1000.0, 1000.0)), |_| TraversalControl::Continue);
+        let stats = bvh.traverse(&Ray::point_probe(Vec3::new(1000.0, 1000.0, 1000.0)), |_| {
+            TraversalControl::Continue
+        });
         assert_eq!(stats.nodes_visited, 1);
         assert_eq!(stats.is_calls, 0);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = TraversalStats { nodes_visited: 1, leaves_visited: 1, prim_tests: 2, is_calls: 1, terminated: false };
-        let b = TraversalStats { nodes_visited: 3, leaves_visited: 1, prim_tests: 4, is_calls: 2, terminated: true };
+        let mut a = TraversalStats {
+            nodes_visited: 1,
+            leaves_visited: 1,
+            prim_tests: 2,
+            is_calls: 1,
+            terminated: false,
+        };
+        let b = TraversalStats {
+            nodes_visited: 3,
+            leaves_visited: 1,
+            prim_tests: 4,
+            is_calls: 2,
+            terminated: true,
+        };
         a.merge(&b);
         assert_eq!(a.nodes_visited, 4);
         assert_eq!(a.prim_tests, 6);
@@ -291,7 +311,10 @@ mod tests {
         let trace_of = |q: Vec3| {
             let mut t = TraversalTrace::default();
             bvh.traverse_traced(&Ray::point_probe(q), &mut t, |_| TraversalControl::Continue);
-            t.node_visits.iter().copied().collect::<std::collections::HashSet<_>>()
+            t.node_visits
+                .iter()
+                .copied()
+                .collect::<std::collections::HashSet<_>>()
         };
         let a = trace_of(Vec3::new(1.0, 1.0, 1.0));
         let b = trace_of(Vec3::new(1.1, 1.05, 0.95));

@@ -72,12 +72,23 @@ pub fn validate_bvh(bvh: &Bvh) -> Result<(), BvhValidationError> {
                     return Err(BvhValidationError::LeafRangeOutOfBounds { node: idx });
                 }
                 if count > bvh.max_leaf_size {
-                    return Err(BvhValidationError::LeafTooLarge { node: idx, count, max: bvh.max_leaf_size });
+                    return Err(BvhValidationError::LeafTooLarge {
+                        node: idx,
+                        count,
+                        max: bvh.max_leaf_size,
+                    });
                 }
                 for &pid in &bvh.prim_indices[start as usize..end] {
                     prim_seen[pid as usize] += 1;
-                    if !node.aabb.expanded(1e-5).contains_aabb(&bvh.prim_aabbs[pid as usize]) {
-                        return Err(BvhValidationError::LeafDoesNotEnclosePrimitive { node: idx, prim: pid });
+                    if !node
+                        .aabb
+                        .expanded(1e-5)
+                        .contains_aabb(&bvh.prim_aabbs[pid as usize])
+                    {
+                        return Err(BvhValidationError::LeafDoesNotEnclosePrimitive {
+                            node: idx,
+                            prim: pid,
+                        });
                     }
                 }
             }
@@ -85,11 +96,17 @@ pub fn validate_bvh(bvh: &Bvh) -> Result<(), BvhValidationError> {
     }
 
     if visited_count != n_nodes {
-        return Err(BvhValidationError::UnreachableNodes { expected: n_nodes, visited: visited_count });
+        return Err(BvhValidationError::UnreachableNodes {
+            expected: n_nodes,
+            visited: visited_count,
+        });
     }
     for (prim, &occ) in prim_seen.iter().enumerate() {
         if occ != 1 {
-            return Err(BvhValidationError::PrimitiveCoverage { prim: prim as u32, occurrences: occ });
+            return Err(BvhValidationError::PrimitiveCoverage {
+                prim: prim as u32,
+                occurrences: occ,
+            });
         }
     }
     Ok(())
@@ -103,8 +120,17 @@ mod tests {
     use rtnn_math::{Aabb, Vec3};
 
     fn valid_two_prim_bvh() -> Bvh {
-        let prim_aabbs = vec![Aabb::cube(Vec3::ZERO, 1.0), Aabb::cube(Vec3::new(4.0, 0.0, 0.0), 1.0)];
-        build_bvh(&prim_aabbs, BuildParams { builder: BvhBuilder::MedianSplit, max_leaf_size: 1 })
+        let prim_aabbs = vec![
+            Aabb::cube(Vec3::ZERO, 1.0),
+            Aabb::cube(Vec3::new(4.0, 0.0, 0.0), 1.0),
+        ];
+        build_bvh(
+            &prim_aabbs,
+            BuildParams {
+                builder: BvhBuilder::MedianSplit,
+                max_leaf_size: 1,
+            },
+        )
     }
 
     #[test]
@@ -133,20 +159,37 @@ mod tests {
         // Two identical primitives so leaf enclosure still holds; then alias
         // both leaf slots to primitive 0 so coverage is the only violation.
         let prim_aabbs = vec![Aabb::cube(Vec3::ZERO, 1.0); 2];
-        let mut bvh =
-            build_bvh(&prim_aabbs, BuildParams { builder: BvhBuilder::MedianSplit, max_leaf_size: 1 });
+        let mut bvh = build_bvh(
+            &prim_aabbs,
+            BuildParams {
+                builder: BvhBuilder::MedianSplit,
+                max_leaf_size: 1,
+            },
+        );
         for slot in bvh.prim_indices.iter_mut() {
             *slot = 0;
         }
-        assert!(matches!(validate_bvh(&bvh), Err(BvhValidationError::PrimitiveCoverage { .. })));
+        assert!(matches!(
+            validate_bvh(&bvh),
+            Err(BvhValidationError::PrimitiveCoverage { .. })
+        ));
     }
 
     #[test]
     fn detects_oversized_leaf() {
         let prim_aabbs = vec![Aabb::cube(Vec3::ZERO, 1.0); 3];
-        let mut bvh = build_bvh(&prim_aabbs, BuildParams { builder: BvhBuilder::MedianSplit, max_leaf_size: 4 });
+        let mut bvh = build_bvh(
+            &prim_aabbs,
+            BuildParams {
+                builder: BvhBuilder::MedianSplit,
+                max_leaf_size: 4,
+            },
+        );
         bvh.max_leaf_size = 1; // pretend the builder was configured tighter
-        assert!(matches!(validate_bvh(&bvh), Err(BvhValidationError::LeafTooLarge { .. })));
+        assert!(matches!(
+            validate_bvh(&bvh),
+            Err(BvhValidationError::LeafTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -158,7 +201,8 @@ mod tests {
         }
         assert!(matches!(
             validate_bvh(&bvh),
-            Err(BvhValidationError::NodeVisitedTwice { .. }) | Err(BvhValidationError::UnreachableNodes { .. })
+            Err(BvhValidationError::NodeVisitedTwice { .. })
+                | Err(BvhValidationError::UnreachableNodes { .. })
         ));
     }
 
@@ -169,7 +213,10 @@ mod tests {
             aabb: Aabb::cube(Vec3::ZERO, 1.0),
             kind: NodeKind::Leaf { start: 0, count: 0 },
         });
-        assert!(matches!(validate_bvh(&bvh), Err(BvhValidationError::UnreachableNodes { .. })));
+        assert!(matches!(
+            validate_bvh(&bvh),
+            Err(BvhValidationError::UnreachableNodes { .. })
+        ));
     }
 
     #[test]

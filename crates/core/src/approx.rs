@@ -67,7 +67,9 @@ impl ApproxMode {
     pub fn validate(&self) -> Result<(), String> {
         if let ApproxMode::ShrunkenAabb { factor } = self {
             if !(*factor > 0.0 && *factor <= 1.0) {
-                return Err(format!("AABB shrink factor must be in (0, 1], got {factor}"));
+                return Err(format!(
+                    "AABB shrink factor must be in (0, 1], got {factor}"
+                ));
             }
         }
         Ok(())

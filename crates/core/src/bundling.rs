@@ -47,8 +47,7 @@ fn search_cost_ms(
     match params.mode {
         SearchMode::Knn => {
             // k2 · Σ(N_i ρ_i) · S³  (Equation 4 summed over members).
-            let weighted_density: f64 =
-                members.iter().map(|p| p.len() as f64 * p.density).sum();
+            let weighted_density: f64 = members.iter().map(|p| p.len() as f64 * p.density).sum();
             coeffs.k_is_knn_ms * weighted_density * width.powi(3)
         }
         SearchMode::Range => {
@@ -78,7 +77,10 @@ fn plan_cost_ms(
         .iter()
         .map(|group| {
             let members: Vec<&Partition> = group.iter().map(|&i| &partitions[i]).collect();
-            let width = members.iter().map(|p| p.aabb_width as f64).fold(0.0, f64::max);
+            let width = members
+                .iter()
+                .map(|p| p.aabb_width as f64)
+                .fold(0.0, f64::max);
             coeffs.build_ms(num_points) + search_cost_ms(&members, width, params, coeffs)
         })
         .sum()
@@ -93,7 +95,11 @@ pub fn plan_bundles(
     coeffs: &CostCoefficients,
 ) -> BundlePlan {
     if partitions.is_empty() {
-        return BundlePlan { groups: Vec::new(), estimated_cost_ms: 0.0, unbundled_cost_ms: 0.0 };
+        return BundlePlan {
+            groups: Vec::new(),
+            estimated_cost_ms: 0.0,
+            unbundled_cost_ms: 0.0,
+        };
     }
     // Indices sorted by descending query count: the first M_o - 1 stay
     // separate under the Appendix C theorem.
@@ -118,19 +124,32 @@ pub fn plan_bundles(
             best_groups = groups;
         }
     }
-    BundlePlan { groups: best_groups, estimated_cost_ms: best_cost, unbundled_cost_ms: unbundled_cost }
+    BundlePlan {
+        groups: best_groups,
+        estimated_cost_ms: best_cost,
+        unbundled_cost_ms: unbundled_cost,
+    }
 }
 
 /// Materialise a plan: merge the partitions of each group into one
 /// partition whose AABB width is the maximum of its members.
-pub fn apply_bundles(partitions: &[Partition], plan: &BundlePlan, params: &SearchParams) -> Vec<Partition> {
+pub fn apply_bundles(
+    partitions: &[Partition],
+    plan: &BundlePlan,
+    params: &SearchParams,
+) -> Vec<Partition> {
     let inscribed = 2.0 * params.radius / 3.0_f32.sqrt();
     plan.groups
         .iter()
         .map(|group| {
-            let width = group.iter().map(|&i| partitions[i].aabb_width).fold(0.0f32, f32::max);
-            let megacell_width =
-                group.iter().map(|&i| partitions[i].megacell_width).fold(0.0f32, f32::max);
+            let width = group
+                .iter()
+                .map(|&i| partitions[i].aabb_width)
+                .fold(0.0f32, f32::max);
+            let megacell_width = group
+                .iter()
+                .map(|&i| partitions[i].megacell_width)
+                .fold(0.0f32, f32::max);
             let mut query_ids = Vec::new();
             let mut weighted_density = 0.0f64;
             let mut total = 0usize;
@@ -148,7 +167,11 @@ pub fn apply_bundles(partitions: &[Partition], plan: &BundlePlan, params: &Searc
                 query_ids,
                 megacell_width,
                 sphere_test,
-                density: if total > 0 { weighted_density / total as f64 } else { 0.0 },
+                density: if total > 0 {
+                    weighted_density / total as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -192,7 +215,13 @@ mod tests {
 
     #[test]
     fn plan_never_costs_more_than_no_bundling() {
-        let parts = synthetic_partitions(&[(100_000, 0.4), (20_000, 0.8), (3_000, 1.4), (200, 2.0), (40, 2.6)]);
+        let parts = synthetic_partitions(&[
+            (100_000, 0.4),
+            (20_000, 0.8),
+            (3_000, 1.4),
+            (200, 2.0),
+            (40, 2.6),
+        ]);
         for params in [SearchParams::knn(1.5, 32), SearchParams::range(1.5, 32)] {
             let plan = plan_bundles(&parts, 500_000, &params, &coeffs());
             assert!(plan.estimated_cost_ms <= plan.unbundled_cost_ms + 1e-12);
@@ -204,9 +233,20 @@ mod tests {
     fn tiny_partitions_get_bundled() {
         // Many tiny partitions: the per-partition build cost dominates, so
         // the planner must merge them.
-        let parts = synthetic_partitions(&[(50, 0.4), (40, 0.6), (30, 0.9), (20, 1.3), (10, 1.9), (5, 2.5)]);
+        let parts = synthetic_partitions(&[
+            (50, 0.4),
+            (40, 0.6),
+            (30, 0.9),
+            (20, 1.3),
+            (10, 1.9),
+            (5, 2.5),
+        ]);
         let plan = plan_bundles(&parts, 2_000_000, &SearchParams::knn(1.5, 16), &coeffs());
-        assert!(plan.num_bundles() < parts.len(), "expected bundling, got {:?}", plan.groups);
+        assert!(
+            plan.num_bundles() < parts.len(),
+            "expected bundling, got {:?}",
+            plan.groups
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ pub enum OptLevel {
 impl OptLevel {
     /// All levels in ascending order (used by the ablation bench).
     pub fn all() -> [OptLevel; 4] {
-        [OptLevel::NoOpt, OptLevel::Sched, OptLevel::SchedPartition, OptLevel::Full]
+        [
+            OptLevel::NoOpt,
+            OptLevel::Sched,
+            OptLevel::SchedPartition,
+            OptLevel::Full,
+        ]
     }
 
     /// Label used in figures and reports.
@@ -185,8 +190,12 @@ impl<'d> Rtnn<'d> {
         // ids out.
         let footprint = point_cloud_bytes(points.len(), queries.len(), params.k);
         self.device.check_allocation(footprint)?;
-        breakdown.data_ms = self.device.transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
-            + self.device.transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
+        breakdown.data_ms = self
+            .device
+            .transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
+            + self
+                .device
+                .transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
 
         if queries.is_empty() {
             return Ok(SearchResults {
@@ -216,11 +225,7 @@ impl<'d> Rtnn<'d> {
         // Global GAS: used directly by the NoOpt/Sched paths and by the
         // first-hit scheduling pass; reused by any partition that falls back
         // to the full AABB width.
-        let global_gas = Gas::build(
-            self.device,
-            &point_aabbs(points, full_width),
-            cfg.build,
-        )?;
+        let global_gas = Gas::build(self.device, &point_aabbs(points, full_width), cfg.build)?;
         breakdown.bvh_ms += global_gas.build_time_ms();
 
         // Query scheduling (Section 4).
@@ -279,7 +284,10 @@ impl<'d> Rtnn<'d> {
             } else {
                 gas_storage = Gas::build(
                     self.device,
-                    &point_aabbs(points, part.aabb_width * cfg.approx.aabb_width_factor().min(1.0)),
+                    &point_aabbs(
+                        points,
+                        part.aabb_width * cfg.approx.aabb_width_factor().min(1.0),
+                    ),
                     cfg.build,
                 )?;
                 breakdown.bvh_ms += gas_storage.build_time_ms();
@@ -360,7 +368,12 @@ mod tests {
         pts
     }
 
-    fn run(params: SearchParams, opt: OptLevel, points: &[Vec3], queries: &[Vec3]) -> SearchResults {
+    fn run(
+        params: SearchParams,
+        opt: OptLevel,
+        points: &[Vec3],
+        queries: &[Vec3],
+    ) -> SearchResults {
         let device = Device::rtx_2080();
         let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
         engine.search(points, queries).unwrap()
@@ -462,7 +475,8 @@ mod tests {
             part.search_metrics.is_calls,
             sched.search_metrics.is_calls
         );
-        check_all(&points, &queries, &params, &part.neighbors).unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+        check_all(&points, &queries, &params, &part.neighbors)
+            .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
     }
 
     #[test]
@@ -477,12 +491,15 @@ mod tests {
         // Shrunken AABBs: subset of the exact result, never outside r.
         let shrunk = Rtnn::new(
             &device,
-            RtnnConfig::new(params).with_opt(OptLevel::Sched).with_approx(ApproxMode::ShrunkenAabb { factor: 0.6 }),
+            RtnnConfig::new(params)
+                .with_opt(OptLevel::Sched)
+                .with_approx(ApproxMode::ShrunkenAabb { factor: 0.6 }),
         )
         .search(&points, &queries)
         .unwrap();
         for (qi, q) in queries.iter().enumerate() {
-            let exact_set: std::collections::HashSet<u32> = exact.neighbors[qi].iter().copied().collect();
+            let exact_set: std::collections::HashSet<u32> =
+                exact.neighbors[qi].iter().copied().collect();
             for &id in &shrunk.neighbors[qi] {
                 assert!(exact_set.contains(&id));
                 assert!(q.distance(points[id as usize]) < params.radius);
@@ -492,7 +509,9 @@ mod tests {
         // Skipped sphere test: superset within sqrt(3) * r.
         let skipped = Rtnn::new(
             &device,
-            RtnnConfig::new(params).with_opt(OptLevel::Sched).with_approx(ApproxMode::SkipSphereTest),
+            RtnnConfig::new(params)
+                .with_opt(OptLevel::Sched)
+                .with_approx(ApproxMode::SkipSphereTest),
         )
         .search(&points, &queries)
         .unwrap();

@@ -51,10 +51,17 @@ impl MegacellGrid {
         let bounds = Aabb::from_points(points);
         // Guard against a degenerate (single-point) cloud: give the grid a
         // tiny but positive extent.
-        let bounds = if bounds.longest_extent() <= 0.0 { bounds.expanded(1e-3) } else { bounds };
+        let bounds = if bounds.longest_extent() <= 0.0 {
+            bounds.expanded(1e-3)
+        } else {
+            bounds
+        };
         let grid = UniformGrid::with_max_cells(bounds, max_cells.max(8));
         let cell_size = grid.cell_size();
-        Some(MegacellGrid { bins: PointBins::build(grid, points), cell_size })
+        Some(MegacellGrid {
+            bins: PointBins::build(grid, points),
+            cell_size,
+        })
     }
 
     /// Edge length of one grid cell.
@@ -75,7 +82,9 @@ impl MegacellGrid {
         if inscribed <= self.cell_size {
             return 0;
         }
-        (((inscribed / self.cell_size) - 1.0) / 2.0).floor().max(0.0) as u32
+        (((inscribed / self.cell_size) - 1.0) / 2.0)
+            .floor()
+            .max(0.0) as u32
     }
 
     /// Grow the megacell for one query (Figure 10a).
@@ -84,6 +93,24 @@ impl MegacellGrid {
         let centre = grid.cell_of(query);
         let dims = grid.dims();
         let max_steps = self.max_steps(radius);
+
+        // Every width rule downstream (partition.rs) bounds the K-th-neighbor
+        // distance by the query's position *inside* its central cell. A query
+        // outside the grid is clamped into a boundary cell by `cell_of`, so
+        // that bound does not hold for it — report it capped so it falls back
+        // to the full-width `2r` AABB (like a sparse-region query). The stored
+        // grid bounds are checked directly (not the reconstructed cell box,
+        // whose `min + c·cell` arithmetic accumulates f32 rounding at high
+        // cell indices and could misroute in-grid boundary queries).
+        if !grid.bounds().contains_point(query) {
+            return MegacellResult {
+                steps: 0,
+                width: self.cell_size,
+                found: 0,
+                capped: true,
+                cells_scanned: 1,
+            };
+        }
 
         let mut steps = 0u32;
         let mut cells_scanned = 0u32;
@@ -100,7 +127,7 @@ impl MegacellGrid {
                 (centre.z + steps).min(dims[2] - 1),
             );
             found = self.bins.count_in_cell_box(lo, hi);
-            cells_scanned += ((hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1)) as u32;
+            cells_scanned += (hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1);
             if found as usize >= k || steps >= max_steps {
                 break;
             }
@@ -189,7 +216,11 @@ mod tests {
         for i in 0..1000 {
             // Dense blob around the origin.
             let f = i as f32;
-            points.push(Vec3::new((f * 0.618) % 2.0, (f * 0.414) % 2.0, (f * 0.273) % 2.0));
+            points.push(Vec3::new(
+                (f * 0.618) % 2.0,
+                (f * 0.414) % 2.0,
+                (f * 0.273) % 2.0,
+            ));
         }
         for i in 0..50 {
             // Sparse far region.
@@ -203,11 +234,34 @@ mod tests {
     }
 
     #[test]
-    fn queries_outside_the_grid_are_clamped() {
+    fn queries_outside_the_grid_fall_back_to_the_capped_path() {
+        // The downstream width rules assume the query lies inside its central
+        // cell; a query outside the grid must be reported capped so the
+        // partitioner gives it the full-width `2r` AABB (anything narrower is
+        // unsound — the K nearest points can be farther than the megacell
+        // bound accounts for).
         let points = dense_grid_points(4, 1.0);
         let mg = MegacellGrid::build(&points, 4096).unwrap();
-        let r = mg.megacell_for(Vec3::new(-100.0, -100.0, -100.0), 2.0, 4);
-        // Clamped to the corner cell; still makes progress without panicking.
-        assert!(r.cells_scanned > 0);
+        for q in [
+            Vec3::new(-100.0, -100.0, -100.0),
+            Vec3::new(1.5, 1.5, 3.5), // just beyond the max face on one axis
+            Vec3::new(-0.1, 1.5, 1.5),
+        ] {
+            let r = mg.megacell_for(q, 2.0, 4);
+            assert!(r.capped, "out-of-grid query {q:?} must be capped");
+            assert_eq!(r.found, 0);
+            assert!(r.cells_scanned > 0);
+        }
+        // Queries inside the grid (including on the boundary faces) keep the
+        // normal growth path.
+        for q in [
+            Vec3::new(1.5, 1.5, 1.5),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(3.0, 3.0, 3.0),
+        ] {
+            let r = mg.megacell_for(q, 2.0, 4);
+            assert!(!r.capped, "in-grid query {q:?} must not be capped");
+            assert!(r.found >= 4);
+        }
     }
 }

@@ -132,7 +132,9 @@ fn aabb_width_for(
         SearchMode::Knn => {
             let a = mc.width;
             let w = match rule {
-                KnnAabbRule::EquiVolume => 2.0 * (3.0 / (4.0 * std::f32::consts::PI)).powf(1.0 / 3.0) * a,
+                KnnAabbRule::EquiVolume => {
+                    2.0 * (3.0 / (4.0 * std::f32::consts::PI)).powf(1.0 / 3.0) * a
+                }
                 KnnAabbRule::CircumSphere => 3.0_f32.sqrt() * a,
                 KnnAabbRule::Guaranteed => 2.0 * 3.0_f32.sqrt() * (mc.steps + 1) as f32 * cell,
             };
@@ -164,8 +166,11 @@ pub fn partition_queries(
 
     // Megacell kernel: one thread per query. The host-side growth result is
     // returned as the thread's result; its work is charged to the device.
-    let (megacells, opt_metrics) =
-        run_sm_kernel(device, query_order.len(), SmKernelConfig::default(), |launch_idx| {
+    let (megacells, opt_metrics) = run_sm_kernel(
+        device,
+        query_order.len(),
+        SmKernelConfig::default(),
+        |launch_idx| {
             let q = queries[query_order[launch_idx] as usize];
             let mc = grid.megacell_for(q, params.radius, params.k);
             // Memory traffic: the cell-count records the growth examined
@@ -173,16 +178,25 @@ pub fn partition_queries(
             // count carries the full cost).
             let centre_cell = grid.grid().cell_index(grid.grid().cell_of(q));
             let touched = (mc.cells_scanned as usize).min(32);
-            let addresses = (0..touched).map(|i| cell_offset_address(centre_cell + i)).collect();
-            (Wrapped(mc), ThreadWork::new(mc.cells_scanned as u64, addresses))
-        });
+            let addresses = (0..touched)
+                .map(|i| cell_offset_address(centre_cell + i))
+                .collect();
+            (
+                Wrapped(mc),
+                ThreadWork::new(mc.cells_scanned as u64, addresses),
+            )
+        },
+    );
 
     // Group by (steps, capped): identical keys produce identical AABB widths.
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<(u32, bool), Vec<u32>> = BTreeMap::new();
     for (launch_idx, wrapped) in megacells.iter().enumerate() {
         let mc = wrapped.0;
-        groups.entry((mc.steps, mc.capped)).or_default().push(query_order[launch_idx]);
+        groups
+            .entry((mc.steps, mc.capped))
+            .or_default()
+            .push(query_order[launch_idx]);
     }
 
     let mut partitions: Vec<Partition> = groups
@@ -196,7 +210,11 @@ pub fn partition_queries(
                 cells_scanned: 0,
             };
             let (aabb_width, sphere_test) = aabb_width_for(&mc, cell, params, rule);
-            let megacell_width = if capped { 2.0 * params.radius } else { mc.width };
+            let megacell_width = if capped {
+                2.0 * params.radius
+            } else {
+                mc.width
+            };
             Partition {
                 aabb_width,
                 query_ids,
@@ -208,7 +226,11 @@ pub fn partition_queries(
         .collect();
     partitions.sort_by(|a, b| a.aabb_width.partial_cmp(&b.aabb_width).unwrap());
 
-    PartitionSet { partitions, opt_metrics, cell_size: cell }
+    PartitionSet {
+        partitions,
+        opt_metrics,
+        cell_size: cell,
+    }
 }
 
 /// Newtype so the megacell result can flow through `run_sm_kernel`'s
@@ -218,7 +240,13 @@ struct Wrapped(MegacellResult);
 
 impl Default for Wrapped {
     fn default() -> Self {
-        Wrapped(MegacellResult { steps: 0, width: 0.0, found: 0, capped: true, cells_scanned: 0 })
+        Wrapped(MegacellResult {
+            steps: 0,
+            width: 0.0,
+            found: 0,
+            capped: true,
+            cells_scanned: 0,
+        })
     }
 }
 
@@ -279,7 +307,11 @@ mod tests {
         // different megacell sizes.
         let mut points = grid_points(8);
         for i in 0..60 {
-            points.push(Vec3::new(30.0 + (i % 4) as f32 * 3.0, (i / 4) as f32 * 3.0, 0.0));
+            points.push(Vec3::new(
+                30.0 + (i % 4) as f32 * 3.0,
+                (i / 4) as f32 * 3.0,
+                0.0,
+            ));
         }
         let queries = points.clone();
         let params = SearchParams::knn(6.0, 16);
@@ -326,14 +358,26 @@ mod tests {
 
     #[test]
     fn knn_rules_order_by_conservativeness() {
-        let mc = MegacellResult { steps: 2, width: 5.0, found: 16, capped: false, cells_scanned: 0 };
+        let mc = MegacellResult {
+            steps: 2,
+            width: 5.0,
+            found: 16,
+            capped: false,
+            cells_scanned: 0,
+        };
         let cell = 1.0;
         let params = SearchParams::knn(100.0, 16);
         let (equi, _) = aabb_width_for(&mc, cell, &params, KnnAabbRule::EquiVolume);
         let (circ, _) = aabb_width_for(&mc, cell, &params, KnnAabbRule::CircumSphere);
         let (guar, _) = aabb_width_for(&mc, cell, &params, KnnAabbRule::Guaranteed);
-        assert!(equi < circ, "equi-volume {equi} should be below circumsphere {circ}");
-        assert!(circ < guar, "circumsphere {circ} should be below guaranteed {guar}");
+        assert!(
+            equi < circ,
+            "equi-volume {equi} should be below circumsphere {circ}"
+        );
+        assert!(
+            circ < guar,
+            "circumsphere {circ} should be below guaranteed {guar}"
+        );
         // Equi-volume matches the paper's formula 2·(3/4π)^(1/3)·a ≈ 1.24·a.
         assert!((equi / mc.width - 1.24).abs() < 0.01);
         // Circumsphere is √3·a.
@@ -342,7 +386,13 @@ mod tests {
 
     #[test]
     fn capped_queries_fall_back_to_the_full_width() {
-        let mc = MegacellResult { steps: 3, width: 7.0, found: 1, capped: true, cells_scanned: 0 };
+        let mc = MegacellResult {
+            steps: 3,
+            width: 7.0,
+            found: 1,
+            capped: true,
+            cells_scanned: 0,
+        };
         let params = SearchParams::range(2.0, 64);
         let (w, sphere) = aabb_width_for(&mc, 1.0, &params, KnnAabbRule::Guaranteed);
         assert_eq!(w, 4.0);
@@ -388,7 +438,10 @@ mod tests {
         let sparse_set = run(&sparse);
         let dense_set = run(&dense);
         let min_w = |s: &PartitionSet| {
-            s.partitions.iter().map(|p| p.aabb_width).fold(f32::INFINITY, f32::min)
+            s.partitions
+                .iter()
+                .map(|p| p.aabb_width)
+                .fold(f32::INFINITY, f32::min)
         };
         assert!(min_w(&dense_set) <= min_w(&sparse_set));
     }

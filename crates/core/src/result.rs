@@ -29,18 +29,29 @@ pub struct SearchParams {
 impl SearchParams {
     /// Range-search parameters.
     pub fn range(radius: f32, k: usize) -> Self {
-        SearchParams { radius, k, mode: SearchMode::Range }
+        SearchParams {
+            radius,
+            k,
+            mode: SearchMode::Range,
+        }
     }
 
     /// KNN parameters.
     pub fn knn(radius: f32, k: usize) -> Self {
-        SearchParams { radius, k, mode: SearchMode::Knn }
+        SearchParams {
+            radius,
+            k,
+            mode: SearchMode::Knn,
+        }
     }
 
     /// Validate the parameters.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.radius > 0.0) || !self.radius.is_finite() {
-            return Err(format!("search radius must be positive and finite, got {}", self.radius));
+        if !self.radius.is_finite() || self.radius <= 0.0 {
+            return Err(format!(
+                "search radius must be positive and finite, got {}",
+                self.radius
+            ));
         }
         if self.k == 0 {
             return Err("maximum neighbor count K must be at least 1".to_string());
@@ -144,7 +155,13 @@ mod tests {
 
     #[test]
     fn breakdown_totals_and_fractions() {
-        let b = TimeBreakdown { data_ms: 1.0, opt_ms: 2.0, bvh_ms: 3.0, fs_ms: 4.0, search_ms: 10.0 };
+        let b = TimeBreakdown {
+            data_ms: 1.0,
+            opt_ms: 2.0,
+            bvh_ms: 3.0,
+            fs_ms: 4.0,
+            search_ms: 10.0,
+        };
         assert_eq!(b.total_ms(), 20.0);
         let f = b.fractions();
         assert_eq!(f[0].0, "Data");
@@ -158,7 +175,10 @@ mod tests {
     fn results_counters() {
         let r = SearchResults {
             neighbors: vec![vec![1, 2], vec![], vec![3]],
-            breakdown: TimeBreakdown { search_ms: 5.0, ..Default::default() },
+            breakdown: TimeBreakdown {
+                search_ms: 5.0,
+                ..Default::default()
+            },
             search_metrics: LaunchMetrics::default(),
             fs_metrics: LaunchMetrics::default(),
             num_partitions: 1,

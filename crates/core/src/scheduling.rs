@@ -74,7 +74,12 @@ pub fn schedule_queries(
     // 1. First-hit launch: K = 1, terminate at the first IS call.
     let pipeline = Pipeline::new(device);
     let program = FirstHitProgram { queries };
-    let launch = pipeline.launch(gas, queries.len(), &program, IsShaderKind::RangeNoSphereTest);
+    let launch = pipeline.launch(
+        gas,
+        queries.len(),
+        &program,
+        IsShaderKind::RangeNoSphereTest,
+    );
 
     // 2. Morton keys of the first-hit AABB centres (i.e. of the points the
     //    AABBs were generated from). Queries with no hit use their own
@@ -86,7 +91,11 @@ pub fn schedule_queries(
         .iter()
         .enumerate()
         .map(|(qi, &hit)| {
-            let anchor = if hit == NO_HIT { queries[qi] } else { points[hit as usize] };
+            let anchor = if hit == NO_HIT {
+                queries[qi]
+            } else {
+                points[hit as usize]
+            };
             encoder.encode(anchor)
         })
         .collect();
@@ -102,7 +111,11 @@ pub fn schedule_queries(
     let mut order: Vec<u32> = (0..queries.len() as u32).collect();
     par_sort_by_key(&mut order, |&q| (keys[q as usize], q));
 
-    QuerySchedule { order, fs_metrics: launch.metrics, sort_metrics }
+    QuerySchedule {
+        order,
+        fs_metrics: launch.metrics,
+        sort_metrics,
+    }
 }
 
 /// Scene bounds covering both points and queries (queries may lie outside
@@ -234,7 +247,13 @@ mod tests {
     #[test]
     fn raster_order_is_a_permutation_sorted_by_cell() {
         let queries: Vec<Vec3> = (0..500)
-            .map(|i| Vec3::new((i * 7 % 50) as f32, (i * 13 % 50) as f32, (i * 29 % 50) as f32))
+            .map(|i| {
+                Vec3::new(
+                    (i * 7 % 50) as f32,
+                    (i * 13 % 50) as f32,
+                    (i * 29 % 50) as f32,
+                )
+            })
             .collect();
         let order = raster_order(&queries, 10);
         assert!(is_permutation(&order, queries.len()));

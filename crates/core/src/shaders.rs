@@ -85,7 +85,12 @@ impl<'a> RayProgram for RangeProgram<'a> {
         Some((Ray::point_probe(q), Vec::new()))
     }
 
-    fn intersection(&self, launch_index: u32, prim_id: u32, payload: &mut RangePayload) -> IsVerdict {
+    fn intersection(
+        &self,
+        launch_index: u32,
+        prim_id: u32,
+        payload: &mut RangePayload,
+    ) -> IsVerdict {
         if self.sphere_test {
             let q = self.queries[self.indexing.query_id(launch_index) as usize];
             let p = self.points[prim_id as usize];
@@ -237,10 +242,18 @@ impl<'a> RayProgram for FirstHitProgram<'a> {
     type Payload = FirstHitPayload;
 
     fn ray_gen(&self, launch_index: u32) -> Option<(Ray, FirstHitPayload)> {
-        Some((Ray::point_probe(self.queries[launch_index as usize]), NO_HIT))
+        Some((
+            Ray::point_probe(self.queries[launch_index as usize]),
+            NO_HIT,
+        ))
     }
 
-    fn intersection(&self, _launch_index: u32, prim_id: u32, payload: &mut FirstHitPayload) -> IsVerdict {
+    fn intersection(
+        &self,
+        _launch_index: u32,
+        prim_id: u32,
+        payload: &mut FirstHitPayload,
+    ) -> IsVerdict {
         // Any enclosing AABB is an equally good spatial hint (Section 4), so
         // no sphere test: accept the very first one and stop.
         *payload = prim_id;
@@ -311,17 +324,30 @@ mod tests {
             k: 8,
             sphere_test: true,
         };
-        let without_test = RangeProgram { sphere_test: false, ..with_test.clone() };
+        let without_test = RangeProgram {
+            sphere_test: false,
+            ..with_test.clone()
+        };
         let mut payload = Vec::new();
-        assert_eq!(with_test.intersection(0, 0, &mut payload), IsVerdict::Ignore);
+        assert_eq!(
+            with_test.intersection(0, 0, &mut payload),
+            IsVerdict::Ignore
+        );
         assert!(payload.is_empty());
-        assert_ne!(without_test.intersection(0, 0, &mut payload), IsVerdict::Ignore);
+        assert_ne!(
+            without_test.intersection(0, 0, &mut payload),
+            IsVerdict::Ignore
+        );
         assert_eq!(payload, vec![0]);
     }
 
     #[test]
     fn range_program_terminates_at_k() {
-        let points = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0), Vec3::new(0.2, 0.0, 0.0)];
+        let points = vec![
+            Vec3::ZERO,
+            Vec3::new(0.1, 0.0, 0.0),
+            Vec3::new(0.2, 0.0, 0.0),
+        ];
         let queries = vec![Vec3::ZERO];
         let prog = RangeProgram {
             points: &points,
@@ -333,7 +359,10 @@ mod tests {
         };
         let mut payload = Vec::new();
         assert_eq!(prog.intersection(0, 0, &mut payload), IsVerdict::Accept);
-        assert_eq!(prog.intersection(0, 1, &mut payload), IsVerdict::AcceptAndTerminate);
+        assert_eq!(
+            prog.intersection(0, 1, &mut payload),
+            IsVerdict::AcceptAndTerminate
+        );
         assert_eq!(payload.len(), 2);
     }
 
@@ -361,7 +390,10 @@ mod tests {
         let (_, initial) = prog.ray_gen(0).unwrap();
         assert_eq!(initial, NO_HIT);
         let mut payload = initial;
-        assert_eq!(prog.intersection(0, 42, &mut payload), IsVerdict::AcceptAndTerminate);
+        assert_eq!(
+            prog.intersection(0, 42, &mut payload),
+            IsVerdict::AcceptAndTerminate
+        );
         assert_eq!(payload, 42);
     }
 }

@@ -59,7 +59,9 @@ pub fn check_result(
         }
         let d2 = query.distance_squared(points[id as usize]);
         if d2 >= r2 {
-            return Err(format!("neighbor {id} at distance² {d2} is outside radius² {r2}"));
+            return Err(format!(
+                "neighbor {id} at distance² {d2} is outside radius² {r2}"
+            ));
         }
     }
     let exhaustive = brute_force_range(points, query, params.radius);
@@ -96,7 +98,11 @@ pub fn check_all(
     params: &SearchParams,
     results: &[Vec<u32>],
 ) -> Result<(), (usize, String)> {
-    assert_eq!(queries.len(), results.len(), "one result list per query expected");
+    assert_eq!(
+        queries.len(),
+        results.len(),
+        "one result list per query expected"
+    );
     for (qi, (q, res)) in queries.iter().zip(results.iter()).enumerate() {
         check_result(points, *q, params, res).map_err(|e| (qi, e))?;
     }

@@ -7,10 +7,10 @@
 //! clouds in a benchmark suite, so the default experiments run at reduced
 //! scale and EXPERIMENTS.md records the divisor used.
 
-use crate::{lidar, nbody, scan, PointCloud};
 use crate::lidar::LidarParams;
 use crate::nbody::NBodyParams;
 use crate::scan::{ScanModel, ScanParams};
+use crate::{lidar, nbody, scan, PointCloud};
 
 /// The nine evaluation inputs of Figure 11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,14 +102,22 @@ pub struct Dataset {
 impl Dataset {
     /// A dataset at the paper's full scale.
     pub fn full_scale(name: DatasetName) -> Self {
-        Dataset { name, scale_divisor: 1, seed: default_seed(name) }
+        Dataset {
+            name,
+            scale_divisor: 1,
+            seed: default_seed(name),
+        }
     }
 
     /// A dataset scaled down by `divisor` (the default experiment
     /// configuration uses 20–100 depending on machine budget).
     pub fn scaled(name: DatasetName, divisor: usize) -> Self {
         assert!(divisor >= 1);
-        Dataset { name, scale_divisor: divisor, seed: default_seed(name) }
+        Dataset {
+            name,
+            scale_divisor: divisor,
+            seed: default_seed(name),
+        }
     }
 
     /// Number of points this request will generate.
@@ -160,7 +168,12 @@ impl Dataset {
         cloud.name = if self.scale_divisor == 1 {
             self.name.label().to_string()
         } else {
-            format!("{} (1/{} scale: {} pts)", self.name.label(), self.scale_divisor, n)
+            format!(
+                "{} (1/{} scale: {} pts)",
+                self.name.label(),
+                self.scale_divisor,
+                n
+            )
         };
         cloud
     }
@@ -190,7 +203,18 @@ mod tests {
         let all = DatasetName::all();
         assert_eq!(all.len(), 9);
         let total: usize = all.iter().map(|d| d.paper_points()).sum();
-        assert_eq!(total, 1_000_000 + 6_000_000 + 12_000_000 + 25_000_000 + 9_000_000 + 10_000_000 + 360_000 + 3_600_000 + 4_600_000);
+        assert_eq!(
+            total,
+            1_000_000
+                + 6_000_000
+                + 12_000_000
+                + 25_000_000
+                + 9_000_000
+                + 10_000_000
+                + 360_000
+                + 3_600_000
+                + 4_600_000
+        );
     }
 
     #[test]

@@ -47,10 +47,18 @@ pub fn read_xyz<R: Read>(reader: R, name: &str) -> Result<PointCloud, XyzError> 
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |s: Option<&str>| s.and_then(|t| t.parse::<f32>().ok()).filter(|v| v.is_finite());
+        let parse = |s: Option<&str>| {
+            s.and_then(|t| t.parse::<f32>().ok())
+                .filter(|v| v.is_finite())
+        };
         match (parse(it.next()), parse(it.next()), parse(it.next())) {
             (Some(x), Some(y), Some(z)) => points.push(Vec3::new(x, y, z)),
-            _ => return Err(XyzError::Parse { line: idx + 1, content: trimmed.to_string() }),
+            _ => {
+                return Err(XyzError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
         }
     }
     Ok(PointCloud::new(name, points))
@@ -60,7 +68,11 @@ pub fn read_xyz<R: Read>(reader: R, name: &str) -> Result<PointCloud, XyzError> 
 pub fn read_xyz_file(path: impl AsRef<Path>) -> Result<PointCloud, XyzError> {
     let path = path.as_ref();
     let file = std::fs::File::open(path)?;
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("xyz").to_string();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("xyz")
+        .to_string();
     read_xyz(file, &name)
 }
 

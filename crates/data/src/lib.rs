@@ -40,7 +40,10 @@ pub struct PointCloud {
 impl PointCloud {
     /// Construct from raw points.
     pub fn new(name: impl Into<String>, points: Vec<Vec3>) -> Self {
-        PointCloud { name: name.into(), points }
+        PointCloud {
+            name: name.into(),
+            points,
+        }
     }
 
     /// Number of points.
@@ -72,7 +75,10 @@ mod tests {
 
     #[test]
     fn point_cloud_helpers() {
-        let pc = PointCloud::new("test", vec![Vec3::ZERO, Vec3::ONE, Vec3::new(2.0, 0.0, 0.0)]);
+        let pc = PointCloud::new(
+            "test",
+            vec![Vec3::ZERO, Vec3::ONE, Vec3::new(2.0, 0.0, 0.0)],
+        );
         assert_eq!(pc.len(), 3);
         assert!(!pc.is_empty());
         assert_eq!(pc.bounds().max, Vec3::new(2.0, 1.0, 1.0));

@@ -105,14 +105,20 @@ mod tests {
 
     #[test]
     fn respects_point_count() {
-        let pc = generate(&LidarParams { num_points: 20_000, ..Default::default() });
+        let pc = generate(&LidarParams {
+            num_points: 20_000,
+            ..Default::default()
+        });
         assert_eq!(pc.len(), 20_000);
     }
 
     #[test]
     fn z_extent_is_much_narrower_than_xy_extent() {
         // The defining KITTI property from Section 6.1.
-        let pc = generate(&LidarParams { num_points: 30_000, ..Default::default() });
+        let pc = generate(&LidarParams {
+            num_points: 30_000,
+            ..Default::default()
+        });
         let b = pc.bounds();
         let ext = b.extent();
         assert!(ext.z <= 3.5);
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn majority_of_points_are_near_the_ground() {
-        let params = LidarParams { num_points: 30_000, ..Default::default() };
+        let params = LidarParams {
+            num_points: 30_000,
+            ..Default::default()
+        };
         let pc = generate(&params);
         let near_ground = pc.points.iter().filter(|p| p.z < 0.1).count();
         assert!(near_ground as f32 >= 0.6 * params.num_points as f32);
@@ -130,8 +139,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&LidarParams { num_points: 1000, seed: 1, ..Default::default() });
-        let b = generate(&LidarParams { num_points: 1000, seed: 1, ..Default::default() });
+        let a = generate(&LidarParams {
+            num_points: 1000,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&LidarParams {
+            num_points: 1000,
+            seed: 1,
+            ..Default::default()
+        });
         assert_eq!(a.points, b.points);
     }
 }

@@ -109,7 +109,11 @@ fn gaussian_vec(rng: &mut ChaCha8Rng) -> Vec3 {
 }
 
 fn clamp_to_box(p: Vec3, size: f32) -> Vec3 {
-    Vec3::new(p.x.clamp(0.0, size), p.y.clamp(0.0, size), p.z.clamp(0.0, size))
+    Vec3::new(
+        p.x.clamp(0.0, size),
+        p.y.clamp(0.0, size),
+        p.z.clamp(0.0, size),
+    )
 }
 
 #[cfg(test)]
@@ -119,7 +123,10 @@ mod tests {
 
     #[test]
     fn respects_count_and_box() {
-        let params = NBodyParams { num_points: 20_000, ..Default::default() };
+        let params = NBodyParams {
+            num_points: 20_000,
+            ..Default::default()
+        };
         let pc = generate(&params);
         assert_eq!(pc.len(), 20_000);
         let b = pc.bounds();
@@ -132,7 +139,10 @@ mod tests {
         // Bin the points into a coarse grid: the most populated cell must be
         // far denser than the average cell — the defining contrast with the
         // uniform and scan datasets.
-        let params = NBodyParams { num_points: 40_000, ..Default::default() };
+        let params = NBodyParams {
+            num_points: 40_000,
+            ..Default::default()
+        };
         let pc = generate(&params);
         let grid = UniformGrid::new(pc.bounds(), params.box_size / 16.0);
         let bins = PointBins::build(grid, &pc.points);
@@ -142,7 +152,10 @@ mod tests {
             .collect();
         let max_count = *counts.iter().max().unwrap();
         let mean = pc.len() as f64 / n_cells as f64;
-        assert!(max_count as f64 > 20.0 * mean, "max {max_count} vs mean {mean:.1}");
+        assert!(
+            max_count as f64 > 20.0 * mean,
+            "max {max_count} vs mean {mean:.1}"
+        );
         // The densest 5% of cells hold the majority of the points (they would
         // hold ~5% under a uniform distribution).
         counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -159,13 +172,21 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = NBodyParams { num_points: 3000, seed: 11, ..Default::default() };
+        let p = NBodyParams {
+            num_points: 3000,
+            seed: 11,
+            ..Default::default()
+        };
         assert_eq!(generate(&p).points, generate(&p).points);
     }
 
     #[test]
     fn background_fraction_of_zero_still_works() {
-        let p = NBodyParams { num_points: 1000, background_fraction: 0.0, ..Default::default() };
+        let p = NBodyParams {
+            num_points: 1000,
+            background_fraction: 0.0,
+            ..Default::default()
+        };
         assert_eq!(generate(&p).len(), 1000);
     }
 }

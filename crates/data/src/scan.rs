@@ -49,7 +49,12 @@ pub struct ScanParams {
 
 impl Default for ScanParams {
     fn default() -> Self {
-        ScanParams { model: ScanModel::Blob, num_points: 50_000, noise: 0.002, seed: 0x5CA9 }
+        ScanParams {
+            model: ScanModel::Blob,
+            num_points: 50_000,
+            noise: 0.002,
+            seed: 0x5CA9,
+        }
     }
 }
 
@@ -94,7 +99,8 @@ fn sample_blob(rng: &mut ChaCha8Rng, phase: f32) -> Vec3 {
     let s = (1.0 - u * u).sqrt();
     let dir = Vec3::new(s * theta.cos(), s * theta.sin(), u);
     // Smooth bump field modulates the radius.
-    let bump = 0.15 * ((5.0 * dir.x + phase).sin() * (4.0 * dir.y - phase).cos() + (3.0 * dir.z).sin());
+    let bump =
+        0.15 * ((5.0 * dir.x + phase).sin() * (4.0 * dir.y - phase).cos() + (3.0 * dir.z).sin());
     dir * (1.0 + bump)
 }
 
@@ -131,8 +137,16 @@ mod tests {
 
     #[test]
     fn all_models_generate_requested_counts_inside_unit_cube() {
-        for model in [ScanModel::Blob, ScanModel::TorusKnot, ScanModel::StackedBlobs] {
-            let pc = generate(&ScanParams { model, num_points: 10_000, ..Default::default() });
+        for model in [
+            ScanModel::Blob,
+            ScanModel::TorusKnot,
+            ScanModel::StackedBlobs,
+        ] {
+            let pc = generate(&ScanParams {
+                model,
+                num_points: 10_000,
+                ..Default::default()
+            });
             assert_eq!(pc.len(), 10_000);
             let b = pc.bounds();
             let unit = Aabb::new(Vec3::splat(-1e-4), Vec3::splat(1.0 + 1e-4));
@@ -147,23 +161,47 @@ mod tests {
         // robustly, the fraction of points in the central 20%-size core of
         // the bounding box should be tiny (a volumetric distribution would
         // put ~0.8% there, a blob surface none).
-        let pc = generate(&ScanParams { model: ScanModel::Blob, num_points: 20_000, ..Default::default() });
+        let pc = generate(&ScanParams {
+            model: ScanModel::Blob,
+            num_points: 20_000,
+            ..Default::default()
+        });
         let centre = Vec3::splat(0.5);
         let core = Aabb::cube(centre, 0.2);
-        let inside = pc.points.iter().filter(|p| core.contains_point(**p)).count();
-        assert!(inside < pc.len() / 100, "{inside} points in the hollow core");
+        let inside = pc
+            .points
+            .iter()
+            .filter(|p| core.contains_point(**p))
+            .count();
+        assert!(
+            inside < pc.len() / 100,
+            "{inside} points in the hollow core"
+        );
     }
 
     #[test]
     fn models_are_distinct() {
-        let a = generate(&ScanParams { model: ScanModel::Blob, num_points: 500, ..Default::default() });
-        let b = generate(&ScanParams { model: ScanModel::TorusKnot, num_points: 500, ..Default::default() });
+        let a = generate(&ScanParams {
+            model: ScanModel::Blob,
+            num_points: 500,
+            ..Default::default()
+        });
+        let b = generate(&ScanParams {
+            model: ScanModel::TorusKnot,
+            num_points: 500,
+            ..Default::default()
+        });
         assert_ne!(a.points, b.points);
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let p = ScanParams { model: ScanModel::TorusKnot, num_points: 777, noise: 0.001, seed: 3 };
+        let p = ScanParams {
+            model: ScanModel::TorusKnot,
+            num_points: 777,
+            noise: 0.001,
+            seed: 3,
+        };
         assert_eq!(generate(&p).points, generate(&p).points);
     }
 }

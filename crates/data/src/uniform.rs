@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn respects_count_and_bounds() {
-        let params = UniformParams { num_points: 5000, ..Default::default() };
+        let params = UniformParams {
+            num_points: 5000,
+            ..Default::default()
+        };
         let pc = generate(&params);
         assert_eq!(pc.len(), 5000);
         let b = pc.bounds();
@@ -60,21 +63,37 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&UniformParams { seed: 7, num_points: 100, ..Default::default() });
-        let b = generate(&UniformParams { seed: 7, num_points: 100, ..Default::default() });
-        let c = generate(&UniformParams { seed: 8, num_points: 100, ..Default::default() });
+        let a = generate(&UniformParams {
+            seed: 7,
+            num_points: 100,
+            ..Default::default()
+        });
+        let b = generate(&UniformParams {
+            seed: 7,
+            num_points: 100,
+            ..Default::default()
+        });
+        let c = generate(&UniformParams {
+            seed: 8,
+            num_points: 100,
+            ..Default::default()
+        });
         assert_eq!(a.points, b.points);
         assert_ne!(a.points, c.points);
     }
 
     #[test]
     fn fills_the_volume_roughly_evenly() {
-        let pc = generate(&UniformParams { num_points: 8000, ..Default::default() });
+        let pc = generate(&UniformParams {
+            num_points: 8000,
+            ..Default::default()
+        });
         // Split the box into octants; each should hold roughly 1/8 of points.
         let c = Vec3::splat(50.0);
         let mut counts = [0usize; 8];
         for p in &pc.points {
-            let idx = (p.x > c.x) as usize | ((p.y > c.y) as usize) << 1 | ((p.z > c.z) as usize) << 2;
+            let idx =
+                (p.x > c.x) as usize | ((p.y > c.y) as usize) << 1 | ((p.z > c.z) as usize) << 2;
             counts[idx] += 1;
         }
         for &n in &counts {

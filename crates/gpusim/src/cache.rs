@@ -133,7 +133,11 @@ mod tests {
 
     fn small_cache() -> SetAssociativeCache {
         // 4 sets x 2 ways x 64B lines = 512 B.
-        SetAssociativeCache::new(CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 })
+        SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -214,8 +218,16 @@ mod tests {
         // Simulator sanity property from DESIGN.md: a bigger cache never has
         // a (meaningfully) lower hit rate on the same trace.
         let trace: Vec<u64> = (0..2000u64).map(|i| (i * 7919) % 4096 * 32).collect();
-        let mut small = SetAssociativeCache::new(CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 4 });
-        let mut large = SetAssociativeCache::new(CacheConfig { capacity_bytes: 64 * 1024, line_bytes: 64, ways: 4 });
+        let mut small = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
+        let mut large = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
         for &a in &trace {
             small.access(a);
             large.access(a);
@@ -225,8 +237,14 @@ mod tests {
 
     #[test]
     fn merge_stats() {
-        let mut a = CacheStats { accesses: 10, hits: 5 };
-        a.merge(&CacheStats { accesses: 20, hits: 15 });
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 5,
+        };
+        a.merge(&CacheStats {
+            accesses: 20,
+            hits: 15,
+        });
         assert_eq!(a.accesses, 30);
         assert_eq!(a.hits, 20);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);

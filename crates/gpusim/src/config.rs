@@ -144,8 +144,16 @@ impl DeviceConfig {
             cuda_cores_per_sm: 64,
             warp_size: 32,
             clock_ghz: 1.71,
-            l1: CacheConfig { capacity_bytes: 64 * 1024, line_bytes: 128, ways: 4 },
-            l2: CacheConfig { capacity_bytes: 4 * 1024 * 1024, line_bytes: 128, ways: 16 },
+            l1: CacheConfig {
+                capacity_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 4 * 1024 * 1024,
+                line_bytes: 128,
+                ways: 16,
+            },
             memory_bytes: 8 * 1024 * 1024 * 1024,
             cost: CostModel::default(),
         }
@@ -159,8 +167,16 @@ impl DeviceConfig {
             cuda_cores_per_sm: 64,
             warp_size: 32,
             clock_ghz: 1.635,
-            l1: CacheConfig { capacity_bytes: 64 * 1024, line_bytes: 128, ways: 4 },
-            l2: CacheConfig { capacity_bytes: 5632 * 1024, line_bytes: 128, ways: 16 },
+            l1: CacheConfig {
+                capacity_bytes: 64 * 1024,
+                line_bytes: 128,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 5632 * 1024,
+                line_bytes: 128,
+                ways: 16,
+            },
             memory_bytes: 11 * 1024 * 1024 * 1024,
             cost: CostModel::default(),
         }
@@ -176,8 +192,16 @@ impl DeviceConfig {
             cuda_cores_per_sm: 8,
             warp_size: 32,
             clock_ghz: 1.0,
-            l1: CacheConfig { capacity_bytes: 2 * 1024, line_bytes: 64, ways: 2 },
-            l2: CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 4 },
+            l1: CacheConfig {
+                capacity_bytes: 2 * 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 16 * 1024,
+                line_bytes: 64,
+                ways: 4,
+            },
             memory_bytes: 256 * 1024 * 1024,
             cost: CostModel::default(),
         }
@@ -222,7 +246,10 @@ mod tests {
     fn is_call_cycles_dispatch() {
         let c = CostModel::default();
         assert_eq!(c.is_call_cycles(IsShaderKind::Knn), c.is_knn_cycles);
-        assert_eq!(c.is_call_cycles(IsShaderKind::RangeSphereTest), c.is_range_cycles);
+        assert_eq!(
+            c.is_call_cycles(IsShaderKind::RangeSphereTest),
+            c.is_range_cycles
+        );
         assert_eq!(
             c.is_call_cycles(IsShaderKind::RangeNoSphereTest),
             c.is_range_no_sphere_cycles

@@ -91,7 +91,10 @@ impl Device {
     /// Check whether an allocation of `bytes` fits in device memory.
     pub fn check_allocation(&self, bytes: u64) -> Result<(), OutOfDeviceMemory> {
         if bytes > self.config.memory_bytes {
-            Err(OutOfDeviceMemory { requested_bytes: bytes, capacity_bytes: self.config.memory_bytes })
+            Err(OutOfDeviceMemory {
+                requested_bytes: bytes,
+                capacity_bytes: self.config.memory_bytes,
+            })
         } else {
             Ok(())
         }
@@ -169,7 +172,11 @@ impl Device {
             useful += u;
             issued += i;
         }
-        metrics.simt_efficiency = if issued > 0.0 { (useful / issued).clamp(0.0, 1.0) } else { 1.0 };
+        metrics.simt_efficiency = if issued > 0.0 {
+            (useful / issued).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
         metrics.time_ms = self.config.cycles_to_ms(metrics.critical_path_cycles);
         (results, metrics)
     }
@@ -179,7 +186,7 @@ impl Device {
 struct ResultsPtr<T>(*mut T);
 impl<T> Clone for ResultsPtr<T> {
     fn clone(&self) -> Self {
-        ResultsPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for ResultsPtr<T> {}
@@ -209,7 +216,10 @@ mod tests {
     #[test]
     fn ti_builds_faster_than_2080() {
         let n = 10_000_000;
-        assert!(Device::rtx_2080_ti().accel_build_time_ms(n) < Device::rtx_2080().accel_build_time_ms(n));
+        assert!(
+            Device::rtx_2080_ti().accel_build_time_ms(n)
+                < Device::rtx_2080().accel_build_time_ms(n)
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct ThreadWork {
 impl ThreadWork {
     /// Convenience constructor.
     pub fn new(compute_ops: u64, mem_addresses: Vec<u64>) -> Self {
-        ThreadWork { compute_ops, mem_addresses }
+        ThreadWork {
+            compute_ops,
+            mem_addresses,
+        }
     }
 }
 
@@ -160,7 +163,10 @@ mod tests {
         assert_eq!(results[123], 246);
         assert!(metrics.time_ms > 0.0);
         assert!(metrics.sm_cycles > 0.0);
-        assert_eq!(metrics.rt_core_cycles, 0.0, "plain kernels never touch RT cores");
+        assert_eq!(
+            metrics.rt_core_cycles, 0.0,
+            "plain kernels never touch RT cores"
+        );
         assert!(metrics.memory.l1.accesses > 0);
     }
 
@@ -168,9 +174,11 @@ mod tests {
     fn heavier_ops_cost_more() {
         let d = Device::tiny_test_device();
         let run = |weight: f64| {
-            run_sm_kernel(&d, 1000, SmKernelConfig { op_weight: weight }, |_| ((), ThreadWork::new(50, vec![])))
-                .1
-                .time_ms
+            run_sm_kernel(&d, 1000, SmKernelConfig { op_weight: weight }, |_| {
+                ((), ThreadWork::new(50, vec![]))
+            })
+            .1
+            .time_ms
         };
         assert!(run(4.0) > run(1.0));
     }
@@ -178,7 +186,10 @@ mod tests {
     #[test]
     fn imbalanced_lanes_lower_simt_efficiency() {
         let d = Device::tiny_test_device();
-        let balanced = run_sm_kernel(&d, 3200, SmKernelConfig::default(), |_| ((), ThreadWork::new(20, vec![]))).1;
+        let balanced = run_sm_kernel(&d, 3200, SmKernelConfig::default(), |_| {
+            ((), ThreadWork::new(20, vec![]))
+        })
+        .1;
         let imbalanced = run_sm_kernel(&d, 3200, SmKernelConfig::default(), |i| {
             let ops = if i % 32 == 0 { 640 } else { 0 };
             ((), ThreadWork::new(ops, vec![]))
@@ -198,7 +209,16 @@ mod tests {
         // way spatially-grouped queries revisit the same tree nodes);
         // scattered threads touch a huge address range.
         let coherent = run_sm_kernel(&d, n, SmKernelConfig::default(), |i| {
-            ((), ThreadWork::new(1, vec![point_address((i % 256) as u32), point_address((i % 64) as u32)]))
+            (
+                (),
+                ThreadWork::new(
+                    1,
+                    vec![
+                        point_address((i % 256) as u32),
+                        point_address((i % 64) as u32),
+                    ],
+                ),
+            )
         })
         .1;
         let scattered = run_sm_kernel(&d, n, SmKernelConfig::default(), |i| {

@@ -34,8 +34,8 @@ impl SmShard {
     /// Create a shard for one SM of `config`.
     pub fn new(config: &DeviceConfig) -> Self {
         let mut l2_cfg = config.l2;
-        l2_cfg.capacity_bytes = (l2_cfg.capacity_bytes / config.num_sms.max(1))
-            .max(l2_cfg.line_bytes * l2_cfg.ways);
+        l2_cfg.capacity_bytes =
+            (l2_cfg.capacity_bytes / config.num_sms.max(1)).max(l2_cfg.line_bytes * l2_cfg.ways);
         SmShard {
             cost: config.cost,
             l1: SetAssociativeCache::new(config.l1),
@@ -167,7 +167,11 @@ impl SmShard {
 
     /// Memory counters for this shard.
     pub fn memory_stats(&self) -> MemoryStats {
-        MemoryStats { l1: self.l1.stats(), l2: self.l2.stats(), dram_accesses: self.dram_accesses }
+        MemoryStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            dram_accesses: self.dram_accesses,
+        }
     }
 }
 
@@ -216,7 +220,10 @@ mod tests {
         let cold_cycles = s.cycles();
         s.access_warp_memory(&addrs);
         let warm_cycles = s.cycles() - cold_cycles;
-        assert!(warm_cycles < cold_cycles, "warm {warm_cycles} vs cold {cold_cycles}");
+        assert!(
+            warm_cycles < cold_cycles,
+            "warm {warm_cycles} vs cold {cold_cycles}"
+        );
         assert!(s.memory_stats().l1.hits >= 4);
     }
 

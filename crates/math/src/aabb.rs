@@ -31,8 +31,16 @@ impl Aabb {
     /// The canonical "empty" box: min = +inf, max = -inf. Growing it with any
     /// point produces a box containing exactly that point.
     pub const EMPTY: Aabb = Aabb {
-        min: Vec3 { x: f32::INFINITY, y: f32::INFINITY, z: f32::INFINITY },
-        max: Vec3 { x: f32::NEG_INFINITY, y: f32::NEG_INFINITY, z: f32::NEG_INFINITY },
+        min: Vec3 {
+            x: f32::INFINITY,
+            y: f32::INFINITY,
+            z: f32::INFINITY,
+        },
+        max: Vec3 {
+            x: f32::NEG_INFINITY,
+            y: f32::NEG_INFINITY,
+            z: f32::NEG_INFINITY,
+        },
     };
 
     /// Construct from explicit bounds. `min` must be component-wise ≤ `max`
@@ -49,7 +57,10 @@ impl Aabb {
     #[inline]
     pub fn cube(center: Vec3, width: f32) -> Self {
         let half = Vec3::splat(width * 0.5);
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// The tightest AABB circumscribing the sphere `(center, radius)`.
@@ -142,13 +153,19 @@ impl Aabb {
     /// Union of two boxes.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Expand symmetrically by `margin` on every face.
     #[inline]
     pub fn expanded(&self, margin: f32) -> Aabb {
-        Aabb { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
     }
 
     /// Point-in-box test (inclusive bounds). This is the geometric meaning of
@@ -194,7 +211,11 @@ impl Aabb {
     /// handled by the usual IEEE infinity trick.
     #[inline]
     pub fn slab_intersection(&self, ray: &Ray) -> Option<(f32, f32)> {
-        let inv = Vec3::new(1.0 / ray.direction.x, 1.0 / ray.direction.y, 1.0 / ray.direction.z);
+        let inv = Vec3::new(
+            1.0 / ray.direction.x,
+            1.0 / ray.direction.y,
+            1.0 / ray.direction.z,
+        );
         let t0 = (self.min - ray.origin) * inv;
         let t1 = (self.max - ray.origin) * inv;
         let t_near = t0.min(t1);
@@ -240,7 +261,10 @@ mod tests {
         assert_eq!(b.volume(), 8.0);
         assert_eq!(b.surface_area(), 24.0);
         // Listing 1 semantics: AABB circumscribing the r-sphere has width 2r.
-        assert_eq!(Aabb::around_sphere(Vec3::ZERO, 0.5), Aabb::cube(Vec3::ZERO, 1.0));
+        assert_eq!(
+            Aabb::around_sphere(Vec3::ZERO, 0.5),
+            Aabb::cube(Vec3::ZERO, 1.0)
+        );
     }
 
     #[test]
@@ -258,7 +282,11 @@ mod tests {
 
     #[test]
     fn from_points_bounds_everything() {
-        let pts = [Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, -4.0, 1.0), Vec3::new(0.5, 2.0, -3.0)];
+        let pts = [
+            Vec3::new(-1.0, 0.0, 2.0),
+            Vec3::new(3.0, -4.0, 1.0),
+            Vec3::new(0.5, 2.0, -3.0),
+        ];
         let b = Aabb::from_points(&pts);
         for p in pts {
             assert!(b.contains_point(p));
@@ -283,9 +311,18 @@ mod tests {
 
     #[test]
     fn longest_axis_selection() {
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(3.0, 1.0, 2.0)).longest_axis(), 0);
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 3.0, 2.0)).longest_axis(), 1);
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)).longest_axis(), 2);
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(3.0, 1.0, 2.0)).longest_axis(),
+            0
+        );
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(1.0, 3.0, 2.0)).longest_axis(),
+            1
+        );
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)).longest_axis(),
+            2
+        );
     }
 
     #[test]
@@ -333,7 +370,11 @@ mod tests {
             Vec3::new(0.5, 0.2, -1.9),
         ];
         for q in samples {
-            assert_eq!(b.intersects_ray(&Ray::point_probe(q)), b.contains_point(q), "query {q:?}");
+            assert_eq!(
+                b.intersects_ray(&Ray::point_probe(q)),
+                b.contains_point(q),
+                "query {q:?}"
+            );
         }
     }
 

@@ -43,11 +43,18 @@ impl UniformGrid {
     /// map to a valid cell. Panics if `cell_size` is not strictly positive or
     /// `bounds` is empty.
     pub fn new(bounds: Aabb, cell_size: f32) -> Self {
-        assert!(cell_size > 0.0, "cell_size must be positive, got {cell_size}");
+        assert!(
+            cell_size > 0.0,
+            "cell_size must be positive, got {cell_size}"
+        );
         assert!(!bounds.is_empty(), "cannot build a grid over an empty AABB");
         let ext = bounds.extent();
         let dim = |e: f32| ((e / cell_size).ceil() as u32).max(1);
-        UniformGrid { bounds, cell_size, dims: [dim(ext.x), dim(ext.y), dim(ext.z)] }
+        UniformGrid {
+            bounds,
+            cell_size,
+            dims: [dim(ext.x), dim(ext.y), dim(ext.z)],
+        }
     }
 
     /// Build a grid with at most `max_cells` total cells by choosing the cell
@@ -64,7 +71,11 @@ impl UniformGrid {
             .iter()
             .map(|&e| if e > 0.0 { e as f64 } else { 1.0 })
             .product();
-        let live_axes = [ext.x, ext.y, ext.z].iter().filter(|&&e| e > 0.0).count().max(1);
+        let live_axes = [ext.x, ext.y, ext.z]
+            .iter()
+            .filter(|&&e| e > 0.0)
+            .count()
+            .max(1);
         let cell = (volume / max_cells as f64).powf(1.0 / live_axes as f64) as f32;
         let cell = cell.max(ext.max_component() * 1e-6).max(f32::MIN_POSITIVE);
         let mut grid = UniformGrid::new(bounds, cell);
@@ -116,8 +127,7 @@ impl UniformGrid {
     /// order" used in the Figure 5 experiment.
     #[inline]
     pub fn cell_index(&self, c: GridCoord) -> usize {
-        (c.z as usize * self.dims[1] as usize + c.y as usize) * self.dims[0] as usize
-            + c.x as usize
+        (c.z as usize * self.dims[1] as usize + c.y as usize) * self.dims[0] as usize + c.x as usize
     }
 
     /// Inverse of [`Self::cell_index`].
@@ -202,7 +212,11 @@ impl PointBins {
             point_ids[cursor[c as usize] as usize] = i as u32;
             cursor[c as usize] += 1;
         }
-        PointBins { grid, cell_start, point_ids }
+        PointBins {
+            grid,
+            cell_start,
+            point_ids,
+        }
     }
 
     /// The underlying grid.
@@ -284,7 +298,10 @@ mod tests {
         assert_eq!(g.cell_of(Vec3::new(3.9, 0.1, 2.2)), GridCoord::new(3, 0, 2));
         // Points on / beyond the max face clamp into the last cell.
         assert_eq!(g.cell_of(Vec3::new(4.0, 4.0, 4.0)), GridCoord::new(3, 3, 3));
-        assert_eq!(g.cell_of(Vec3::new(-1.0, 5.0, 2.0)), GridCoord::new(0, 3, 2));
+        assert_eq!(
+            g.cell_of(Vec3::new(-1.0, 5.0, 2.0)),
+            GridCoord::new(0, 3, 2)
+        );
     }
 
     #[test]
@@ -310,7 +327,11 @@ mod tests {
         let bounds = Aabb::new(Vec3::ZERO, Vec3::new(10.0, 20.0, 5.0));
         for budget in [1usize, 64, 1000, 8192] {
             let g = UniformGrid::with_max_cells(bounds, budget);
-            assert!(g.num_cells() <= budget, "budget {budget} -> {}", g.num_cells());
+            assert!(
+                g.num_cells() <= budget,
+                "budget {budget} -> {}",
+                g.num_cells()
+            );
         }
         // Planar bounds (degenerate z) still work.
         let planar = Aabb::new(Vec3::ZERO, Vec3::new(10.0, 10.0, 0.0));
@@ -325,7 +346,7 @@ mod tests {
         let cells: Vec<_> = g
             .iter_range(GridCoord::new(1, 1, 1), GridCoord::new(2, 3, 1))
             .collect();
-        assert_eq!(cells.len(), 2 * 3 * 1);
+        assert_eq!(cells.len(), 2 * 3); // 2 × 3 × 1 cells
         assert!(cells.contains(&GridCoord::new(2, 3, 1)));
         let (lo, hi) = g.cell_range(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.5)));
         assert_eq!(lo, GridCoord::new(0, 0, 0));
@@ -350,7 +371,11 @@ mod tests {
                 assert!(!seen[pid as usize], "point {pid} binned twice");
                 seen[pid as usize] = true;
                 // The point really is inside the cell it was binned into.
-                assert!(bins.grid().cell_bounds(c).expanded(1e-5).contains_point(pts[pid as usize]));
+                assert!(bins
+                    .grid()
+                    .cell_bounds(c)
+                    .expanded(1e-5)
+                    .contains_point(pts[pid as usize]));
             }
         }
         assert!(seen.iter().all(|&s| s));
@@ -360,15 +385,21 @@ mod tests {
     fn counting_in_cell_boxes() {
         let g = unit_grid(2);
         let pts = vec![
-            Vec3::splat(0.5),        // cell (0,0,0)
+            Vec3::splat(0.5),         // cell (0,0,0)
             Vec3::new(1.5, 0.5, 0.5), // cell (1,0,0)
             Vec3::new(1.5, 1.5, 0.5), // cell (1,1,0)
             Vec3::new(1.5, 1.5, 1.5), // cell (1,1,1)
         ];
         let bins = PointBins::build(g, &pts);
         assert_eq!(bins.cell_count(GridCoord::new(0, 0, 0)), 1);
-        assert_eq!(bins.count_in_cell_box(GridCoord::new(0, 0, 0), GridCoord::new(1, 1, 1)), 4);
-        assert_eq!(bins.count_in_cell_box(GridCoord::new(1, 0, 0), GridCoord::new(1, 1, 0)), 2);
+        assert_eq!(
+            bins.count_in_cell_box(GridCoord::new(0, 0, 0), GridCoord::new(1, 1, 1)),
+            4
+        );
+        assert_eq!(
+            bins.count_in_cell_box(GridCoord::new(1, 0, 0), GridCoord::new(1, 1, 0)),
+            2
+        );
         assert!(!bins.is_empty());
     }
 

@@ -80,7 +80,10 @@ impl MortonEncoder {
             if e.y > 0.0 { 1.0 / e.y } else { 0.0 },
             if e.z > 0.0 { 1.0 / e.z } else { 0.0 },
         );
-        MortonEncoder { origin: bounds.min, inv_extent: inv }
+        MortonEncoder {
+            origin: bounds.min,
+            inv_extent: inv,
+        }
     }
 
     /// Encode a point as a 63-bit Morton key.

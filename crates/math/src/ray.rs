@@ -29,20 +29,35 @@ impl Ray {
     /// A general-purpose ray over `[t_min, t_max]`.
     #[inline]
     pub fn new(origin: Vec3, direction: Vec3, t_min: f32, t_max: f32) -> Self {
-        Ray { origin, direction, t_min, t_max }
+        Ray {
+            origin,
+            direction,
+            t_min,
+            t_max,
+        }
     }
 
     /// An unbounded ray (`t ∈ [0, +inf)`).
     #[inline]
     pub fn unbounded(origin: Vec3, direction: Vec3) -> Self {
-        Ray { origin, direction, t_min: 0.0, t_max: f32::INFINITY }
+        Ray {
+            origin,
+            direction,
+            t_min: 0.0,
+            t_max: f32::INFINITY,
+        }
     }
 
     /// The degenerate short ray RTNN casts from a query point (Listing 1,
     /// line 18): origin at the query, direction `[1,0,0]`, `t_max = 1e-16`.
     #[inline]
     pub fn point_probe(query: Vec3) -> Self {
-        Ray { origin: query, direction: Vec3::UNIT_X, t_min: 0.0, t_max: SHORT_RAY_TMAX }
+        Ray {
+            origin: query,
+            direction: Vec3::UNIT_X,
+            t_min: 0.0,
+            t_max: SHORT_RAY_TMAX,
+        }
     }
 
     /// Evaluate the ray at parameter `t`.
@@ -64,7 +79,12 @@ mod tests {
 
     #[test]
     fn evaluate_along_ray() {
-        let r = Ray::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 1.0, 0.0), 0.0, 10.0);
+        let r = Ray::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.0,
+            10.0,
+        );
         assert_eq!(r.at(0.0), Vec3::new(1.0, 2.0, 3.0));
         assert_eq!(r.at(2.5), Vec3::new(1.0, 4.5, 3.0));
     }

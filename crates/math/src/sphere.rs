@@ -51,7 +51,10 @@ impl Sphere {
     /// (Figure 10c).
     #[inline]
     pub fn circumscribing_cube(center: Vec3, cube_width: f32) -> Self {
-        Sphere { center, radius: cube_width * 0.5 * 3.0_f32.sqrt() }
+        Sphere {
+            center,
+            radius: cube_width * 0.5 * 3.0_f32.sqrt(),
+        }
     }
 }
 

@@ -18,11 +18,23 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The origin / zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// All-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit vector along +x — the fixed ray direction RTNN uses (Section 3.1).
-    pub const UNIT_X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const UNIT_X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Construct from components.
     #[inline]
@@ -39,7 +51,11 @@ impl Vec3 {
     /// Construct from a `[x, y, z]` array.
     #[inline]
     pub const fn from_array(a: [f32; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     /// Convert to a `[x, y, z]` array.
@@ -103,19 +119,31 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x.min(rhs.x), y: self.y.min(rhs.y), z: self.z.min(rhs.z) }
+        Vec3 {
+            x: self.x.min(rhs.x),
+            y: self.y.min(rhs.y),
+            z: self.z.min(rhs.z),
+        }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x.max(rhs.x), y: self.y.max(rhs.y), z: self.z.max(rhs.z) }
+        Vec3 {
+            x: self.x.max(rhs.x),
+            y: self.y.max(rhs.y),
+            z: self.z.max(rhs.z),
+        }
     }
 
     /// Component-wise absolute value.
     #[inline]
     pub fn abs(self) -> Vec3 {
-        Vec3 { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+        Vec3 {
+            x: self.x.abs(),
+            y: self.y.abs(),
+            z: self.z.abs(),
+        }
     }
 
     /// Largest component.
@@ -147,7 +175,11 @@ impl Add for Vec3 {
     type Output = Vec3;
     #[inline]
     fn add(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+        Vec3 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+            z: self.z + rhs.z,
+        }
     }
 }
 
@@ -162,7 +194,11 @@ impl Sub for Vec3 {
     type Output = Vec3;
     #[inline]
     fn sub(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+        Vec3 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+            z: self.z - rhs.z,
+        }
     }
 }
 
@@ -177,7 +213,11 @@ impl Mul<f32> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, rhs: f32) -> Vec3 {
-        Vec3 { x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+        Vec3 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+            z: self.z * rhs,
+        }
     }
 }
 
@@ -194,7 +234,11 @@ impl Mul<Vec3> for Vec3 {
     /// Component-wise product.
     #[inline]
     fn mul(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x * rhs.x, y: self.y * rhs.y, z: self.z * rhs.z }
+        Vec3 {
+            x: self.x * rhs.x,
+            y: self.y * rhs.y,
+            z: self.z * rhs.z,
+        }
     }
 }
 
@@ -202,7 +246,11 @@ impl Div<f32> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn div(self, rhs: f32) -> Vec3 {
-        Vec3 { x: self.x / rhs, y: self.y / rhs, z: self.z / rhs }
+        Vec3 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+            z: self.z / rhs,
+        }
     }
 }
 
@@ -210,7 +258,11 @@ impl Neg for Vec3 {
     type Output = Vec3;
     #[inline]
     fn neg(self) -> Vec3 {
-        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+        Vec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 

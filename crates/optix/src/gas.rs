@@ -40,7 +40,11 @@ impl Gas {
             bvh.num_nodes() as u64 * NODE_BYTES + bvh.num_primitives() as u64 * PRIM_BYTES;
         device.check_allocation(memory_bytes)?;
         let build_time_ms = device.accel_build_time_ms(prim_aabbs.len());
-        Ok(Gas { bvh, build_time_ms, memory_bytes })
+        Ok(Gas {
+            bvh,
+            build_time_ms,
+            memory_bytes,
+        })
     }
 
     /// Build a GAS whose primitives are width-`2·radius` cubes centred at
@@ -94,7 +98,8 @@ mod tests {
     #[test]
     fn build_produces_valid_structure_with_costs() {
         let device = Device::rtx_2080();
-        let gas = Gas::build_from_points(&device, &grid_points(500), 0.5, BuildParams::default()).unwrap();
+        let gas = Gas::build_from_points(&device, &grid_points(500), 0.5, BuildParams::default())
+            .unwrap();
         assert_eq!(gas.num_primitives(), 500);
         assert!(gas.build_time_ms() > 0.0);
         assert!(gas.memory_bytes() > 0);
@@ -104,9 +109,11 @@ mod tests {
     #[test]
     fn build_time_scales_linearly_with_primitives() {
         let device = Device::rtx_2080();
-        let t = |n: usize| Gas::build_from_points(&device, &grid_points(n), 0.5, BuildParams::default())
-            .unwrap()
-            .build_time_ms();
+        let t = |n: usize| {
+            Gas::build_from_points(&device, &grid_points(n), 0.5, BuildParams::default())
+                .unwrap()
+                .build_time_ms()
+        };
         let t1 = t(200);
         let t2 = t(400);
         let t4 = t(800);
@@ -128,8 +135,12 @@ mod tests {
         let too_many = (device.config().memory_bytes / PRIM_BYTES + 1) as usize;
         // Constructing that many real AABBs would blow host memory, so check
         // the allocation path directly with the device API instead.
-        assert!(device.check_allocation(too_many as u64 * PRIM_BYTES).is_err());
+        assert!(device
+            .check_allocation(too_many as u64 * PRIM_BYTES)
+            .is_err());
         // And a small build on the same device succeeds.
-        assert!(Gas::build_from_points(&device, &grid_points(100), 0.3, BuildParams::default()).is_ok());
+        assert!(
+            Gas::build_from_points(&device, &grid_points(100), 0.3, BuildParams::default()).is_ok()
+        );
     }
 }

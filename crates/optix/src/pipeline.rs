@@ -180,8 +180,16 @@ impl<'d> Pipeline<'d> {
 
             // Memory traffic: BVH nodes and primitive records the warp read.
             addresses.clear();
-            addresses.extend(union_nodes.iter().map(|&n| BVH_NODES_BASE + n as u64 * NODE_BYTES));
-            addresses.extend(union_prims.iter().map(|&p| BVH_PRIMS_BASE + p as u64 * PRIM_BYTES));
+            addresses.extend(
+                union_nodes
+                    .iter()
+                    .map(|&n| BVH_NODES_BASE + n as u64 * NODE_BYTES),
+            );
+            addresses.extend(
+                union_prims
+                    .iter()
+                    .map(|&p| BVH_PRIMS_BASE + p as u64 * PRIM_BYTES),
+            );
             shard.access_warp_memory(&addresses);
 
             // SIMT efficiency: useful lane-work over issued warp-work.
@@ -191,7 +199,10 @@ impl<'d> Pipeline<'d> {
             warp_results
         });
 
-        let mut metrics = LaunchMetrics { kernel, ..Default::default() };
+        let mut metrics = LaunchMetrics {
+            kernel,
+            ..Default::default()
+        };
         let mut payloads = Vec::with_capacity(outputs.len());
         for out in outputs {
             metrics.active_rays += out.active as u64;
@@ -228,7 +239,12 @@ mod tests {
                 .get(launch_index as usize)
                 .map(|&q| (Ray::point_probe(q), Vec::new()))
         }
-        fn intersection(&self, launch_index: u32, prim_id: u32, payload: &mut Vec<u32>) -> IsVerdict {
+        fn intersection(
+            &self,
+            launch_index: u32,
+            prim_id: u32,
+            payload: &mut Vec<u32>,
+        ) -> IsVerdict {
             let q = self.queries[launch_index as usize];
             let p = self.points[prim_id as usize];
             if q.distance_squared(p) < self.radius * self.radius {
@@ -273,9 +289,17 @@ mod tests {
         let points = cloud();
         let radius = 1.1;
         let gas = Gas::build_from_points(&device, &points, radius, BuildParams::default()).unwrap();
-        let queries: Vec<Vec3> =
-            vec![Vec3::new(3.5, 3.5, 3.5), Vec3::new(0.0, 0.0, 0.0), Vec3::new(7.2, 6.9, 7.1)];
-        let program = RangeProgram { queries: queries.clone(), points: points.clone(), radius, k: 1000 };
+        let queries: Vec<Vec3> = vec![
+            Vec3::new(3.5, 3.5, 3.5),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(7.2, 6.9, 7.1),
+        ];
+        let program = RangeProgram {
+            queries: queries.clone(),
+            points: points.clone(),
+            radius,
+            k: 1000,
+        };
         let pipeline = Pipeline::new(&device);
         let result = pipeline.launch(&gas, queries.len(), &program, IsShaderKind::RangeSphereTest);
         for (qi, q) in queries.iter().enumerate() {
@@ -295,7 +319,12 @@ mod tests {
         let radius = 2.5;
         let gas = Gas::build_from_points(&device, &points, radius, BuildParams::default()).unwrap();
         let queries = vec![Vec3::new(4.0, 4.0, 4.0)];
-        let program = RangeProgram { queries, points, radius, k: 5 };
+        let program = RangeProgram {
+            queries,
+            points,
+            radius,
+            k: 5,
+        };
         let result =
             Pipeline::new(&device).launch(&gas, 1, &program, IsShaderKind::RangeSphereTest);
         assert_eq!(result.payloads[0].len(), 5);
@@ -317,7 +346,8 @@ mod tests {
                 IsVerdict::Ignore
             }
         }
-        let result = Pipeline::new(&device).launch(&gas, 100, &MaskedProgram, IsShaderKind::RangeSphereTest);
+        let result =
+            Pipeline::new(&device).launch(&gas, 100, &MaskedProgram, IsShaderKind::RangeSphereTest);
         assert_eq!(result.metrics.active_rays, 0);
         assert_eq!(result.metrics.is_calls, 0);
         assert_eq!(result.metrics.node_visits, 0);
@@ -334,7 +364,11 @@ mod tests {
         impl RayProgram for TerminalProgram {
             type Payload = (bool, bool); // (closest_hit_ran, miss_ran)
             fn ray_gen(&self, launch_index: u32) -> Option<(Ray, (bool, bool))> {
-                let q = if launch_index == 0 { Vec3::ZERO } else { Vec3::new(100.0, 0.0, 0.0) };
+                let q = if launch_index == 0 {
+                    Vec3::ZERO
+                } else {
+                    Vec3::new(100.0, 0.0, 0.0)
+                };
                 Some((Ray::point_probe(q), (false, false)))
             }
             fn intersection(&self, _: u32, _: u32, _: &mut (bool, bool)) -> IsVerdict {
@@ -347,7 +381,8 @@ mod tests {
                 payload.1 = true;
             }
         }
-        let result = Pipeline::new(&device).launch(&gas, 2, &TerminalProgram, IsShaderKind::RangeSphereTest);
+        let result =
+            Pipeline::new(&device).launch(&gas, 2, &TerminalProgram, IsShaderKind::RangeSphereTest);
         assert_eq!(result.payloads[0], (true, false));
         assert_eq!(result.payloads[1], (false, true));
         assert_eq!(result.metrics.hit_rays, 1);
@@ -378,8 +413,15 @@ mod tests {
             scrambled.swap(i, j);
         }
         let run = |qs: Vec<Vec3>| {
-            let program = RangeProgram { queries: qs, points: points.clone(), radius, k: 1000 };
-            Pipeline::new(&device).launch(&gas, n, &program, IsShaderKind::RangeSphereTest).metrics
+            let program = RangeProgram {
+                queries: qs,
+                points: points.clone(),
+                radius,
+                k: 1000,
+            };
+            Pipeline::new(&device)
+                .launch(&gas, n, &program, IsShaderKind::RangeSphereTest)
+                .metrics
         };
         let ordered = run(queries);
         let shuffled = run(scrambled);

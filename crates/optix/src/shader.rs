@@ -43,7 +43,12 @@ pub trait RayProgram: Sync {
     fn ray_gen(&self, launch_index: u32) -> Option<(Ray, Self::Payload)>;
 
     /// IS shader: `prim_id` is the primitive whose AABB the ray intersected.
-    fn intersection(&self, launch_index: u32, prim_id: u32, payload: &mut Self::Payload) -> IsVerdict;
+    fn intersection(
+        &self,
+        launch_index: u32,
+        prim_id: u32,
+        payload: &mut Self::Payload,
+    ) -> IsVerdict;
 
     /// CH shader: called after traversal if at least one intersection was
     /// accepted. Default: no-op.
@@ -65,7 +70,7 @@ mod tests {
     impl RayProgram for CountingProgram {
         type Payload = u32;
         fn ray_gen(&self, launch_index: u32) -> Option<(Ray, u32)> {
-            if launch_index % 2 == 0 {
+            if launch_index.is_multiple_of(2) {
                 Some((Ray::point_probe(Vec3::ZERO), 0))
             } else {
                 None
@@ -103,7 +108,10 @@ mod tests {
         let mut payload = 0u32;
         assert_eq!(p.intersection(0, 0, &mut payload), IsVerdict::Accept);
         assert_eq!(p.intersection(0, 1, &mut payload), IsVerdict::Accept);
-        assert_eq!(p.intersection(0, 2, &mut payload), IsVerdict::AcceptAndTerminate);
+        assert_eq!(
+            p.intersection(0, 2, &mut payload),
+            IsVerdict::AcceptAndTerminate
+        );
         assert_eq!(payload, 3);
     }
 }

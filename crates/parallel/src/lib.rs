@@ -137,7 +137,7 @@ where
         par_for_chunks(threads, 1, |range| {
             // Capture the wrapper (not its raw-pointer field) so the closure
             // stays `Sync` under edition-2021 disjoint capture rules.
-            let base = base;
+            let ptr = base;
             for t in range {
                 let start = t * chunk;
                 if start >= n {
@@ -145,7 +145,8 @@ where
                 }
                 let end = ((t + 1) * chunk).min(n);
                 // SAFETY: chunks are disjoint.
-                let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
                 slice.sort_by_key(|t| key(t));
             }
         });
@@ -160,7 +161,12 @@ where
         while start < n {
             let mid = (start + run).min(n);
             let end = (start + 2 * run).min(n);
-            merge_by_key(&src[start..mid], &src[mid..end], &mut items[start..end], &key);
+            merge_by_key(
+                &src[start..mid],
+                &src[mid..end],
+                &mut items[start..end],
+                &key,
+            );
             start = end;
         }
         run *= 2;
@@ -197,7 +203,7 @@ fn merge_by_key<T: Clone, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T
 struct SendPtr<T>(*mut T);
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
-        SendPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for SendPtr<T> {}
@@ -265,8 +271,9 @@ mod tests {
     #[test]
     fn sort_by_key_sorts_large_inputs() {
         let n = 200_000;
-        let mut data: Vec<u64> =
-            (0..n).map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 17).collect();
+        let mut data: Vec<u64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 17)
+            .collect();
         let mut expected = data.clone();
         expected.sort();
         par_sort_by_key(&mut data, |&x| x);

@@ -17,7 +17,9 @@ pub fn current_num_threads() -> usize {
     if configured > 0 {
         return configured;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Override the number of worker threads for the whole process. Passing 0

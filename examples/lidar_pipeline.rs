@@ -40,7 +40,10 @@ fn estimate_normal(points: &[Vec3], neighborhood: &[u32]) -> Vec3 {
 }
 
 fn main() {
-    let cloud = lidar::generate(&LidarParams { num_points: 80_000, ..Default::default() });
+    let cloud = lidar::generate(&LidarParams {
+        num_points: 80_000,
+        ..Default::default()
+    });
     let points = cloud.points;
     let bounds = rtnn_math::Aabb::from_points(&points);
     println!(
@@ -54,7 +57,9 @@ fn main() {
     let device = Device::rtx_2080();
     let params = SearchParams::knn(1.5, 16);
     let engine = Rtnn::new(&device, RtnnConfig::new(params));
-    let results = engine.search(&points, &points).expect("knn search over the frame");
+    let results = engine
+        .search(&points, &points)
+        .expect("knn search over the frame");
     println!(
         "neighborhoods computed in simulated {:.2} ms ({} partitions, {} IS calls)",
         results.total_time_ms(),

@@ -20,7 +20,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
@@ -44,9 +46,16 @@ impl UnionFind {
 }
 
 fn main() {
-    let cloud = nbody::generate(&NBodyParams { num_points: 60_000, ..Default::default() });
+    let cloud = nbody::generate(&NBodyParams {
+        num_points: 60_000,
+        ..Default::default()
+    });
     let points = cloud.points;
-    println!("N-body trace: {} galaxies in a {:.0} Mpc/h box", points.len(), 500.0);
+    println!(
+        "N-body trace: {} galaxies in a {:.0} Mpc/h box",
+        points.len(),
+        500.0
+    );
 
     // Linking length: a fraction of the mean inter-particle spacing.
     let box_volume = 500.0f32.powi(3);
@@ -57,7 +66,9 @@ fn main() {
     let device = Device::rtx_2080();
     let params = SearchParams::range(linking_length, 64);
     let engine = Rtnn::new(&device, RtnnConfig::new(params));
-    let result = engine.search(&points, &points).expect("friends-of-friends neighbor search");
+    let result = engine
+        .search(&points, &points)
+        .expect("friends-of-friends neighbor search");
     println!(
         "neighbor graph built in simulated {:.2} ms ({} partitions -> {} bundles, {} edges)",
         result.total_time_ms(),

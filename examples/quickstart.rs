@@ -14,7 +14,11 @@ use rtnn_gpusim::Device;
 fn main() {
     // 1. A uniformly distributed cloud of 50k points; the queries are the
     //    points themselves (the common case in physics simulation).
-    let cloud = uniform::generate(&UniformParams { num_points: 50_000, seed: 7, ..Default::default() });
+    let cloud = uniform::generate(&UniformParams {
+        num_points: 50_000,
+        seed: 7,
+        ..Default::default()
+    });
     let points = cloud.points.clone();
     let queries: Vec<_> = points.iter().step_by(10).copied().collect();
     println!("points: {}, queries: {}", points.len(), queries.len());

@@ -56,7 +56,9 @@ fn main() {
     for step in 0..steps {
         // 1. Neighbor search (the part RTNN accelerates).
         let engine = Rtnn::new(&device, RtnnConfig::new(params));
-        let result = engine.search(&particles, &particles).expect("neighborhood search");
+        let result = engine
+            .search(&particles, &particles)
+            .expect("neighborhood search");
         total_search_ms += result.total_time_ms();
 
         // 2. Density and pressure from the smoothing kernel.

@@ -1,0 +1,267 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! `cargo bench` still runs every registered benchmark and prints a
+//! mean/min/max wall-clock summary; there is no statistical analysis, HTML
+//! report or comparison against saved baselines. The API mirrors criterion
+//! 0.5 closely enough that swapping the real crate back in requires no
+//! source changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall time is provided).
+pub mod measurement {
+    /// Wall-clock measurement, the criterion default.
+    pub struct WallTime;
+}
+
+/// An opaque identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` — criterion takes either a string
+/// or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total sampling time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = match (self.name.as_str(), id.into_id()) {
+            ("", id) => id,
+            (group, id) => format!("{group}/{id}"),
+        };
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (purely cosmetic in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it repeatedly: first untimed during warm-up,
+    /// then `sample_size` timed samples (bounded by the measurement time).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{label:<60} [{} {} {}]  ({} samples)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// An identity function that opaquely prevents the optimiser from deleting
+/// the computation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group: a function that runs each target against a
+/// shared [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+}

@@ -1,0 +1,296 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim. The container has no `syn`/`quote`, so the item is
+//! parsed directly from the `proc_macro` token stream. Supported shapes —
+//! everything this workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums with unit, struct and tuple variants (externally tagged).
+//!
+//! Generics are not supported and produce a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed skeleton of a derive input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Struct(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#` followed by a bracket group, covering doc comments)
+/// and visibility (`pub`, optionally with a restriction group).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the attribute's bracket group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advance past one field/variant: consume tokens until a comma at zero
+/// angle-bracket depth (token streams do not group `<...>`).
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the `name: Type,` list of a named-field struct body (or struct
+/// variant body) into the field names.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected field name, found {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        i = skip_to_comma(&tokens, i);
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple-variant body `(TypeA, TypeB, ...)`.
+fn count_tuple_fields(body: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_to_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!(
+                "expected variant name, found {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_to_comma(&tokens, i);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected 'struct' or 'enum', found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "cannot derive for generic type `{name}` (shim limitation)"
+            ));
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!(
+            "cannot derive for unit or tuple struct `{name}` (shim limitation)"
+        ));
+    };
+    match keyword.as_str() {
+        "struct" if body.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "struct" => Err(format!(
+            "cannot derive for tuple struct `{name}` (shim limitation)"
+        )),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("expected 'struct' or 'enum', found '{other}'")),
+    }
+}
+
+/// Derive `serde::Serialize` (shim): convert the value into a `serde::Value`
+/// tree with serde's externally-tagged enum representation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let bindings = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(vec![(\
+                                     {vname:?}.to_string(), ::serde::Value::Object(vec![{}])\
+                                 )]),",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(n) => {
+                            let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                                     {vname:?}.to_string(), ::serde::Value::Array(vec![{}])\
+                                 )]),",
+                                bindings.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (shim): the trait is a marker, so the impl is
+/// empty — enough for `#[derive(Deserialize)]` and trait bounds to compile.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

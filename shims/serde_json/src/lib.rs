@@ -1,0 +1,164 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the serde shim's
+//! [`serde::Value`] tree.
+
+use serde::{Serialize, Value};
+use std::fmt::Write;
+
+/// Serialization error. The shim's rendering is infallible, but the real
+/// crate returns `Result`, so callers' `?`/`unwrap` keep compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a two-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => write!(out, "{n}").unwrap(),
+        Value::U64(n) => write!(out, "{n}").unwrap(),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a trailing `.0`.
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    write!(out, "{x:.1}").unwrap();
+                } else {
+                    write!(out, "{x}").unwrap();
+                }
+            } else {
+                // serde_json maps non-finite floats to null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    struct Wrapper(Value);
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let v = Wrapper(Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]));
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Wrapper(Value::Object(vec![(
+            "k".into(),
+            Value::Array(vec![Value::I64(-2)]),
+        )]));
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    -2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&Wrapper(Value::F64(2.0))).unwrap(), "2.0");
+        assert_eq!(to_string(&Wrapper(Value::F64(2.5))).unwrap(), "2.5");
+        assert_eq!(to_string(&Wrapper(Value::F64(f64::NAN))).unwrap(), "null");
+    }
+}

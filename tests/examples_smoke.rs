@@ -1,0 +1,63 @@
+//! Smoke tests for the runnable examples: `cargo test` builds every example
+//! target, and these tests execute each binary end-to-end and check its
+//! success marker, so the examples cannot silently rot (compile- or
+//! runtime-wise).
+//!
+//! Each example prints a terminal `✓` line after verifying its own results
+//! against an oracle; a non-zero exit or a missing marker fails the test.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate a compiled example binary for the active profile. Test binaries
+/// live in `target/<profile>/deps/`, examples in `target/<profile>/examples/`.
+fn example_binary(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("current_exe");
+    dir.pop(); // the test binary itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join("examples").join(name);
+    assert!(
+        path.exists(),
+        "example binary {path:?} not found — run via `cargo test`, which builds example targets"
+    );
+    path
+}
+
+fn run_example(name: &str) {
+    let output = Command::new(example_binary(name))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn example `{name}`: {e}"));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    assert!(
+        stdout.contains('✓'),
+        "example `{name}` did not print its success marker\nstdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn quickstart_runs_and_verifies() {
+    run_example("quickstart");
+}
+
+#[test]
+fn lidar_pipeline_runs_and_verifies() {
+    run_example("lidar_pipeline");
+}
+
+#[test]
+fn sph_fluid_runs_and_verifies() {
+    run_example("sph_fluid");
+}
+
+#[test]
+fn nbody_clustering_runs_and_verifies() {
+    run_example("nbody_clustering");
+}

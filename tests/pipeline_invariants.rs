@@ -23,8 +23,14 @@ fn breakdown_components_sum_to_total_and_are_nonnegative() {
     let points = dense_cloud(20_000);
     let queries: Vec<Vec3> = points.iter().step_by(5).copied().collect();
     for mode in [SearchMode::Range, SearchMode::Knn] {
-        let params = SearchParams { radius: 1.0, k: 16, mode };
-        let results = Rtnn::new(&device, RtnnConfig::new(params)).search(&points, &queries).unwrap();
+        let params = SearchParams {
+            radius: 1.0,
+            k: 16,
+            mode,
+        };
+        let results = Rtnn::new(&device, RtnnConfig::new(params))
+            .search(&points, &queries)
+            .unwrap();
         let b = results.breakdown;
         let sum = b.data_ms + b.opt_ms + b.bvh_ms + b.fs_ms + b.search_ms;
         assert!((sum - b.total_ms()).abs() < 1e-9);
@@ -64,13 +70,21 @@ fn partitioned_search_does_less_shader_work_than_global_search() {
     let queries: Vec<Vec3> = points.iter().step_by(2).copied().collect();
     let params = SearchParams::knn(2.0, 8);
     let run = |opt: OptLevel| {
-        Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt)).search(&points, &queries).unwrap()
+        Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt))
+            .search(&points, &queries)
+            .unwrap()
     };
     let sched = run(OptLevel::Sched);
     let part = run(OptLevel::SchedPartition);
     assert!(part.search_metrics.is_calls < sched.search_metrics.is_calls);
-    assert!(part.num_partitions > 1, "a dense cloud should produce several megacell sizes");
-    assert_eq!(part.neighbors, sched.neighbors, "optimisations must not change the answer");
+    assert!(
+        part.num_partitions > 1,
+        "a dense cloud should produce several megacell sizes"
+    );
+    assert_eq!(
+        part.neighbors, sched.neighbors,
+        "optimisations must not change the answer"
+    );
 }
 
 #[test]
@@ -116,7 +130,9 @@ fn shrunken_aabb_approximation_is_faster_and_never_reports_false_neighbors() {
         .unwrap();
     let approx = Rtnn::new(
         &device,
-        RtnnConfig::new(params).with_opt(OptLevel::Sched).with_approx(ApproxMode::ShrunkenAabb { factor: 0.5 }),
+        RtnnConfig::new(params)
+            .with_opt(OptLevel::Sched)
+            .with_approx(ApproxMode::ShrunkenAabb { factor: 0.5 }),
     )
     .search(&points, &queries)
     .unwrap();
@@ -150,12 +166,19 @@ fn knn_results_are_sorted_by_distance() {
     let points = dense_cloud(5_000);
     let queries: Vec<Vec3> = points.iter().step_by(11).copied().collect();
     let params = SearchParams::knn(2.0, 10);
-    let results = Rtnn::new(&device, RtnnConfig::new(params)).search(&points, &queries).unwrap();
+    let results = Rtnn::new(&device, RtnnConfig::new(params))
+        .search(&points, &queries)
+        .unwrap();
     for (qi, q) in queries.iter().enumerate() {
-        let dists: Vec<f32> =
-            results.neighbors[qi].iter().map(|&i| q.distance_squared(points[i as usize])).collect();
+        let dists: Vec<f32> = results.neighbors[qi]
+            .iter()
+            .map(|&i| q.distance_squared(points[i as usize]))
+            .collect();
         for pair in dists.windows(2) {
-            assert!(pair[0] <= pair[1], "query {qi}: distances not sorted: {dists:?}");
+            assert!(
+                pair[0] <= pair[1],
+                "query {qi}: distances not sorted: {dists:?}"
+            );
         }
     }
 }

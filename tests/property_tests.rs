@@ -13,7 +13,8 @@
 use proptest::prelude::*;
 use rtnn::verify::check_all;
 use rtnn::{
-    plan_bundles, CostCoefficients, KnnAabbRule, OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams,
+    plan_bundles, CostCoefficients, KnnAabbRule, OptLevel, Rtnn, RtnnConfig, SearchMode,
+    SearchParams,
 };
 use rtnn_bvh::{build_bvh, validate_bvh, BuildParams, BvhBuilder};
 use rtnn_gpusim::Device;

@@ -41,13 +41,16 @@ fn rtnn_matches_oracle_on_every_dataset_family_and_opt_level() {
     for (name, points, radius) in families() {
         let queries = queries_of(&points);
         for mode in [SearchMode::Range, SearchMode::Knn] {
-            let params = SearchParams { radius, k: 12, mode };
+            let params = SearchParams {
+                radius,
+                k: 12,
+                mode,
+            };
             for opt in OptLevel::all() {
                 let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
                 let results = engine.search(&points, &queries).unwrap();
-                check_all(&points, &queries, &params, &results.neighbors).unwrap_or_else(|(q, e)| {
-                    panic!("{name}, {mode:?}, {opt:?}, query {q}: {e}")
-                });
+                check_all(&points, &queries, &params, &results.neighbors)
+                    .unwrap_or_else(|(q, e)| panic!("{name}, {mode:?}, {opt:?}, query {q}: {e}"));
             }
         }
     }
@@ -62,20 +65,37 @@ fn every_baseline_matches_oracle_on_every_dataset_family() {
         Box::new(OctreeSearch),
         Box::new(KdTreeSearch),
     ];
-    let knn_baselines: Vec<Box<dyn Baseline>> =
-        vec![Box::new(BruteForce), Box::new(GridKnn), Box::new(KdTreeSearch)];
+    let knn_baselines: Vec<Box<dyn Baseline>> = vec![
+        Box::new(BruteForce),
+        Box::new(GridKnn),
+        Box::new(KdTreeSearch),
+    ];
     for (name, points, radius) in families() {
         let queries = queries_of(&points);
         let request = SearchRequest::new(radius, 12);
         for baseline in &range_baselines {
-            let run = baseline.range_search(&device, &points, &queries, request).unwrap();
-            check_all(&points, &queries, &SearchParams::range(radius, 12), &run.neighbors)
-                .unwrap_or_else(|(q, e)| panic!("{name}, {}, query {q}: {e}", baseline.name()));
+            let run = baseline
+                .range_search(&device, &points, &queries, request)
+                .unwrap();
+            check_all(
+                &points,
+                &queries,
+                &SearchParams::range(radius, 12),
+                &run.neighbors,
+            )
+            .unwrap_or_else(|(q, e)| panic!("{name}, {}, query {q}: {e}", baseline.name()));
         }
         for baseline in &knn_baselines {
-            let run = baseline.knn_search(&device, &points, &queries, request).unwrap();
-            check_all(&points, &queries, &SearchParams::knn(radius, 12), &run.neighbors)
-                .unwrap_or_else(|(q, e)| panic!("{name}, {}, query {q}: {e}", baseline.name()));
+            let run = baseline
+                .knn_search(&device, &points, &queries, request)
+                .unwrap();
+            check_all(
+                &points,
+                &queries,
+                &SearchParams::knn(radius, 12),
+                &run.neighbors,
+            )
+            .unwrap_or_else(|(q, e)| panic!("{name}, {}, query {q}: {e}", baseline.name()));
         }
     }
 }
@@ -88,24 +108,42 @@ fn rtnn_and_kdtree_report_identical_knn_distance_profiles() {
     let cloud = Dataset::scaled(DatasetName::Dragon3_6M, 2000).generate();
     let queries = queries_of(&cloud.points);
     let params = SearchParams::knn(0.05, 8);
-    let rtnn = Rtnn::new(&device, RtnnConfig::new(params)).search(&cloud.points, &queries).unwrap();
+    let rtnn = Rtnn::new(&device, RtnnConfig::new(params))
+        .search(&cloud.points, &queries)
+        .unwrap();
     let kd = KdTreeSearch
-        .knn_search(&device, &cloud.points, &queries, SearchRequest::new(0.05, 8))
+        .knn_search(
+            &device,
+            &cloud.points,
+            &queries,
+            SearchRequest::new(0.05, 8),
+        )
         .unwrap();
     let sum_of = |results: &Vec<Vec<u32>>| -> f64 {
         results
             .iter()
             .zip(&queries)
-            .map(|(ids, q)| ids.iter().map(|&i| q.distance(cloud.points[i as usize]) as f64).sum::<f64>())
+            .map(|(ids, q)| {
+                ids.iter()
+                    .map(|&i| q.distance(cloud.points[i as usize]) as f64)
+                    .sum::<f64>()
+            })
             .sum()
     };
     let a = sum_of(&rtnn.neighbors);
     let b = sum_of(&kd.neighbors);
-    assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "distance sums diverge: {a} vs {b}");
+    assert!(
+        (a - b).abs() <= 1e-3 * (1.0 + a.abs()),
+        "distance sums diverge: {a} vs {b}"
+    );
 }
 
 #[test]
 fn results_are_deterministic_across_runs() {
+    // Pin the worker-thread count: the comparison below includes simulated
+    // timings, which must not depend on host scheduling. (Results are
+    // thread-count independent by design; see tests/determinism.rs.)
+    rtnn_parallel::set_num_threads(4);
     let device = Device::rtx_2080();
     let cloud = Dataset::scaled(DatasetName::Kitti6M, 4000).generate();
     let queries = queries_of(&cloud.points);
@@ -120,6 +158,9 @@ fn results_are_deterministic_across_runs() {
 
 #[test]
 fn both_device_presets_agree_on_results_but_not_on_time() {
+    // Same pin (and the same value) as `results_are_deterministic_across_runs`
+    // so the two timing-sensitive tests cannot race each other on the global.
+    rtnn_parallel::set_num_threads(4);
     let cloud = Dataset::scaled(DatasetName::Bunny360K, 300).generate();
     let queries = queries_of(&cloud.points);
     let params = SearchParams::range(0.03, 16);
@@ -130,7 +171,10 @@ fn both_device_presets_agree_on_results_but_not_on_time() {
     let fast = Rtnn::new(&fast_device, RtnnConfig::new(params))
         .search(&cloud.points, &queries)
         .unwrap();
-    assert_eq!(slow.neighbors, fast.neighbors, "results must be device-independent");
+    assert_eq!(
+        slow.neighbors, fast.neighbors,
+        "results must be device-independent"
+    );
     assert!(
         fast.total_time_ms() < slow.total_time_ms(),
         "the 68-SM 2080 Ti must be simulated as faster than the 46-SM 2080"
