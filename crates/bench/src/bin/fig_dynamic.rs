@@ -1,0 +1,12 @@
+//! Extension figure: amortized per-frame cost of the streaming subsystem —
+//! refit-only vs rebuild-every-frame vs the cost-model policy.
+
+use rtnn_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let report = experiments::dynamic::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -91,6 +91,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             report.notes.push(format!(
                 "width grew {width_ratio:.0}x, IS calls grew {is_ratio:.0}x (super-linear growth expected)"
             ));
+            report.headline_metric("is_call_growth_over_width_sweep", is_ratio);
+            report.headline_metric("time_growth_over_width_sweep", last.1 / first.1.max(1e-12));
         }
     }
     report

@@ -83,6 +83,26 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
                 "{}: fully-optimised RTNN is within {:.1}% of the Oracle for KNN (paper: within 3% on KITTI-12M; on NBody the Oracle disables partitioning)",
                 workload.name, full_gap
             ));
+            let slug: String = workload
+                .name
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            report.headline_metric(
+                format!("{slug}_knn_full_speedup_vs_noopt"),
+                knn_times[0] / knn_times[3].max(1e-12),
+            );
+            report.headline_metric(
+                format!("{slug}_range_full_speedup_vs_noopt"),
+                range_times[0] / range_times[3].max(1e-12),
+            );
+            report.headline_metric(format!("{slug}_knn_oracle_gap_pct"), full_gap);
         }
         report.tables.push(table);
     }

@@ -69,6 +69,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     report.notes.push(format!(
         "linear fit: build_ms = {slope:.3e} * AABBs + {intercept:.4}, R² = {r2:.4} (paper: R² = 0.996)"
     ));
+    report.headline_metric("build_time_linear_fit_r2", r2);
+    report.headline_metric("build_ms_per_million_aabbs", slope * 1e6);
     report
 }
 

@@ -105,6 +105,12 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             ord.kernel.memory.l1_hit_rate() * 100.0,
             rand.kernel.memory.l1_hit_rate() * 100.0
         ));
+        report.headline_metric(
+            "ordered_vs_random_time_factor",
+            rand.time_ms() / ord.time_ms().max(1e-12),
+        );
+        report.headline_metric("ordered_l1_hit_rate", ord.kernel.memory.l1_hit_rate());
+        report.headline_metric("random_l1_hit_rate", rand.kernel.memory.l1_hit_rate());
     }
 
     report.tables.push(fig5);

@@ -6,6 +6,7 @@ pub mod aabb_sweep;
 pub mod ablation;
 pub mod bvh_build;
 pub mod coherence;
+pub mod dynamic;
 pub mod partition_dist;
 pub mod sensitivity;
 pub mod speedups;

@@ -90,6 +90,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     report
         .notes
         .push(format!("{} partitions in total", set.partitions.len()));
+    report.headline_metric("size_vs_count_rank_correlation", corr);
+    report.headline_metric("num_partitions", set.partitions.len() as f64);
     report
 }
 

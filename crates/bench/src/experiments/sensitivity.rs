@@ -108,6 +108,8 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         "paper shape: speedup first grows with r then shrinks once the search sphere covers most of the model; speedup grows with K until the bundling heuristic becomes overly aggressive at K=128"
             .into(),
     );
+    report.headline_metric("radius_sweep_points", RADII.len() as f64);
+    report.headline_metric("k_sweep_points", KS.len() as f64);
     report
 }
 

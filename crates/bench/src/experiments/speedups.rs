@@ -206,6 +206,23 @@ pub fn run_on_devices(scale: &ExperimentScale, devices: &[Device]) -> FigureRepo
             geomean(&frnn_speedups),
             geomean(&fastrnn_speedups),
         ));
+        let dev = device.config().name.replace(' ', "_").to_lowercase();
+        report.headline_metric(
+            format!("{dev}_geomean_speedup_octree"),
+            geomean(&octree_speedups),
+        );
+        report.headline_metric(
+            format!("{dev}_geomean_speedup_cunsearch"),
+            geomean(&cunsearch_speedups),
+        );
+        report.headline_metric(
+            format!("{dev}_geomean_speedup_frnn"),
+            geomean(&frnn_speedups),
+        );
+        report.headline_metric(
+            format!("{dev}_geomean_speedup_fastrnn"),
+            geomean(&fastrnn_speedups),
+        );
         report.tables.push(fig11);
         report.tables.push(fig12);
     }

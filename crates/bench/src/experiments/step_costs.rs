@@ -80,6 +80,14 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         "warp-level execution hides part of that gap: this launch charged {:.0} SM cycles vs {:.0} RT-core cycles",
         m.kernel.sm_cycles, m.kernel.rt_core_cycles
     ));
+    report.headline_metric(
+        "is_to_node_test_cost_ratio",
+        cost.is_range_cycles / cost.node_test_cycles,
+    );
+    report.headline_metric(
+        "sm_to_rt_cycles_ratio",
+        m.kernel.sm_cycles / m.kernel.rt_core_cycles.max(1e-12),
+    );
     report
 }
 

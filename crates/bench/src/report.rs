@@ -77,7 +77,8 @@ impl Table {
     }
 }
 
-/// The output of one experiment: a set of tables plus free-form notes.
+/// The output of one experiment: a set of tables plus free-form notes and
+/// machine-readable headline metrics.
 #[derive(Debug, Clone, Serialize)]
 pub struct FigureReport {
     /// Which figure this reproduces ("Figure 5", ...).
@@ -86,6 +87,11 @@ pub struct FigureReport {
     pub tables: Vec<Table>,
     /// Observations worth recording (who wins, rough factors, caveats).
     pub notes: Vec<String>,
+    /// Headline metrics, `(name, value)` pairs: the handful of numbers that
+    /// summarise the figure (a geomean speedup, an R², an amortized cost).
+    /// `reproduce_all` collects these into `results/summary.json` so the
+    /// perf trajectory can be tracked across PRs.
+    pub headline: Vec<(String, f64)>,
 }
 
 impl FigureReport {
@@ -95,6 +101,15 @@ impl FigureReport {
             figure: figure.into(),
             tables: Vec::new(),
             notes: Vec::new(),
+            headline: Vec::new(),
+        }
+    }
+
+    /// Record one headline metric (non-finite values are dropped so the
+    /// summary JSON stays valid).
+    pub fn headline_metric(&mut self, name: impl Into<String>, value: f64) {
+        if value.is_finite() {
+            self.headline.push((name.into(), value));
         }
     }
 
@@ -144,6 +159,38 @@ impl FigureReport {
         std::fs::write(json_path, serde_json::to_string_pretty(self).unwrap())?;
         Ok(md_path)
     }
+}
+
+/// Render the cross-figure summary (`figure name → headline metrics`) as a
+/// stable, machine-readable JSON object. Written by `reproduce_all` to
+/// `results/summary.json`; hand-rolled (rather than serde-derived) so the
+/// output is a proper JSON object keyed by figure and metric names
+/// regardless of which serde implementation backs the workspace.
+pub fn render_summary_json(entries: &[(&str, &[(String, f64)])]) -> String {
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut out = String::from("{\n");
+    for (fi, (figure, metrics)) in entries.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {{\n", escape(figure)));
+        for (mi, (name, value)) in metrics.iter().enumerate() {
+            let v = if value.is_finite() { *value } else { 0.0 };
+            out.push_str(&format!("    \"{}\": {v}", escape(name)));
+            out.push_str(if mi + 1 < metrics.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }");
+        out.push_str(if fi + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Geometric mean of a set of ratios (ignores non-positive entries, returns
@@ -214,6 +261,34 @@ mod tests {
         assert_eq!(fmt_ms(0.5), "500.0 µs");
         assert_eq!(fmt_speedup(2.25), "2.2x");
         assert_eq!(fmt_speedup(0.0), "n/a");
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_and_escaped() {
+        let a = vec![("geomean_speedup".to_string(), 2.5)];
+        let b = vec![("r\"2\"".to_string(), 0.996), ("bad".to_string(), f64::NAN)];
+        let s = render_summary_json(&[("Figure 11", &a), ("Fig \"15\"", &b)]);
+        assert!(s.contains("\"Figure 11\""));
+        assert!(s.contains("\"geomean_speedup\": 2.5"));
+        assert!(s.contains("\\\"15\\\""));
+        assert!(
+            s.contains("\"bad\": 0"),
+            "non-finite must be sanitised: {s}"
+        );
+        // Balanced braces and no trailing commas before closers.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(!s.contains(",\n}"));
+        assert!(!s.contains(",\n  }"));
+        assert_eq!(render_summary_json(&[]), "{\n}\n");
+    }
+
+    #[test]
+    fn headline_metrics_drop_non_finite_values() {
+        let mut r = FigureReport::new("t");
+        r.headline_metric("ok", 1.5);
+        r.headline_metric("nan", f64::NAN);
+        r.headline_metric("inf", f64::INFINITY);
+        assert_eq!(r.headline, vec![("ok".to_string(), 1.5)]);
     }
 
     #[test]

@@ -32,19 +32,33 @@ impl Default for ExperimentScale {
 
 impl ExperimentScale {
     /// Read the scale from the environment (`RTNN_SCALE`, `RTNN_QUERY_CAP`,
-    /// `RTNN_DNF_LIMIT`), falling back to the defaults.
+    /// `RTNN_DNF_LIMIT`), falling back to the defaults for *unset*
+    /// variables. A variable that is set but not a positive integer is a
+    /// configuration error: the process exits with a clear message instead
+    /// of silently benchmarking at the wrong scale.
     pub fn from_env() -> Self {
+        match Self::from_vars(|name| std::env::var(name).ok()) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Self::from_env`] with an injectable variable source (testable).
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
         let mut s = ExperimentScale::default();
-        if let Some(v) = read_env_usize("RTNN_SCALE") {
-            s.dataset_divisor = v.max(1);
+        if let Some(v) = parse_scale_var("RTNN_SCALE", get("RTNN_SCALE"), 1)? {
+            s.dataset_divisor = v;
         }
-        if let Some(v) = read_env_usize("RTNN_QUERY_CAP") {
-            s.query_cap = v.max(100);
+        if let Some(v) = parse_scale_var("RTNN_QUERY_CAP", get("RTNN_QUERY_CAP"), 100)? {
+            s.query_cap = v;
         }
-        if let Some(v) = read_env_usize("RTNN_DNF_LIMIT") {
+        if let Some(v) = parse_scale_var("RTNN_DNF_LIMIT", get("RTNN_DNF_LIMIT"), 1)? {
             s.dnf_work_limit = v as u64;
         }
-        s
+        Ok(s)
     }
 
     /// A very small configuration used by unit tests of the experiment
@@ -63,8 +77,26 @@ impl ExperimentScale {
     }
 }
 
-fn read_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
+/// Parse one scale variable: `Ok(None)` when unset or empty, `Ok(Some(v))`
+/// for a valid integer `>= min`, and a descriptive error for zero, garbage,
+/// negative or overflowing values.
+fn parse_scale_var(name: &str, value: Option<String>, min: usize) -> Result<Option<usize>, String> {
+    let Some(raw) = value else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let parsed: usize = trimmed.parse().map_err(|_| {
+        format!("{name}={raw:?} is not a positive integer (unset it to use the default)")
+    })?;
+    if parsed < min {
+        return Err(format!(
+            "{name}={parsed} is below the minimum of {min} (unset it to use the default)"
+        ));
+    }
+    Ok(Some(parsed))
 }
 
 #[cfg(test)]
@@ -88,6 +120,59 @@ mod tests {
         assert_eq!(s.query_stride(1000), 10);
         assert_eq!(s.query_stride(50), 1);
         assert_eq!(s.query_stride(101), 2);
+    }
+
+    #[test]
+    fn valid_variables_override_the_defaults() {
+        let s = ExperimentScale::from_vars(|name| match name {
+            "RTNN_SCALE" => Some("50".to_string()),
+            "RTNN_QUERY_CAP" => Some("2000".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(s.dataset_divisor, 50);
+        assert_eq!(s.query_cap, 2000);
+        assert_eq!(s.dnf_work_limit, ExperimentScale::default().dnf_work_limit);
+    }
+
+    #[test]
+    fn unset_or_empty_variables_fall_back_to_defaults() {
+        let s = ExperimentScale::from_vars(|_| None).unwrap();
+        assert_eq!(
+            s.dataset_divisor,
+            ExperimentScale::default().dataset_divisor
+        );
+        let s =
+            ExperimentScale::from_vars(|n| (n == "RTNN_SCALE").then(|| "   ".to_string())).unwrap();
+        assert_eq!(
+            s.dataset_divisor,
+            ExperimentScale::default().dataset_divisor
+        );
+    }
+
+    #[test]
+    fn zero_and_garbage_are_rejected_with_clear_errors() {
+        for (name, bad) in [
+            ("RTNN_SCALE", "0"),
+            ("RTNN_SCALE", "fast"),
+            ("RTNN_SCALE", "-3"),
+            ("RTNN_SCALE", "1.5"),
+            ("RTNN_QUERY_CAP", "0"),
+            ("RTNN_QUERY_CAP", "99"),
+            ("RTNN_DNF_LIMIT", "lots"),
+            ("RTNN_DNF_LIMIT", "0"),
+        ] {
+            let err =
+                ExperimentScale::from_vars(|n| (n == name).then(|| bad.to_string())).unwrap_err();
+            assert!(
+                err.contains(name),
+                "error for {name}={bad} must name the variable: {err}"
+            );
+            assert!(
+                err.contains("default"),
+                "error must mention the fallback: {err}"
+            );
+        }
     }
 
     #[test]

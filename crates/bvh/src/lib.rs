@@ -25,12 +25,14 @@
 
 pub mod builder;
 pub mod node;
+pub mod refit;
 pub mod stats;
 pub mod traverse;
 pub mod validate;
 
 pub use builder::{build_bvh, build_point_bvh, BuildParams, BvhBuilder};
 pub use node::{Bvh, BvhNode, NodeKind};
+pub use refit::{refit_bvh, refit_point_bvh, RefitError, RefitStats, SahMonitor};
 pub use stats::BvhStats;
 pub use traverse::{TraversalControl, TraversalStats, TraversalTrace};
 pub use validate::{validate_bvh, BvhValidationError};

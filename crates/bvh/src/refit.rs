@@ -1,0 +1,319 @@
+//! In-place BVH refit for dynamic scenes.
+//!
+//! When primitives move but their count stays fixed, the tree topology
+//! (parent/child structure and leaf → primitive assignment) can be kept and
+//! only the AABBs recomputed bottom-up: leaves from their primitives,
+//! internal nodes from their children. This is exactly what
+//! `optixAccelBuild` with `OPTIX_BUILD_OPERATION_UPDATE` does on real
+//! hardware — an order of magnitude cheaper than a rebuild, at the price of
+//! tree quality: as primitives drift from the positions the topology was
+//! chosen for, sibling AABBs start to overlap and traversal visits more
+//! nodes. The [`crate::node::Bvh::sah_cost`] monitor quantifies that
+//! degradation; the `rtnn-dynamic` crate's rebuild policy acts on it.
+
+use crate::node::{Bvh, NodeKind};
+use rtnn_math::Aabb;
+
+/// Ways a refit request can be invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefitError {
+    /// The new primitive set has a different size than the tree was built
+    /// over — refit cannot change topology; rebuild instead.
+    PrimitiveCountChanged {
+        /// Primitives the tree owns.
+        tree: usize,
+        /// Primitives supplied to the refit.
+        supplied: usize,
+    },
+}
+
+impl std::fmt::Display for RefitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefitError::PrimitiveCountChanged { tree, supplied } => write!(
+                f,
+                "refit cannot change the primitive count (tree has {tree}, supplied {supplied}); rebuild instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefitError {}
+
+/// What a refit did, for logging and policy decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefitStats {
+    /// Nodes whose AABB was recomputed (all of them).
+    pub nodes_updated: usize,
+    /// SAH cost of the tree before the refit.
+    pub sah_before: f64,
+    /// SAH cost of the tree after the refit.
+    pub sah_after: f64,
+}
+
+/// Recompute every node AABB of `bvh` bottom-up from `new_prim_aabbs`
+/// without re-topologizing. The new primitive set must have exactly the same
+/// length as the one the tree was built over; primitive ids keep their
+/// meaning.
+///
+/// Works for any structurally valid tree regardless of node layout (an
+/// explicit post-order traversal is used, so children need not follow their
+/// parent in the node array).
+///
+/// In debug and test builds the refitted tree is re-validated with
+/// [`crate::validate::validate_bvh`]; a violation is a bug in this function
+/// or in the input tree and panics.
+pub fn refit_bvh(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<RefitStats, RefitError> {
+    if new_prim_aabbs.len() != bvh.prim_aabbs.len() {
+        return Err(RefitError::PrimitiveCountChanged {
+            tree: bvh.prim_aabbs.len(),
+            supplied: new_prim_aabbs.len(),
+        });
+    }
+    let sah_before = bvh.sah_cost();
+    if bvh.nodes.is_empty() {
+        return Ok(RefitStats {
+            nodes_updated: 0,
+            sah_before,
+            sah_after: sah_before,
+        });
+    }
+    bvh.prim_aabbs.clear();
+    bvh.prim_aabbs.extend_from_slice(new_prim_aabbs);
+
+    // Iterative post-order: visit children before recomputing the parent.
+    // `(node, expanded)` pairs; on the second visit both children are done.
+    let mut stack: Vec<(u32, bool)> = vec![(0, false)];
+    while let Some((idx, expanded)) = stack.pop() {
+        let node = bvh.nodes[idx as usize];
+        match node.kind {
+            NodeKind::Leaf { start, count } => {
+                let mut aabb = Aabb::EMPTY;
+                for &pid in &bvh.prim_indices[start as usize..(start + count) as usize] {
+                    aabb.grow_aabb(&bvh.prim_aabbs[pid as usize]);
+                }
+                bvh.nodes[idx as usize].aabb = aabb;
+            }
+            NodeKind::Internal { left, right } => {
+                if expanded {
+                    let aabb = bvh.nodes[left as usize]
+                        .aabb
+                        .union(&bvh.nodes[right as usize].aabb);
+                    bvh.nodes[idx as usize].aabb = aabb;
+                } else {
+                    stack.push((idx, true));
+                    stack.push((left, false));
+                    stack.push((right, false));
+                }
+            }
+        }
+    }
+
+    #[cfg(any(debug_assertions, test))]
+    crate::validate::validate_bvh(bvh).expect("refit produced an invalid BVH");
+
+    Ok(RefitStats {
+        nodes_updated: bvh.nodes.len(),
+        sah_before,
+        sah_after: bvh.sah_cost(),
+    })
+}
+
+/// Refit helper mirroring [`crate::builder::build_point_bvh`]: primitives
+/// are the width-`2·radius` cubes centred at `points` (Listing 1's mapping).
+pub fn refit_point_bvh(
+    bvh: &mut Bvh,
+    points: &[rtnn_math::Vec3],
+    radius: f32,
+) -> Result<RefitStats, RefitError> {
+    let aabbs = rtnn_parallel::par_map(points.len(), |i| Aabb::cube(points[i], 2.0 * radius));
+    refit_bvh(bvh, &aabbs)
+}
+
+/// A quality monitor for a tree that is refitted across frames: remembers
+/// the SAH cost the tree had when it was last *built* and reports the
+/// degradation ratio of the current (refitted) tree against it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SahMonitor {
+    built_sah: f64,
+}
+
+impl SahMonitor {
+    /// Record the freshly built tree's SAH cost as the quality baseline.
+    pub fn baseline(bvh: &Bvh) -> Self {
+        SahMonitor {
+            built_sah: bvh.sah_cost(),
+        }
+    }
+
+    /// The SAH cost at the last rebuild.
+    pub fn built_sah(&self) -> f64 {
+        self.built_sah
+    }
+
+    /// Quality-degradation ratio of `bvh` against the baseline: 1.0 means
+    /// as good as freshly built, 2.0 means traversal is predicted to cost
+    /// about twice as much. Never below 1.0 (a refit can coincidentally
+    /// tighten boxes; the policy only cares about degradation).
+    pub fn quality_ratio(&self, bvh: &Bvh) -> f64 {
+        if self.built_sah <= 0.0 {
+            return 1.0;
+        }
+        (bvh.sah_cost() / self.built_sah).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_bvh, build_point_bvh, BuildParams, BvhBuilder};
+    use crate::validate::validate_bvh;
+    use rtnn_math::Vec3;
+
+    fn grid_points(n_per_axis: usize) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    pts.push(Vec3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn refit_with_identical_primitives_is_a_fixed_point() {
+        let pts = grid_points(5);
+        for builder in [
+            BvhBuilder::Lbvh,
+            BvhBuilder::MedianSplit,
+            BvhBuilder::BinnedSah,
+        ] {
+            let params = BuildParams {
+                builder,
+                max_leaf_size: 4,
+            };
+            let mut bvh = build_point_bvh(&pts, 0.5, params);
+            let reference = bvh.clone();
+            let stats = refit_point_bvh(&mut bvh, &pts, 0.5).unwrap();
+            assert_eq!(stats.nodes_updated, bvh.nodes.len());
+            assert!((stats.sah_after - stats.sah_before).abs() < 1e-9);
+            for (a, b) in bvh.nodes.iter().zip(&reference.nodes) {
+                assert_eq!(a.aabb, b.aabb, "{builder:?}");
+                assert_eq!(a.kind, b.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn refit_tracks_moved_primitives_and_stays_valid() {
+        let mut pts = grid_points(6);
+        let mut bvh = build_point_bvh(&pts, 0.4, BuildParams::default());
+        // Drift every point and squash z (an SPH-settle-like motion).
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.x += 0.3 * ((i % 7) as f32 - 3.0) / 3.0;
+            p.z *= 0.8;
+        }
+        refit_point_bvh(&mut bvh, &pts, 0.4).unwrap();
+        validate_bvh(&bvh).unwrap();
+        // Every primitive AABB is the cube at its new position.
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(bvh.prim_aabbs[i], Aabb::cube(p, 0.8));
+        }
+        // The root must bound all new positions.
+        let root = bvh.root_bounds();
+        for &p in &pts {
+            assert!(root.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn refit_rejects_changed_primitive_count() {
+        let pts = grid_points(3);
+        let mut bvh = build_point_bvh(&pts, 0.5, BuildParams::default());
+        let fewer: Vec<Aabb> = pts[..10].iter().map(|&p| Aabb::cube(p, 1.0)).collect();
+        let err = refit_bvh(&mut bvh, &fewer).unwrap_err();
+        assert!(matches!(
+            err,
+            RefitError::PrimitiveCountChanged {
+                tree: 27,
+                supplied: 10
+            }
+        ));
+        assert!(err.to_string().contains("rebuild instead"));
+    }
+
+    #[test]
+    fn refit_of_empty_bvh_is_a_noop() {
+        let mut bvh = Bvh::empty();
+        let stats = refit_bvh(&mut bvh, &[]).unwrap();
+        assert_eq!(stats.nodes_updated, 0);
+        assert!(bvh.is_empty());
+    }
+
+    #[test]
+    fn drift_degrades_sah_and_monitor_reports_it() {
+        let mut pts = grid_points(8);
+        let mut bvh = build_point_bvh(&pts, 0.4, BuildParams::default());
+        let monitor = SahMonitor::baseline(&bvh);
+        assert!((monitor.quality_ratio(&bvh) - 1.0).abs() < 1e-9);
+        // Heavy scrambling drift: points swap regions, so the frozen topology
+        // groups far-apart points under common ancestors.
+        let n = pts.len();
+        for i in 0..n / 2 {
+            pts.swap(i, n - 1 - i);
+        }
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.y += ((i % 13) as f32) * 0.9;
+        }
+        let stats = refit_point_bvh(&mut bvh, &pts, 0.4).unwrap();
+        assert!(
+            stats.sah_after > stats.sah_before * 1.2,
+            "expected clear SAH degradation, got {} -> {}",
+            stats.sah_before,
+            stats.sah_after
+        );
+        assert!(monitor.quality_ratio(&bvh) > 1.2);
+        // A rebuild restores the baseline-level quality.
+        let rebuilt = build_point_bvh(&pts, 0.4, BuildParams::default());
+        assert!(rebuilt.sah_cost() < bvh.sah_cost());
+    }
+
+    #[test]
+    fn refit_works_on_hand_layouts_with_children_before_parents() {
+        // Node 0 is an internal root whose children sit at indices 1 and 2 —
+        // but build a layout where the *left* child is the last node, so a
+        // naive reverse-index sweep would read a stale child box.
+        let prim_aabbs = vec![
+            Aabb::cube(Vec3::ZERO, 1.0),
+            Aabb::cube(Vec3::new(4.0, 0.0, 0.0), 1.0),
+        ];
+        let mut bvh = build_bvh(
+            &prim_aabbs,
+            BuildParams {
+                builder: BvhBuilder::MedianSplit,
+                max_leaf_size: 1,
+            },
+        );
+        // Swap the two leaves in the node array and fix up the root's child
+        // indices, producing a valid but reordered layout.
+        let NodeKind::Internal { left, right } = bvh.nodes[0].kind else {
+            panic!("expected internal root");
+        };
+        bvh.nodes.swap(left as usize, right as usize);
+        bvh.nodes[0].kind = NodeKind::Internal {
+            left: right,
+            right: left,
+        };
+        validate_bvh(&bvh).unwrap();
+        let moved = vec![
+            Aabb::cube(Vec3::new(0.0, 2.0, 0.0), 1.0),
+            Aabb::cube(Vec3::new(4.0, -2.0, 0.0), 1.0),
+        ];
+        refit_bvh(&mut bvh, &moved).unwrap();
+        validate_bvh(&bvh).unwrap();
+        assert!(bvh.root_bounds().contains_aabb(&moved[0]));
+        assert!(bvh.root_bounds().contains_aabb(&moved[1]));
+    }
+}

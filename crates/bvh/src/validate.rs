@@ -14,6 +14,11 @@ pub enum BvhValidationError {
     NodeVisitedTwice { node: usize },
     /// Some node is unreachable from the root.
     UnreachableNodes { expected: usize, visited: usize },
+    /// `prim_indices` is not a permutation-sized table over the primitives
+    /// (the two arrays disagree in length).
+    IndexTableSizeMismatch { indices: usize, primitives: usize },
+    /// A leaf slot references a primitive id outside `prim_aabbs`.
+    PrimIdOutOfRange { node: usize, prim: u32 },
     /// A leaf range points outside `prim_indices`.
     LeafRangeOutOfBounds { node: usize },
     /// A leaf exceeds the configured maximum leaf size.
@@ -35,6 +40,13 @@ pub fn validate_bvh(bvh: &Bvh) -> Result<(), BvhValidationError> {
         } else {
             Err(BvhValidationError::EmptyMismatch)
         };
+    }
+
+    if bvh.prim_indices.len() != bvh.prim_aabbs.len() {
+        return Err(BvhValidationError::IndexTableSizeMismatch {
+            indices: bvh.prim_indices.len(),
+            primitives: bvh.prim_aabbs.len(),
+        });
     }
 
     let n_nodes = bvh.nodes.len();
@@ -79,6 +91,12 @@ pub fn validate_bvh(bvh: &Bvh) -> Result<(), BvhValidationError> {
                     });
                 }
                 for &pid in &bvh.prim_indices[start as usize..end] {
+                    if pid as usize >= bvh.prim_aabbs.len() {
+                        return Err(BvhValidationError::PrimIdOutOfRange {
+                            node: idx,
+                            prim: pid,
+                        });
+                    }
                     prim_seen[pid as usize] += 1;
                     if !node
                         .aabb
@@ -216,6 +234,30 @@ mod tests {
         assert!(matches!(
             validate_bvh(&bvh),
             Err(BvhValidationError::UnreachableNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_index_table_size_mismatch() {
+        let mut bvh = valid_two_prim_bvh();
+        bvh.prim_indices.push(0);
+        assert!(matches!(
+            validate_bvh(&bvh),
+            Err(BvhValidationError::IndexTableSizeMismatch {
+                indices: 3,
+                primitives: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_out_of_range_primitive_id() {
+        let mut bvh = valid_two_prim_bvh();
+        bvh.prim_indices[0] = 99;
+        assert!(matches!(
+            validate_bvh(&bvh),
+            Err(BvhValidationError::PrimIdOutOfRange { prim: 99, .. })
+                | Err(BvhValidationError::LeafDoesNotEnclosePrimitive { .. })
         ));
     }
 

@@ -27,6 +27,11 @@ pub struct CostCoefficients {
     pub k_build_ms_per_aabb: f64,
     /// Fixed overhead per build launch, milliseconds.
     pub k_build_fixed_ms: f64,
+    /// Milliseconds per AABB of in-place acceleration-structure *refit*
+    /// (the dynamic-scene update path; much smaller than `k1`).
+    pub k_refit_ms_per_aabb: f64,
+    /// Fixed overhead per refit launch, milliseconds.
+    pub k_refit_fixed_ms: f64,
     /// Milliseconds per KNN IS call (`k2`), amortised across the device.
     pub k_is_knn_ms: f64,
     /// Milliseconds per range IS call with the sphere test (`k3`, touching
@@ -52,9 +57,15 @@ impl CostCoefficients {
         let build_one = device.accel_build_time_ms(1_000_000);
         let k_build = (build_two - build_one) / 1_000_000.0;
         let fixed = (2.0 * build_one - build_two).max(0.0);
+        let refit_two = device.accel_refit_time_ms(2_000_000);
+        let refit_one = device.accel_refit_time_ms(1_000_000);
+        let k_refit = (refit_two - refit_one) / 1_000_000.0;
+        let refit_fixed = (2.0 * refit_one - refit_two).max(0.0);
         CostCoefficients {
             k_build_ms_per_aabb: k_build,
             k_build_fixed_ms: fixed,
+            k_refit_ms_per_aabb: k_refit,
+            k_refit_fixed_ms: refit_fixed,
             k_is_knn_ms: per_call(IsShaderKind::Knn),
             k_is_range_sphere_ms: per_call(IsShaderKind::RangeSphereTest),
             k_is_range_no_sphere_ms: per_call(IsShaderKind::RangeNoSphereTest),
@@ -67,6 +78,16 @@ impl CostCoefficients {
             0.0
         } else {
             self.k_build_fixed_ms + self.k_build_ms_per_aabb * num_aabbs as f64
+        }
+    }
+
+    /// Estimated milliseconds to refit one existing BVH over `num_aabbs`
+    /// primitives in place.
+    pub fn refit_ms(&self, num_aabbs: usize) -> f64 {
+        if num_aabbs == 0 {
+            0.0
+        } else {
+            self.k_refit_fixed_ms + self.k_refit_ms_per_aabb * num_aabbs as f64
         }
     }
 
@@ -88,6 +109,18 @@ mod tests {
         assert!(c.k_is_range_sphere_ms > 0.0);
         assert!(c.k_is_range_no_sphere_ms > 0.0);
         assert!(c.k_build_fixed_ms >= 0.0);
+    }
+
+    #[test]
+    fn refit_coefficients_undercut_build_coefficients() {
+        let c = CostCoefficients::calibrate(&Device::rtx_2080());
+        assert!(c.k_refit_ms_per_aabb > 0.0);
+        assert!(c.k_refit_ms_per_aabb < c.k_build_ms_per_aabb);
+        assert!(c.k_refit_fixed_ms <= c.k_build_fixed_ms);
+        for n in [10_000usize, 1_000_000] {
+            assert!(c.refit_ms(n) < c.build_ms(n));
+        }
+        assert_eq!(c.refit_ms(0), 0.0);
     }
 
     #[test]

@@ -5,7 +5,11 @@
 use crate::approx::ApproxMode;
 use crate::bundling::{apply_bundles, plan_bundles};
 use crate::cost_model::CostCoefficients;
-use crate::partition::{partition_queries, KnnAabbRule, Partition, PartitionSet};
+use crate::megacell::MegacellGrid;
+use crate::partition::{
+    partition_queries, partition_queries_cached, KnnAabbRule, MegacellCache, Partition,
+    PartitionSet,
+};
 use crate::result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
 use crate::scheduling::{schedule_queries, QuerySchedule};
 use crate::shaders::{KnnProgram, QueryIndexing, RangeProgram};
@@ -13,7 +17,7 @@ use rtnn_bvh::BuildParams;
 use rtnn_gpusim::device::OutOfDeviceMemory;
 use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_gpusim::{Device, IsShaderKind};
-use rtnn_math::Vec3;
+use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::{Gas, LaunchMetrics, Pipeline};
 
 /// Which of the paper's optimisations are enabled — the five configurations
@@ -151,6 +155,40 @@ impl From<OutOfDeviceMemory> for SearchError {
     }
 }
 
+/// A scene whose expensive per-search state is owned and maintained by the
+/// caller across query rounds, handed to [`Rtnn::search_prepared`].
+///
+/// This is the engine-side half of the streaming contract: the caller (the
+/// `rtnn-dynamic` crate's `DynamicIndex`) keeps the global acceleration
+/// structure alive between frames — refitting it in place when points drift,
+/// rebuilding it when quality degrades — and keeps the megacell grid plus a
+/// per-query megacell cache that is invalidated incrementally from the
+/// grid's dirty region rather than recomputed wholesale.
+pub struct PreparedScene<'a> {
+    /// The global acceleration structure over the current point positions,
+    /// with one width-[`Rtnn::global_aabb_width`] cube per point.
+    pub gas: &'a Gas,
+    /// Simulated milliseconds the caller spent maintaining `gas` for this
+    /// frame (refit or rebuild time); charged to the `BVH` breakdown slot.
+    pub structure_ms: f64,
+    /// Prebuilt megacell state for the partitioning pass (`None` falls back
+    /// to growing a fresh grid inside the search, or is ignored entirely
+    /// below [`OptLevel::SchedPartition`]).
+    pub megacells: Option<PreparedMegacells<'a>>,
+}
+
+/// Megacell state carried across frames (see [`PreparedScene`]).
+pub struct PreparedMegacells<'a> {
+    /// Grid over the current point positions (built once, then refreshed
+    /// incrementally with [`MegacellGrid::refresh`]).
+    pub grid: &'a MegacellGrid,
+    /// Bounds of every grid cell whose population changed since the cache
+    /// entries were written ([`Aabb::EMPTY`] when none did).
+    pub dirty_region: Aabb,
+    /// Per-query megacell results from earlier frames; updated in place.
+    pub cache: &'a mut MegacellCache,
+}
+
 /// The RTNN search engine, bound to a simulated device.
 #[derive(Debug, Clone)]
 pub struct Rtnn<'d> {
@@ -174,9 +212,47 @@ impl<'d> Rtnn<'d> {
         self.device
     }
 
+    /// The full AABB width the global acceleration structure uses for this
+    /// configuration (`2r` scaled by the approximation mode). A reusable
+    /// index ([`Rtnn::search_prepared`]) must build/refit its GAS at exactly
+    /// this width.
+    pub fn global_aabb_width(&self) -> f32 {
+        2.0 * self.config.params.radius * self.config.approx.aabb_width_factor()
+    }
+
     /// Run the search: for every query, find its neighbors among `points`
     /// according to the configured [`SearchParams`].
     pub fn search(&self, points: &[Vec3], queries: &[Vec3]) -> Result<SearchResults, SearchError> {
+        self.search_inner(points, queries, None)
+    }
+
+    /// Run the search against a *persistent* scene whose global acceleration
+    /// structure (and optionally megacell grid + per-query megacell cache)
+    /// is maintained across query rounds by the caller — the streaming path
+    /// the `rtnn-dynamic` crate drives. Instead of building the global GAS
+    /// from scratch, the prepared structure is traversed directly and the
+    /// caller-supplied maintenance cost (`structure_ms`: this frame's refit
+    /// or rebuild time) is charged to the `BVH` component of the breakdown.
+    ///
+    /// The caller guarantees that `prepared.gas` holds one width-
+    /// [`Rtnn::global_aabb_width`] cube per point at the points' *current*
+    /// positions, and that a supplied megacell grid was built/refreshed over
+    /// the current positions.
+    pub fn search_prepared(
+        &self,
+        points: &[Vec3],
+        queries: &[Vec3],
+        prepared: PreparedScene<'_>,
+    ) -> Result<SearchResults, SearchError> {
+        self.search_inner(points, queries, Some(prepared))
+    }
+
+    fn search_inner(
+        &self,
+        points: &[Vec3],
+        queries: &[Vec3],
+        prepared: Option<PreparedScene<'_>>,
+    ) -> Result<SearchResults, SearchError> {
         let cfg = &self.config;
         cfg.params.validate().map_err(SearchError::InvalidConfig)?;
         cfg.approx.validate().map_err(SearchError::InvalidConfig)?;
@@ -220,17 +296,34 @@ impl<'d> Rtnn<'d> {
         }
 
         let pipeline = Pipeline::new(self.device);
-        let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
+        let full_width = self.global_aabb_width();
 
         // Global GAS: used directly by the NoOpt/Sched paths and by the
         // first-hit scheduling pass; reused by any partition that falls back
-        // to the full AABB width.
-        let global_gas = Gas::build(self.device, &point_aabbs(points, full_width), cfg.build)?;
-        breakdown.bvh_ms += global_gas.build_time_ms();
+        // to the full AABB width. A prepared scene supplies it (already
+        // refitted/rebuilt for this frame) and charges its maintenance cost;
+        // the batch path builds it from scratch.
+        let (prepared_gas, mut prepared_megacells) = match prepared {
+            Some(p) => (Some((p.gas, p.structure_ms)), p.megacells),
+            None => (None, None),
+        };
+        let built_gas;
+        let global_gas: &Gas = match prepared_gas {
+            Some((gas, structure_ms)) => {
+                debug_assert_eq!(gas.num_primitives(), points.len());
+                breakdown.bvh_ms += structure_ms;
+                gas
+            }
+            None => {
+                built_gas = Gas::build(self.device, &point_aabbs(points, full_width), cfg.build)?;
+                breakdown.bvh_ms += built_gas.build_time_ms();
+                &built_gas
+            }
+        };
 
         // Query scheduling (Section 4).
         let schedule = if cfg.opt.scheduling() {
-            let s = schedule_queries(self.device, &global_gas, points, queries);
+            let s = schedule_queries(self.device, global_gas, points, queries);
             breakdown.fs_ms += s.fs_metrics.time_ms();
             breakdown.opt_ms += s.sort_metrics.time_ms;
             s
@@ -241,15 +334,28 @@ impl<'d> Rtnn<'d> {
 
         // Query partitioning (Section 5.1) and bundling (Section 5.2).
         let (partitions, num_partitions, num_bundles) = if cfg.opt.partitioning() {
-            let set: PartitionSet = partition_queries(
-                self.device,
-                points,
-                queries,
-                &schedule.order,
-                &params,
-                cfg.knn_rule,
-                cfg.grid_max_cells,
-            );
+            let set: PartitionSet = if let Some(pm) = prepared_megacells.as_mut() {
+                partition_queries_cached(
+                    self.device,
+                    queries,
+                    &schedule.order,
+                    &params,
+                    cfg.knn_rule,
+                    pm.grid,
+                    &pm.dirty_region,
+                    pm.cache,
+                )
+            } else {
+                partition_queries(
+                    self.device,
+                    points,
+                    queries,
+                    &schedule.order,
+                    &params,
+                    cfg.knn_rule,
+                    cfg.grid_max_cells,
+                )
+            };
             breakdown.opt_ms += set.opt_metrics.time_ms;
             let raw_count = set.partitions.len();
             let parts = if cfg.opt.bundling() {
@@ -280,7 +386,7 @@ impl<'d> Rtnn<'d> {
             let reuse_global = (part.aabb_width - full_width).abs() <= f32::EPSILON * full_width;
             let gas_storage;
             let gas = if reuse_global {
-                &global_gas
+                global_gas
             } else {
                 gas_storage = Gas::build(
                     self.device,
@@ -544,6 +650,51 @@ mod tests {
             assert!(results.neighbors[qi].len() <= params.k);
             for &id in &results.neighbors[qi] {
                 assert!(q.distance(points[id as usize]) < params.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_search_matches_batch_search_and_charges_structure_time() {
+        let points = grid_points(7, 0.8);
+        let queries: Vec<Vec3> = points.iter().step_by(2).copied().collect();
+        let device = Device::rtx_2080();
+        for params in [SearchParams::knn(1.5, 6), SearchParams::range(1.5, 64)] {
+            for opt in OptLevel::all() {
+                let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
+                let batch = engine.search(&points, &queries).unwrap();
+
+                let gas = Gas::build(
+                    &device,
+                    &point_aabbs(&points, engine.global_aabb_width()),
+                    engine.config().build,
+                )
+                .unwrap();
+                let grid = MegacellGrid::build(&points, engine.config().grid_max_cells).unwrap();
+                let mut cache = MegacellCache::new(queries.len());
+                let prepared = engine
+                    .search_prepared(
+                        &points,
+                        &queries,
+                        PreparedScene {
+                            gas: &gas,
+                            structure_ms: 0.01,
+                            megacells: Some(PreparedMegacells {
+                                grid: &grid,
+                                dirty_region: Aabb::EMPTY,
+                                cache: &mut cache,
+                            }),
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    prepared.neighbors, batch.neighbors,
+                    "{params:?} {opt:?}: prepared search must be bit-identical"
+                );
+                // The caller-supplied maintenance cost replaces the build
+                // time of the global structure.
+                assert!(prepared.breakdown.bvh_ms >= 0.01);
+                assert!(prepared.breakdown.bvh_ms < batch.breakdown.bvh_ms);
             }
         }
     }

@@ -65,8 +65,8 @@ pub mod verify;
 pub use approx::ApproxMode;
 pub use bundling::{apply_bundles, plan_bundles, BundlePlan};
 pub use cost_model::CostCoefficients;
-pub use engine::{OptLevel, Rtnn, RtnnConfig, SearchError};
-pub use megacell::{MegacellGrid, MegacellResult};
-pub use partition::{KnnAabbRule, Partition, PartitionSet};
+pub use engine::{OptLevel, PreparedMegacells, PreparedScene, Rtnn, RtnnConfig, SearchError};
+pub use megacell::{GridRefresh, MegacellGrid, MegacellResult};
+pub use partition::{KnnAabbRule, MegacellCache, Partition, PartitionSet};
 pub use result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
 pub use scheduling::{raster_order, schedule_queries, QuerySchedule};

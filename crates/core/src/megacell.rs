@@ -15,10 +15,39 @@
 use rtnn_math::{Aabb, GridCoord, PointBins, UniformGrid, Vec3};
 
 /// The grid + binned points the megacell pass operates on.
+///
+/// For streaming scenes the grid supports *incremental* maintenance: it
+/// remembers which cell every point was binned into, so when a frame moves a
+/// subset of the points only those points' cells are recomputed and the bins
+/// re-sorted ([`MegacellGrid::refresh`]) — the grid geometry (bounds, cell
+/// size, dimensions) survives, and the refresh reports the world-space
+/// region whose cell populations changed so downstream per-query megacell
+/// caches can be invalidated selectively instead of wholesale.
 #[derive(Debug, Clone)]
 pub struct MegacellGrid {
     bins: PointBins,
     cell_size: f32,
+    /// Cell index each point is currently binned into (indexed by point id).
+    point_cells: Vec<u32>,
+}
+
+/// Outcome of [`MegacellGrid::refresh`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridRefresh {
+    /// The grid absorbed the motion in place. `dirty_region` bounds every
+    /// cell whose population changed (empty when points only moved within
+    /// their cells — megacell results are then unchanged everywhere);
+    /// `cells_changed` counts those cells.
+    Incremental {
+        /// World-space bounds of all population-changed cells.
+        dirty_region: Aabb,
+        /// Number of cells whose population changed.
+        cells_changed: usize,
+    },
+    /// The motion cannot be absorbed (a point left the grid bounds, or the
+    /// point count changed): the caller must rebuild the grid from scratch
+    /// with [`MegacellGrid::build`]. `self` is left unchanged.
+    NeedsRebuild,
 }
 
 /// Result of growing one query's megacell.
@@ -58,10 +87,96 @@ impl MegacellGrid {
         };
         let grid = UniformGrid::with_max_cells(bounds, max_cells.max(8));
         let cell_size = grid.cell_size();
+        let point_cells: Vec<u32> = points
+            .iter()
+            .map(|&p| grid.cell_index(grid.cell_of(p)) as u32)
+            .collect();
         Some(MegacellGrid {
-            bins: PointBins::build(grid, points),
+            bins: PointBins::from_cell_indices(grid, &point_cells),
             cell_size,
+            point_cells,
         })
+    }
+
+    /// Absorb a frame of motion: `points` are the current positions (same
+    /// ids as at build time) and `moved` lists the ids whose position
+    /// changed since the last build/refresh. Only the moved points' cells
+    /// are recomputed; the bins are re-sorted when any point changed cell.
+    ///
+    /// Returns [`GridRefresh::NeedsRebuild`] — leaving `self` untouched —
+    /// when the motion cannot be absorbed: the point count changed, or a
+    /// moved point escaped the grid bounds (binning clamps out-of-bounds
+    /// points into boundary cells, which would let the megacell counts claim
+    /// points that are geometrically far outside the counted box and break
+    /// the AABB-width soundness argument).
+    pub fn refresh(&mut self, points: &[Vec3], moved: &[u32]) -> GridRefresh {
+        if points.len() != self.point_cells.len() {
+            return GridRefresh::NeedsRebuild;
+        }
+        let grid = self.bins.grid();
+        let mut changes: Vec<(u32, u32)> = Vec::new(); // (id, new cell)
+        for &id in moved {
+            let p = points[id as usize];
+            if !grid.bounds().contains_point(p) {
+                return GridRefresh::NeedsRebuild;
+            }
+            let cell = grid.cell_index(grid.cell_of(p)) as u32;
+            if cell != self.point_cells[id as usize] {
+                changes.push((id, cell));
+            }
+        }
+        if changes.is_empty() {
+            return GridRefresh::Incremental {
+                dirty_region: Aabb::EMPTY,
+                cells_changed: 0,
+            };
+        }
+        let mut dirty_region = Aabb::EMPTY;
+        let mut dirty_cells = std::collections::HashSet::new();
+        for &(id, new_cell) in &changes {
+            let old_cell = self.point_cells[id as usize];
+            for cell in [old_cell, new_cell] {
+                if dirty_cells.insert(cell) {
+                    dirty_region.grow_aabb(&grid.cell_bounds(grid.coord_of_index(cell as usize)));
+                }
+            }
+            self.point_cells[id as usize] = new_cell;
+        }
+        let cells_changed = dirty_cells.len();
+        self.bins = PointBins::from_cell_indices(self.bins.grid().clone(), &self.point_cells);
+        GridRefresh::Incremental {
+            dirty_region,
+            cells_changed,
+        }
+    }
+
+    /// World-space bounds of every cell the megacell growth for a query at
+    /// `q` could possibly scan (the maximum-steps box around its central
+    /// cell). A cached megacell result stays valid as long as this region
+    /// contains no population-changed cell and the query's central cell is
+    /// unchanged.
+    pub fn reach_bounds(&self, q: Vec3, radius: f32) -> Aabb {
+        let grid = self.bins.grid();
+        let centre = grid.cell_of(q);
+        let dims = grid.dims();
+        let steps = self.max_steps(radius);
+        let lo = GridCoord::new(
+            centre.x.saturating_sub(steps),
+            centre.y.saturating_sub(steps),
+            centre.z.saturating_sub(steps),
+        );
+        let hi = GridCoord::new(
+            (centre.x + steps).min(dims[0] - 1),
+            (centre.y + steps).min(dims[1] - 1),
+            (centre.z + steps).min(dims[2] - 1),
+        );
+        grid.cell_bounds(lo).union(&grid.cell_bounds(hi))
+    }
+
+    /// Linear index of the cell containing `q` (clamped to the grid).
+    pub fn cell_index_of(&self, q: Vec3) -> usize {
+        let grid = self.bins.grid();
+        grid.cell_index(grid.cell_of(q))
     }
 
     /// Edge length of one grid cell.
@@ -231,6 +346,97 @@ mod tests {
         let sparse = mg.megacell_for(Vec3::new(25.0, 20.0, 20.0), 8.0, 16);
         assert!(dense.width <= sparse.width);
         assert!(dense.found >= 16);
+    }
+
+    #[test]
+    fn refresh_absorbs_in_bounds_motion_and_matches_a_fresh_build() {
+        let mut points = dense_grid_points(6, 1.0);
+        let mut mg = MegacellGrid::build(&points, 4096).unwrap();
+        // Move a handful of points to other cells (staying inside bounds).
+        let moved: Vec<u32> = vec![3, 40, 100, 150];
+        for &id in &moved {
+            let p = &mut points[id as usize];
+            p.x = (p.x + 2.0) % 5.0;
+            p.y = (p.y + 1.0) % 5.0;
+        }
+        let refresh = mg.refresh(&points, &moved);
+        let GridRefresh::Incremental {
+            dirty_region,
+            cells_changed,
+        } = refresh
+        else {
+            panic!("expected incremental refresh, got {refresh:?}");
+        };
+        assert!(cells_changed > 0);
+        assert!(!dirty_region.is_empty());
+        // Every megacell result equals a freshly built grid's (geometry was
+        // preserved, so cell size and dims agree).
+        let fresh = MegacellGrid::build(&points, 4096).unwrap();
+        assert_eq!(mg.cell_size(), fresh.cell_size());
+        for q in [
+            Vec3::new(0.5, 0.5, 0.5),
+            Vec3::new(2.5, 2.5, 2.5),
+            Vec3::new(4.9, 0.1, 3.3),
+        ] {
+            assert_eq!(mg.megacell_for(q, 2.0, 8), fresh.megacell_for(q, 2.0, 8));
+        }
+    }
+
+    #[test]
+    fn refresh_with_intra_cell_motion_reports_nothing_dirty() {
+        let mut points = dense_grid_points(5, 1.0);
+        let mut mg = MegacellGrid::build(&points, 4096).unwrap();
+        let cell = mg.cell_size();
+        // Nudge every interior point by much less than a cell (points on the
+        // max face are left alone so nothing escapes the grid bounds).
+        let mut moved: Vec<u32> = Vec::new();
+        for (i, p) in points.iter_mut().enumerate() {
+            if p.x < 3.5 {
+                p.x += 0.01 * cell;
+                moved.push(i as u32);
+            }
+        }
+        match mg.refresh(&points, &moved) {
+            GridRefresh::Incremental {
+                dirty_region,
+                cells_changed,
+            } => {
+                // Most nudges stay within the cell; tolerate a few boundary
+                // crossings but the dirty region must be far from covering
+                // the whole grid when motion is this small.
+                assert!(cells_changed < points.len() / 4);
+                let _ = dirty_region;
+            }
+            GridRefresh::NeedsRebuild => panic!("tiny motion should not force a rebuild"),
+        }
+    }
+
+    #[test]
+    fn refresh_demands_rebuild_when_points_escape_or_counts_change() {
+        let mut points = dense_grid_points(4, 1.0);
+        let mut mg = MegacellGrid::build(&points, 4096).unwrap();
+        // A point leaves the grid bounds entirely.
+        points[7] = Vec3::new(100.0, 0.0, 0.0);
+        assert_eq!(mg.refresh(&points, &[7]), GridRefresh::NeedsRebuild);
+        // Point-count changes always force a rebuild.
+        points.pop();
+        assert_eq!(mg.refresh(&points, &[]), GridRefresh::NeedsRebuild);
+    }
+
+    #[test]
+    fn reach_bounds_cover_the_growth_region() {
+        let points = dense_grid_points(8, 1.0);
+        let mg = MegacellGrid::build(&points, 32 * 32 * 32).unwrap();
+        let q = Vec3::new(3.5, 3.5, 3.5);
+        let radius = 3.0;
+        let reach = mg.reach_bounds(q, radius);
+        // The megacell the growth actually produced fits inside the reach.
+        let mc = mg.megacell_for(q, radius, 64);
+        assert!(reach.longest_extent() >= mc.width - 1e-5);
+        assert!(reach.contains_point(q));
+        // A larger radius can only widen the reach.
+        let wider = mg.reach_bounds(q, 2.0 * radius);
+        assert!(wider.contains_aabb(&reach));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::megacell::{MegacellGrid, MegacellResult};
 use crate::result::{SearchMode, SearchParams};
 use rtnn_gpusim::kernel::{cell_offset_address, run_sm_kernel, SmKernelConfig, ThreadWork};
 use rtnn_gpusim::{Device, KernelMetrics};
-use rtnn_math::Vec3;
+use rtnn_math::{Aabb, Vec3};
 
 /// How the KNN AABB width is derived from the megacell width (Figure 10c).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,7 +162,6 @@ pub fn partition_queries(
     let Some(grid) = MegacellGrid::build(points, grid_max_cells) else {
         return PartitionSet::single(query_order, params);
     };
-    let cell = grid.cell_size();
 
     // Megacell kernel: one thread per query. The host-side growth result is
     // returned as the thread's result; its work is charged to the device.
@@ -172,23 +171,44 @@ pub fn partition_queries(
         SmKernelConfig::default(),
         |launch_idx| {
             let q = queries[query_order[launch_idx] as usize];
-            let mc = grid.megacell_for(q, params.radius, params.k);
-            // Memory traffic: the cell-count records the growth examined
-            // (capped to keep the per-thread address list bounded; the op
-            // count carries the full cost).
-            let centre_cell = grid.grid().cell_index(grid.grid().cell_of(q));
-            let touched = (mc.cells_scanned as usize).min(32);
-            let addresses = (0..touched)
-                .map(|i| cell_offset_address(centre_cell + i))
-                .collect();
-            (
-                Wrapped(mc),
-                ThreadWork::new(mc.cells_scanned as u64, addresses),
-            )
+            let (mc, work) = grow_megacell(&grid, q, params);
+            (Wrapped(mc), work)
         },
     );
 
-    // Group by (steps, capped): identical keys produce identical AABB widths.
+    group_into_partitions(&megacells, query_order, &grid, params, rule, opt_metrics)
+}
+
+/// Grow one query's megacell and account its device-side work: the
+/// cell-count records the growth examined (the address list is capped to
+/// keep it bounded; the op count carries the full cost).
+fn grow_megacell(
+    grid: &MegacellGrid,
+    q: Vec3,
+    params: &SearchParams,
+) -> (MegacellResult, ThreadWork) {
+    let mc = grid.megacell_for(q, params.radius, params.k);
+    let centre_cell = grid.grid().cell_index(grid.grid().cell_of(q));
+    let touched = (mc.cells_scanned as usize).min(32);
+    let addresses = (0..touched)
+        .map(|i| cell_offset_address(centre_cell + i))
+        .collect();
+    let work = ThreadWork::new(mc.cells_scanned as u64, addresses);
+    (mc, work)
+}
+
+/// Group per-query megacell results (aligned with `query_order`) into
+/// partitions by `(steps, capped)` — identical keys produce identical AABB
+/// widths — and derive each partition's width, sphere-test flag and density.
+fn group_into_partitions(
+    megacells: &[Wrapped],
+    query_order: &[u32],
+    grid: &MegacellGrid,
+    params: &SearchParams,
+    rule: KnnAabbRule,
+    opt_metrics: KernelMetrics,
+) -> PartitionSet {
+    let cell = grid.cell_size();
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<(u32, bool), Vec<u32>> = BTreeMap::new();
     for (launch_idx, wrapped) in megacells.iter().enumerate() {
@@ -231,6 +251,132 @@ pub fn partition_queries(
         opt_metrics,
         cell_size: cell,
     }
+}
+
+/// Per-query megacell results cached across frames of a streaming scene,
+/// indexed by query id.
+///
+/// A megacell result depends only on the query's central grid cell, the
+/// per-cell point counts inside its reachable box, and the search
+/// parameters — so a cached entry stays valid as long as (a) the query is
+/// still inside the grid and in the same cell and (b) no cell inside its
+/// reachable region changed population. [`partition_queries_cached`]
+/// enforces exactly that, recomputing only the invalidated queries instead
+/// of re-growing every megacell wholesale. The query *positions* may change
+/// freely between frames (the central-cell check catches them); the search
+/// parameters and the grid identity must stay fixed for the cache's
+/// lifetime — invalidate on any change of either.
+#[derive(Debug, Clone, Default)]
+pub struct MegacellCache {
+    /// Per query id: the central cell the entry was computed for + result.
+    entries: Vec<Option<(u32, MegacellResult)>>,
+}
+
+impl MegacellCache {
+    /// An empty (all-invalid) cache for `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        MegacellCache {
+            entries: vec![None; num_queries],
+        }
+    }
+
+    /// Drop every entry, resizing to `num_queries` (used after a grid
+    /// rebuild or when the query set changes).
+    pub fn invalidate_all(&mut self, num_queries: usize) {
+        self.entries.clear();
+        self.entries.resize(num_queries, None);
+    }
+
+    /// Number of currently valid entries.
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// Result of one cached-megacell kernel thread.
+#[derive(Debug, Clone, Copy, Default)]
+struct CachedOutcome {
+    mc: Wrapped,
+    /// True when the megacell was grown this frame (cache miss).
+    recomputed: bool,
+    /// True when the query was inside the grid (its entry may be stored).
+    in_grid: bool,
+}
+
+/// [`partition_queries`] over a *prebuilt* grid with a per-query megacell
+/// cache: queries whose cached result provably still holds pay only a probe
+/// (one op), everything else is re-grown. `dirty_region` must bound every
+/// grid cell whose population changed since the cache entries were written
+/// (see [`crate::megacell::GridRefresh`]); pass [`Aabb::EMPTY`] when nothing
+/// moved between cells. The cache is updated in place so it is ready for the
+/// next frame.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_queries_cached(
+    device: &Device,
+    queries: &[Vec3],
+    query_order: &[u32],
+    params: &SearchParams,
+    rule: KnnAabbRule,
+    grid: &MegacellGrid,
+    dirty_region: &Aabb,
+    cache: &mut MegacellCache,
+) -> PartitionSet {
+    if cache.entries.len() != queries.len() {
+        cache.invalidate_all(queries.len());
+    }
+    let entries = &cache.entries;
+    let (outcomes, opt_metrics) = run_sm_kernel(
+        device,
+        query_order.len(),
+        SmKernelConfig::default(),
+        |launch_idx| {
+            let qid = query_order[launch_idx] as usize;
+            let q = queries[qid];
+            let in_grid = grid.grid().bounds().contains_point(q);
+            if in_grid {
+                if let Some((cell, cached)) = entries[qid] {
+                    let same_cell = cell as usize == grid.cell_index_of(q);
+                    if same_cell && !grid.reach_bounds(q, params.radius).overlaps(dirty_region) {
+                        // Cache hit: one probe of the per-query state.
+                        let work = ThreadWork::new(1, vec![cell_offset_address(cell as usize)]);
+                        return (
+                            CachedOutcome {
+                                mc: Wrapped(cached),
+                                recomputed: false,
+                                in_grid,
+                            },
+                            work,
+                        );
+                    }
+                }
+            }
+            let (mc, work) = grow_megacell(grid, q, params);
+            (
+                CachedOutcome {
+                    mc: Wrapped(mc),
+                    recomputed: true,
+                    in_grid,
+                },
+                work,
+            )
+        },
+    );
+
+    // Fold the frame's outcomes back into the cache: recomputed in-grid
+    // queries overwrite their entry; out-of-grid queries lose theirs (their
+    // old in-grid entry stops being refreshed, so it must not survive).
+    for (launch_idx, outcome) in outcomes.iter().enumerate() {
+        let qid = query_order[launch_idx] as usize;
+        if !outcome.in_grid {
+            cache.entries[qid] = None;
+        } else if outcome.recomputed {
+            let cell = grid.cell_index_of(queries[qid]) as u32;
+            cache.entries[qid] = Some((cell, outcome.mc.0));
+        }
+    }
+
+    let megacells: Vec<Wrapped> = outcomes.iter().map(|o| o.mc).collect();
+    group_into_partitions(&megacells, query_order, grid, params, rule, opt_metrics)
 }
 
 /// Newtype so the megacell result can flow through `run_sm_kernel`'s
@@ -416,6 +562,140 @@ mod tests {
         assert_eq!(set.partitions.len(), 1);
         assert_eq!(set.partitions[0].aabb_width, 2.0);
         assert_eq!(set.total_queries(), 2);
+    }
+
+    #[test]
+    fn cached_partitioning_matches_uncached_and_gets_cheaper() {
+        let device = Device::rtx_2080();
+        let points = grid_points(9);
+        let queries = points.clone();
+        let order = identity_order(queries.len());
+        let params = SearchParams::knn(3.0, 8);
+        let uncached = partition_queries(
+            &device,
+            &points,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            1 << 18,
+        );
+        let grid = MegacellGrid::build(&points, 1 << 18).unwrap();
+        let mut cache = MegacellCache::new(queries.len());
+        // Frame 1: cold cache — identical partitions, comparable cost.
+        let frame1 = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        assert_eq!(frame1.partitions.len(), uncached.partitions.len());
+        for (a, b) in frame1.partitions.iter().zip(&uncached.partitions) {
+            assert_eq!(a.aabb_width, b.aabb_width);
+            assert_eq!(a.query_ids, b.query_ids);
+            assert_eq!(a.sphere_test, b.sphere_test);
+        }
+        assert_eq!(cache.valid_entries(), queries.len());
+        // Frame 2: nothing moved — all hits, same partitions, cheaper kernel.
+        let frame2 = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        assert_eq!(frame2.partitions.len(), frame1.partitions.len());
+        for (a, b) in frame2.partitions.iter().zip(&frame1.partitions) {
+            assert_eq!(a.aabb_width, b.aabb_width);
+            assert_eq!(a.query_ids, b.query_ids);
+        }
+        assert!(
+            frame2.opt_metrics.total_cycles < frame1.opt_metrics.total_cycles,
+            "warm frame {} should be cheaper than cold frame {}",
+            frame2.opt_metrics.total_cycles,
+            frame1.opt_metrics.total_cycles
+        );
+    }
+
+    #[test]
+    fn cached_partitioning_invalidates_only_the_dirty_region() {
+        let device = Device::rtx_2080();
+        let points = grid_points(9);
+        let queries = points.clone();
+        let order = identity_order(queries.len());
+        let params = SearchParams::knn(1.5, 4);
+        let grid = MegacellGrid::build(&points, 1 << 18).unwrap();
+        let mut cache = MegacellCache::new(queries.len());
+        partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        // A dirty corner: only queries whose reach touches it recompute; the
+        // result must equal a fully uncached recomputation regardless.
+        let dirty = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let warm = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &dirty,
+            &mut cache,
+        );
+        let mut cold_cache = MegacellCache::new(queries.len());
+        let cold = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cold_cache,
+        );
+        assert_eq!(warm.partitions.len(), cold.partitions.len());
+        for (a, b) in warm.partitions.iter().zip(&cold.partitions) {
+            assert_eq!(a.query_ids, b.query_ids);
+            assert_eq!(a.aabb_width, b.aabb_width);
+        }
+        assert!(warm.opt_metrics.total_cycles < cold.opt_metrics.total_cycles);
+    }
+
+    #[test]
+    fn out_of_grid_queries_are_never_cached() {
+        let device = Device::rtx_2080();
+        let points = grid_points(4);
+        let queries = vec![Vec3::new(-50.0, 0.0, 0.0), Vec3::new(1.5, 1.5, 1.5)];
+        let order = identity_order(queries.len());
+        let params = SearchParams::range(2.0, 8);
+        let grid = MegacellGrid::build(&points, 4096).unwrap();
+        let mut cache = MegacellCache::new(queries.len());
+        partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &params,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        // Only the in-grid query earned an entry.
+        assert_eq!(cache.valid_entries(), 1);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Frame-stepped scene dynamics for streaming workloads.
+//!
+//! The paper's evaluation is batch-oriented: one cloud, one query round.
+//! Real deployments of the workloads it draws from are time-stepped — SPH
+//! re-searches neighborhoods every simulation step, N-body codes every
+//! force evaluation, LiDAR pipelines every sweep. [`DriftScene`] turns the
+//! static generators of this crate into deterministic multi-frame
+//! sequences: each [`DriftScene::step`] advances the scene one frame and
+//! reports exactly which points moved, appeared or disappeared, in the
+//! slot-stable vocabulary the `rtnn-dynamic` index consumes (slot `i` of
+//! the scene corresponds to the `i`-th inserted index handle).
+//!
+//! Three models mirror the three workload families:
+//!
+//! * [`DriftModel::SphSettle`] — a fluid block settling under gravity:
+//!   every particle compresses toward the ground plane with a little
+//!   deterministic lateral jitter. Pure motion, mostly intra-cell — the
+//!   friendliest case for refit + incremental grid maintenance.
+//! * [`DriftModel::NBodyOrbit`] — differential rotation about the box
+//!   centre (inner points orbit faster), the shear that slowly degrades a
+//!   frozen BVH topology. Pure motion, increasingly non-local.
+//! * [`DriftModel::LidarSweep`] — ego-motion: the whole cloud translates
+//!   past the sensor and a fraction of the points churns every frame
+//!   (trailing returns dropped, fresh returns appearing ahead). Motion
+//!   *plus* structural insert/remove — the case that forces rebuilds.
+
+use crate::PointCloud;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtnn_math::{Aabb, Vec3};
+
+/// How the scene evolves between frames.
+#[derive(Debug, Clone, Copy)]
+pub enum DriftModel {
+    /// Settle toward the ground plane (smallest initial `z`): per frame,
+    /// `z ← ground + (z − ground)·compression`, plus lateral jitter of the
+    /// given amplitude.
+    SphSettle {
+        /// Per-frame height multiplier in `(0, 1]`.
+        compression: f32,
+        /// Lateral jitter amplitude (world units).
+        jitter: f32,
+    },
+    /// Differential rotation around the vertical axis through the cloud
+    /// centre: a point at fractional radius `f` of the cloud turns by
+    /// `angular_step / (0.2 + f)` radians per frame.
+    NBodyOrbit {
+        /// Base angular step in radians per frame.
+        angular_step: f32,
+    },
+    /// Ego-motion sweep: every point translates by `-velocity` per frame;
+    /// `churn_fraction` of the live points is removed each frame and the
+    /// same number respawns at the leading edge of the cloud.
+    LidarSweep {
+        /// Sensor velocity per frame (points move by its negation).
+        velocity: Vec3,
+        /// Fraction of live points replaced per frame, in `[0, 1]`.
+        churn_fraction: f32,
+    },
+}
+
+/// What one frame changed, in slot-stable ids.
+#[derive(Debug, Clone, Default)]
+pub struct FrameUpdate {
+    /// Slots whose position changed this frame.
+    pub moved: Vec<u32>,
+    /// Slots removed this frame (they stay dead forever).
+    pub removed: Vec<u32>,
+    /// Freshly appended slots (positions via [`DriftScene::position`]).
+    pub inserted: Vec<u32>,
+}
+
+impl FrameUpdate {
+    /// True when the frame changed the point membership (not just motion).
+    pub fn is_structural(&self) -> bool {
+        !self.removed.is_empty() || !self.inserted.is_empty()
+    }
+}
+
+/// A deterministic frame-stepped scene (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DriftScene {
+    model: DriftModel,
+    positions: Vec<Vec3>,
+    live: Vec<bool>,
+    ground_z: f32,
+    centre: Vec3,
+    half_extent: f32,
+    frame: u32,
+    rng: ChaCha8Rng,
+}
+
+impl DriftScene {
+    /// Wrap an initial cloud. Slots `0..points.len()` start live; `seed`
+    /// drives all pseudo-random churn and jitter.
+    pub fn new(cloud: &PointCloud, model: DriftModel, seed: u64) -> Self {
+        let bounds = if cloud.is_empty() {
+            Aabb::cube(Vec3::ZERO, 1.0)
+        } else {
+            cloud.bounds()
+        };
+        DriftScene {
+            model,
+            positions: cloud.points.clone(),
+            live: vec![true; cloud.points.len()],
+            ground_z: bounds.min.z,
+            centre: bounds.center(),
+            half_extent: (bounds.longest_extent() * 0.5).max(1e-3),
+            frame: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of frames stepped so far.
+    pub fn frame(&self) -> u32 {
+        self.frame
+    }
+
+    /// Total slots ever allocated (live + dead).
+    pub fn num_slots(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a live slot.
+    pub fn position(&self, slot: u32) -> Option<Vec3> {
+        match self.live.get(slot as usize) {
+            Some(true) => Some(self.positions[slot as usize]),
+            _ => None,
+        }
+    }
+
+    /// The current live points, compacted in slot order — the view a
+    /// from-scratch batch engine would search over.
+    pub fn live_points(&self) -> Vec<Vec3> {
+        self.positions
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(&p, &alive)| alive.then_some(p))
+            .collect()
+    }
+
+    /// Number of live points.
+    pub fn num_live(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Advance one frame and report what changed.
+    pub fn step(&mut self) -> FrameUpdate {
+        self.frame += 1;
+        let mut update = FrameUpdate::default();
+        match self.model {
+            DriftModel::SphSettle {
+                compression,
+                jitter,
+            } => {
+                for slot in 0..self.positions.len() {
+                    if !self.live[slot] {
+                        continue;
+                    }
+                    let p = &mut self.positions[slot];
+                    p.z = self.ground_z + (p.z - self.ground_z) * compression;
+                    if jitter > 0.0 {
+                        p.x += jitter * (self.rng.gen::<f32>() - 0.5);
+                        p.y += jitter * (self.rng.gen::<f32>() - 0.5);
+                    }
+                    update.moved.push(slot as u32);
+                }
+            }
+            DriftModel::NBodyOrbit { angular_step } => {
+                for slot in 0..self.positions.len() {
+                    if !self.live[slot] {
+                        continue;
+                    }
+                    let p = &mut self.positions[slot];
+                    let rel = Vec3::new(p.x - self.centre.x, p.y - self.centre.y, 0.0);
+                    let r = (rel.x * rel.x + rel.y * rel.y).sqrt();
+                    let f = (r / self.half_extent).min(1.0);
+                    let theta = angular_step / (0.2 + f);
+                    let (sin, cos) = theta.sin_cos();
+                    let x = rel.x * cos - rel.y * sin;
+                    let y = rel.x * sin + rel.y * cos;
+                    p.x = self.centre.x + x;
+                    p.y = self.centre.y + y;
+                    update.moved.push(slot as u32);
+                }
+            }
+            DriftModel::LidarSweep {
+                velocity,
+                churn_fraction,
+            } => {
+                let live_slots: Vec<u32> = (0..self.positions.len() as u32)
+                    .filter(|&s| self.live[s as usize])
+                    .collect();
+                for &slot in &live_slots {
+                    let p = &mut self.positions[slot as usize];
+                    *p -= velocity;
+                    update.moved.push(slot);
+                }
+                // Churn: drop the points that drifted furthest behind the
+                // sweep direction, respawn the same count at the front.
+                let churn =
+                    ((live_slots.len() as f32 * churn_fraction) as usize).min(live_slots.len());
+                if churn > 0 {
+                    let dir = velocity.normalized();
+                    let mut scored: Vec<(f32, u32)> = live_slots
+                        .iter()
+                        .map(|&s| (self.positions[s as usize].dot(dir), s))
+                        .collect();
+                    scored.sort_by(|a, b| {
+                        a.0.partial_cmp(&b.0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.1.cmp(&b.1))
+                    });
+                    // Most-negative projection = furthest behind.
+                    let mut front = Aabb::EMPTY;
+                    for &(_, s) in &scored[churn..] {
+                        front.grow_point(self.positions[s as usize]);
+                    }
+                    if front.is_empty() {
+                        front = Aabb::cube(self.centre, 2.0 * self.half_extent);
+                    }
+                    let removed: std::collections::HashSet<u32> =
+                        scored[..churn].iter().map(|&(_, s)| s).collect();
+                    update.moved.retain(|m| !removed.contains(m));
+                    for &(_, slot) in &scored[..churn] {
+                        self.live[slot as usize] = false;
+                        update.removed.push(slot);
+                        // Respawn at the leading face, lateral position random.
+                        let lead = front.max.dot(dir);
+                        let lateral = Vec3::new(
+                            front.min.x + self.rng.gen::<f32>() * (front.max.x - front.min.x),
+                            front.min.y + self.rng.gen::<f32>() * (front.max.y - front.min.y),
+                            front.min.z + self.rng.gen::<f32>() * (front.max.z - front.min.z),
+                        );
+                        let spawned = lateral + dir * (lead - lateral.dot(dir));
+                        let new_slot = self.positions.len() as u32;
+                        self.positions.push(spawned);
+                        self.live.push(true);
+                        update.inserted.push(new_slot);
+                    }
+                }
+            }
+        }
+        update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{self, UniformParams};
+
+    fn cloud(n: usize) -> PointCloud {
+        uniform::generate(&UniformParams {
+            num_points: n,
+            seed: 7,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sph_settle_compresses_toward_the_ground() {
+        let c = cloud(2000);
+        let ground = c.bounds().min.z;
+        let top_before = c.bounds().max.z;
+        let mut scene = DriftScene::new(
+            &c,
+            DriftModel::SphSettle {
+                compression: 0.9,
+                jitter: 0.0,
+            },
+            1,
+        );
+        for _ in 0..10 {
+            let update = scene.step();
+            assert_eq!(update.moved.len(), 2000);
+            assert!(!update.is_structural());
+        }
+        let top_after = scene
+            .live_points()
+            .iter()
+            .map(|p| p.z)
+            .fold(f32::MIN, f32::max);
+        assert!(top_after < ground + (top_before - ground) * 0.5);
+        assert_eq!(scene.num_live(), 2000);
+        assert_eq!(scene.frame(), 10);
+    }
+
+    #[test]
+    fn nbody_orbit_preserves_radii_and_moves_inner_points_faster() {
+        let c = cloud(1000);
+        let centre = c.bounds().center();
+        let radius_of = |p: &Vec3| ((p.x - centre.x).powi(2) + (p.y - centre.y).powi(2)).sqrt();
+        let before = c.points.clone();
+        let mut scene = DriftScene::new(&c, DriftModel::NBodyOrbit { angular_step: 0.1 }, 1);
+        scene.step();
+        let mut inner_move = 0.0f32;
+        let mut outer_move = 0.0f32;
+        let (mut inner_n, mut outer_n) = (0u32, 0u32);
+        for (slot, old) in before.iter().enumerate() {
+            let new = scene.position(slot as u32).unwrap();
+            let (r_old, r_new) = (radius_of(old), radius_of(&new));
+            assert!(
+                (r_old - r_new).abs() < 1e-3 * (1.0 + r_old),
+                "radius drifted"
+            );
+            assert_eq!(old.z, new.z, "orbit must stay in the z plane");
+            // Angular displacement ≈ chord / radius.
+            if r_old > 1e-3 {
+                let chord = old.distance(new);
+                let ang = chord / r_old;
+                if radius_of(old) < 0.3 * scene.half_extent {
+                    inner_move += ang;
+                    inner_n += 1;
+                } else if radius_of(old) > 0.7 * scene.half_extent {
+                    outer_move += ang;
+                    outer_n += 1;
+                }
+            }
+        }
+        assert!(inner_n > 0 && outer_n > 0);
+        assert!(inner_move / inner_n as f32 > outer_move / outer_n as f32);
+    }
+
+    #[test]
+    fn lidar_sweep_translates_and_churns() {
+        let c = cloud(1500);
+        let mut scene = DriftScene::new(
+            &c,
+            DriftModel::LidarSweep {
+                velocity: Vec3::new(0.5, 0.0, 0.0),
+                churn_fraction: 0.05,
+            },
+            1,
+        );
+        let live_before = scene.num_live();
+        let update = scene.step();
+        assert!(update.is_structural());
+        assert_eq!(update.removed.len(), update.inserted.len());
+        assert_eq!(update.removed.len(), (1500.0f32 * 0.05) as usize);
+        // Population is conserved, slots only grow.
+        assert_eq!(scene.num_live(), live_before);
+        assert_eq!(scene.num_slots(), 1500 + update.inserted.len());
+        // Removed slots are dead, inserted ones live.
+        for &s in &update.removed {
+            assert!(scene.position(s).is_none());
+            assert!(!update.moved.contains(&s), "removed slot also in moved");
+        }
+        for &s in &update.inserted {
+            assert!(scene.position(s).is_some());
+        }
+        // Survivors moved by -velocity.
+        let survivor = update.moved[0];
+        let p = scene.position(survivor).unwrap();
+        assert!((p.x - (c.points[survivor as usize].x - 0.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stepping_is_deterministic_per_seed() {
+        let c = cloud(800);
+        let model = DriftModel::LidarSweep {
+            velocity: Vec3::new(0.3, 0.1, 0.0),
+            churn_fraction: 0.1,
+        };
+        let run = |seed| {
+            let mut s = DriftScene::new(&c, model, seed);
+            for _ in 0..5 {
+                s.step();
+            }
+            s.live_points()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -14,6 +14,7 @@
 //! experiment in `rtnn-bench` is reproducible bit-for-bit.
 
 pub mod catalog;
+pub mod dynamics;
 pub mod io;
 pub mod lidar;
 pub mod nbody;
@@ -21,6 +22,7 @@ pub mod scan;
 pub mod uniform;
 
 pub use catalog::{Dataset, DatasetName};
+pub use dynamics::{DriftModel, DriftScene, FrameUpdate};
 pub use lidar::LidarParams;
 pub use nbody::NBodyParams;
 pub use scan::{ScanModel, ScanParams};

@@ -67,6 +67,16 @@ pub struct CostModel {
     /// Fixed overhead per acceleration-structure build (launch + allocation),
     /// in milliseconds.
     pub accel_build_fixed_ms: f64,
+    /// How much faster an in-place acceleration-structure *refit* (AABB
+    /// update without re-topologizing, OptiX's `BUILD_OPERATION_UPDATE`) is
+    /// than a full build, as a throughput multiplier on
+    /// [`Self::accel_build_prims_per_ms_ref`]. A refit skips the Morton sort
+    /// and hierarchy emission and only streams the AABBs bottom-up; NVIDIA
+    /// quotes roughly an order of magnitude, we default to a conservative 6x.
+    pub accel_refit_speedup: f64,
+    /// Fixed overhead per refit launch in milliseconds (no allocation, so
+    /// cheaper than a build's fixed cost).
+    pub accel_refit_fixed_ms: f64,
     /// Host→device PCIe bandwidth in GB/s (device→host copies are almost
     /// completely hidden per the paper's footnote 4, so they are charged at
     /// a fraction of this).
@@ -91,6 +101,8 @@ impl Default for CostModel {
             latency_hiding: 0.6,
             accel_build_prims_per_ms_ref: 240_000.0,
             accel_build_fixed_ms: 0.15,
+            accel_refit_speedup: 6.0,
+            accel_refit_fixed_ms: 0.05,
             pcie_gbps: 12.0,
             d2h_visible_fraction: 0.05,
         }

@@ -77,6 +77,22 @@ impl Device {
         c.accel_build_fixed_ms + num_prims as f64 / rate
     }
 
+    /// Simulated milliseconds to *refit* an existing acceleration structure
+    /// over `num_prims` primitives in place: the AABBs are re-streamed
+    /// bottom-up with no sort and no hierarchy emission, so the throughput is
+    /// `accel_refit_speedup` times the build rate and the fixed overhead is
+    /// smaller (no allocation).
+    pub fn accel_refit_time_ms(&self, num_prims: usize) -> f64 {
+        if num_prims == 0 {
+            return 0.0;
+        }
+        let c = &self.config.cost;
+        let rate = c.accel_build_prims_per_ms_ref
+            * c.accel_refit_speedup
+            * (self.config.num_sms as f64 / 68.0);
+        c.accel_refit_fixed_ms + num_prims as f64 / rate
+    }
+
     /// Simulated milliseconds to copy `bytes` from host to device over PCIe.
     pub fn transfer_h2d_ms(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.config.cost.pcie_gbps * 1e9) * 1e3
@@ -211,6 +227,25 @@ mod tests {
         let d2 = t4 - t2;
         assert!((d2 - 2.0 * d1).abs() < 1e-9);
         assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn refit_is_much_cheaper_than_build_but_not_free() {
+        let d = Device::rtx_2080();
+        for n in [100_000usize, 1_000_000, 10_000_000] {
+            let build = d.accel_build_time_ms(n);
+            let refit = d.accel_refit_time_ms(n);
+            assert!(refit > 0.0);
+            assert!(
+                refit < build / 2.0,
+                "refit {refit} not clearly cheaper than build {build} at n={n}"
+            );
+        }
+        assert_eq!(d.accel_refit_time_ms(0), 0.0);
+        // Linear in the primitive count beyond the fixed overhead.
+        let d1 = d.accel_refit_time_ms(2_000_000) - d.accel_refit_time_ms(1_000_000);
+        let d2 = d.accel_refit_time_ms(4_000_000) - d.accel_refit_time_ms(2_000_000);
+        assert!((d2 - 2.0 * d1).abs() < 1e-9);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use cache::{CacheConfig, CacheStats, SetAssociativeCache};
 pub use config::{CostModel, DeviceConfig, IsShaderKind};
 pub use device::Device;
 pub use kernel::{run_sm_kernel, SmKernelConfig, ThreadWork};
-pub use metrics::{KernelMetrics, MemoryStats};
+pub use metrics::{FrameAccumulator, KernelMetrics, MemoryStats};
 pub use shard::SmShard;

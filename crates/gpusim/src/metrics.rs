@@ -84,6 +84,65 @@ impl KernelMetrics {
     }
 }
 
+/// Accumulates the per-frame costs of a streaming (multi-frame) workload so
+/// amortized figures can be reported: structure maintenance (build/refit),
+/// kernel work, and the peak frame, per frame and in total.
+///
+/// This is the counterpart of [`KernelMetrics::merge_sequential`] for
+/// workloads where the interesting unit is a *frame* rather than a launch —
+/// the `rtnn-dynamic` subsystem records one entry per query round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameAccumulator {
+    /// Number of frames recorded.
+    pub frames: u64,
+    /// Kernel metrics summed over all frames (searches, scheduling, ...).
+    pub kernel: KernelMetrics,
+    /// Simulated milliseconds spent on acceleration-structure maintenance
+    /// (builds + refits) across all frames.
+    pub structure_ms: f64,
+    /// Simulated end-to-end milliseconds summed over all frames.
+    pub total_ms: f64,
+    /// The most expensive single frame's end-to-end simulated milliseconds.
+    pub peak_frame_ms: f64,
+    /// Number of frames that performed a full structure rebuild.
+    pub rebuilds: u64,
+    /// Number of frames that refitted the structure in place.
+    pub refits: u64,
+}
+
+impl FrameAccumulator {
+    /// Record one frame.
+    ///
+    /// `kernel` is the frame's merged kernel metrics, `structure_ms` the
+    /// simulated build/refit cost it paid, and `frame_total_ms` its
+    /// end-to-end simulated time (kernels + structure + transfers).
+    pub fn record_frame(&mut self, kernel: &KernelMetrics, structure_ms: f64, frame_total_ms: f64) {
+        self.frames += 1;
+        self.kernel.merge_sequential(kernel);
+        self.structure_ms += structure_ms;
+        self.total_ms += frame_total_ms;
+        self.peak_frame_ms = self.peak_frame_ms.max(frame_total_ms);
+    }
+
+    /// Amortized simulated milliseconds per frame (0 before any frame).
+    pub fn amortized_frame_ms(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.total_ms / self.frames as f64
+        }
+    }
+
+    /// Amortized structure-maintenance milliseconds per frame.
+    pub fn amortized_structure_ms(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.structure_ms / self.frames as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +161,29 @@ mod tests {
         assert_eq!(n.dram_accesses, 20);
         assert!((m.l1_hit_rate() - 0.8).abs() < 1e-9);
         assert!((m.l2_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_accumulator_amortizes_and_tracks_peaks() {
+        let mut acc = FrameAccumulator::default();
+        assert_eq!(acc.amortized_frame_ms(), 0.0);
+        assert_eq!(acc.amortized_structure_ms(), 0.0);
+        let k = KernelMetrics {
+            time_ms: 2.0,
+            warps: 4,
+            ..Default::default()
+        };
+        acc.record_frame(&k, 0.5, 3.0);
+        acc.rebuilds += 1;
+        acc.record_frame(&k, 0.1, 9.0);
+        acc.refits += 1;
+        assert_eq!(acc.frames, 2);
+        assert!((acc.total_ms - 12.0).abs() < 1e-12);
+        assert!((acc.amortized_frame_ms() - 6.0).abs() < 1e-12);
+        assert!((acc.amortized_structure_ms() - 0.3).abs() < 1e-12);
+        assert!((acc.peak_frame_ms - 9.0).abs() < 1e-12);
+        assert_eq!(acc.kernel.warps, 8);
+        assert_eq!(acc.rebuilds + acc.refits, acc.frames);
     }
 
     #[test]

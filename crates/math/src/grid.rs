@@ -193,13 +193,25 @@ pub struct PointBins {
 impl PointBins {
     /// Bin `points` into `grid` cells.
     pub fn build(grid: UniformGrid, points: &[Vec3]) -> Self {
-        let n_cells = grid.num_cells();
-        let mut counts = vec![0u32; n_cells + 1];
         let cells: Vec<u32> = points
             .iter()
             .map(|&p| grid.cell_index(grid.cell_of(p)) as u32)
             .collect();
-        for &c in &cells {
+        PointBins::from_cell_indices(grid, &cells)
+    }
+
+    /// Bin points whose cell indices are already known (point `i` lives in
+    /// cell `cells[i]`). This is the incremental-maintenance entry point:
+    /// a caller that tracks per-point cells across frames only recomputes
+    /// the cells of points that moved and re-runs the (cheap, linear)
+    /// counting sort — skipping the per-point `cell_of` geometry pass and
+    /// any re-derivation of the grid itself. Panics if a cell index is out
+    /// of range.
+    pub fn from_cell_indices(grid: UniformGrid, cells: &[u32]) -> Self {
+        let n_cells = grid.num_cells();
+        let mut counts = vec![0u32; n_cells + 1];
+        for &c in cells {
+            assert!((c as usize) < n_cells, "cell index {c} out of range");
             counts[c as usize + 1] += 1;
         }
         for i in 0..n_cells {
@@ -207,7 +219,7 @@ impl PointBins {
         }
         let cell_start = counts;
         let mut cursor = cell_start.clone();
-        let mut point_ids = vec![0u32; points.len()];
+        let mut point_ids = vec![0u32; cells.len()];
         for (i, &c) in cells.iter().enumerate() {
             point_ids[cursor[c as usize] as usize] = i as u32;
             cursor[c as usize] += 1;
@@ -379,6 +391,25 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_cell_indices_matches_build() {
+        let g = unit_grid(3);
+        let pts: Vec<Vec3> = (0..50)
+            .map(|i| {
+                let f = i as f32;
+                Vec3::new((f * 0.31) % 3.0, (f * 0.47) % 3.0, (f * 0.11) % 3.0)
+            })
+            .collect();
+        let built = PointBins::build(g.clone(), &pts);
+        let cells: Vec<u32> = pts
+            .iter()
+            .map(|&p| g.cell_index(g.cell_of(p)) as u32)
+            .collect();
+        let from_cells = PointBins::from_cell_indices(g, &cells);
+        assert_eq!(built.cell_start, from_cells.cell_start);
+        assert_eq!(built.point_ids, from_cells.point_ids);
     }
 
     #[test]

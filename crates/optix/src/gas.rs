@@ -6,7 +6,7 @@
 //! the simulated build time reported by the device's build-rate model along
 //! with the structure itself.
 
-use rtnn_bvh::{build_bvh, BuildParams, Bvh};
+use rtnn_bvh::{build_bvh, refit_bvh, BuildParams, Bvh, RefitError, RefitStats};
 use rtnn_gpusim::device::OutOfDeviceMemory;
 use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, Vec3};
@@ -16,6 +16,15 @@ use rtnn_parallel::par_map;
 pub const NODE_BYTES: u64 = 32;
 /// Simulated device-side size of one primitive record (AABB + id) in bytes.
 pub const PRIM_BYTES: u64 = 32;
+
+/// Outcome of an in-place GAS refit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GasRefit {
+    /// Simulated milliseconds the refit took on the device.
+    pub refit_time_ms: f64,
+    /// BVH-level statistics (nodes updated, SAH cost before/after).
+    pub stats: RefitStats,
+}
 
 /// An acceleration structure over custom AABB primitives.
 #[derive(Debug, Clone)]
@@ -57,6 +66,32 @@ impl Gas {
     ) -> Result<Gas, OutOfDeviceMemory> {
         let aabbs = par_map(points.len(), |i| Aabb::cube(points[i], 2.0 * radius));
         Gas::build(device, &aabbs, params)
+    }
+
+    /// Refit the structure in place over moved primitives (the OptiX
+    /// `BUILD_OPERATION_UPDATE` path): AABBs are recomputed bottom-up while
+    /// the tree topology — and therefore the device-memory footprint — stays
+    /// fixed. Returns the simulated refit time in milliseconds along with
+    /// the refit statistics; fails if the primitive count changed (a refit
+    /// cannot re-topologize — rebuild instead).
+    pub fn refit(&mut self, device: &Device, prim_aabbs: &[Aabb]) -> Result<GasRefit, RefitError> {
+        let stats = refit_bvh(&mut self.bvh, prim_aabbs)?;
+        Ok(GasRefit {
+            refit_time_ms: device.accel_refit_time_ms(prim_aabbs.len()),
+            stats,
+        })
+    }
+
+    /// Refit over width-`2·radius` cubes centred at `points`, the moving
+    /// counterpart of [`Gas::build_from_points`].
+    pub fn refit_from_points(
+        &mut self,
+        device: &Device,
+        points: &[Vec3],
+        radius: f32,
+    ) -> Result<GasRefit, RefitError> {
+        let aabbs = par_map(points.len(), |i| Aabb::cube(points[i], 2.0 * radius));
+        self.refit(device, &aabbs)
     }
 
     /// The underlying BVH.
@@ -104,6 +139,36 @@ mod tests {
         assert!(gas.build_time_ms() > 0.0);
         assert!(gas.memory_bytes() > 0);
         validate_bvh(gas.bvh()).unwrap();
+    }
+
+    #[test]
+    fn refit_updates_structure_cheaply_and_keeps_memory() {
+        let device = Device::rtx_2080();
+        let mut pts = grid_points(600);
+        let mut gas = Gas::build_from_points(&device, &pts, 0.5, BuildParams::default()).unwrap();
+        let memory_before = gas.memory_bytes();
+        let build_ms = gas.build_time_ms();
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.x += 0.2 * ((i % 5) as f32);
+        }
+        let refit = gas.refit_from_points(&device, &pts, 0.5).unwrap();
+        assert!(refit.refit_time_ms > 0.0);
+        assert!(refit.refit_time_ms < build_ms);
+        assert_eq!(refit.stats.nodes_updated, gas.bvh().num_nodes());
+        assert_eq!(gas.memory_bytes(), memory_before);
+        validate_bvh(gas.bvh()).unwrap();
+        // The refit tracked the motion: root bounds cover the moved points.
+        for &p in &pts {
+            assert!(gas.bvh().root_bounds().contains_point(p));
+        }
+    }
+
+    #[test]
+    fn refit_with_wrong_count_is_rejected() {
+        let device = Device::rtx_2080();
+        let pts = grid_points(100);
+        let mut gas = Gas::build_from_points(&device, &pts, 0.5, BuildParams::default()).unwrap();
+        assert!(gas.refit_from_points(&device, &pts[..50], 0.5).is_err());
     }
 
     #[test]

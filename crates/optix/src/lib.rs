@@ -27,6 +27,6 @@ pub mod gas;
 pub mod pipeline;
 pub mod shader;
 
-pub use gas::Gas;
+pub use gas::{Gas, GasRefit};
 pub use pipeline::{LaunchMetrics, LaunchResult, Pipeline};
 pub use shader::{IsVerdict, RayProgram};

@@ -2,16 +2,22 @@
 //! cuNSearch baseline (SPlisHSPlasH uses fixed-radius neighbor search every
 //! timestep to evaluate smoothing kernels over particle neighborhoods).
 //!
-//! This example runs a few pseudo-timesteps of density + pressure
-//! evaluation over a block of fluid particles, re-searching neighborhoods
-//! each step, and reports the simulated GPU time spent in the search.
+//! This is a genuine multi-frame simulation on the streaming subsystem: a
+//! dam-break block of particles settles under gravity over many timesteps,
+//! and a persistent [`rtnn_dynamic::DynamicIndex`] serves every step's
+//! neighborhood search. Particles only *move* between steps, so most frames
+//! refit the BVH in place and refresh the megacell grid incrementally; the
+//! cost-model policy rebuilds only when the drifted topology would slow
+//! traversal by more than a rebuild costs.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example sph_fluid
 //! ```
 
-use rtnn::{Rtnn, RtnnConfig, SearchParams};
+use rtnn::verify::check_result;
+use rtnn::{RtnnConfig, SearchParams};
+use rtnn_dynamic::{DynamicIndex, StructureAction};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 
@@ -27,7 +33,7 @@ fn poly6(r2: f32, h: f32) -> f32 {
 
 fn main() {
     // A dam-break style block of particles on a jittered lattice.
-    let n_per_axis = 30usize; // 27k particles
+    let n_per_axis = 24usize; // ~14k particles
     let spacing = 0.1f32;
     let h = 2.2 * spacing; // smoothing length == search radius
     let mut particles: Vec<Vec3> = Vec::new();
@@ -47,22 +53,22 @@ fn main() {
 
     let device = Device::rtx_2080();
     let params = SearchParams::range(h, 64);
+    let config = RtnnConfig::new(params);
     let rest_density = 1000.0f32;
     let particle_mass = rest_density * spacing.powi(3);
     let stiffness = 3.0f32;
 
-    let mut total_search_ms = 0.0;
-    let steps = 3;
+    // The persistent index: built once, maintained across every timestep.
+    let mut index = DynamicIndex::with_points(&device, config, &particles);
+
+    let steps = 8;
     for step in 0..steps {
-        // 1. Neighbor search (the part RTNN accelerates).
-        let engine = Rtnn::new(&device, RtnnConfig::new(params));
-        let result = engine
-            .search(&particles, &particles)
-            .expect("neighborhood search");
-        total_search_ms += result.total_time_ms();
+        // 1. Neighbor search through the streaming index.
+        let frame = index.search(&particles).expect("neighborhood search");
 
         // 2. Density and pressure from the smoothing kernel.
-        let densities: Vec<f32> = result
+        let densities: Vec<f32> = frame
+            .results
             .neighbors
             .iter()
             .enumerate()
@@ -81,21 +87,60 @@ fn main() {
             .map(|&rho| stiffness * (rho - rest_density).max(0.0))
             .sum::<f32>()
             / densities.len() as f32;
-        let avg_neighbors = result.total_neighbors() as f64 / particles.len() as f64;
+        let avg_neighbors = frame.results.total_neighbors() as f64 / particles.len() as f64;
+        let action = match frame.action {
+            StructureAction::Rebuilt => "rebuild",
+            StructureAction::Refit => "refit",
+            StructureAction::Reused => "reuse",
+        };
         println!(
-            "step {step}: avg {avg_neighbors:.1} neighbors, density {avg_density:.0} kg/m³, pressure {avg_pressure:.1} Pa, search {:.2} ms (sim)",
-            result.total_time_ms()
+            "step {step}: avg {avg_neighbors:.1} neighbors, density {avg_density:.0} kg/m³, pressure {avg_pressure:.1} Pa, \
+             {action} (quality {:.3}, structure {:.3} ms), search {:.2} ms (sim)",
+            frame.quality_ratio,
+            frame.structure_ms,
+            frame.results.total_time_ms(),
         );
 
-        // 3. A token advection step so each search sees slightly different
-        //    positions (compression along z, as if the block were settling).
-        for p in particles.iter_mut() {
-            p.z *= 0.995;
+        // 3. Advect: the block settles under gravity — denser-than-rest
+        //    regions push their particles slightly outward while everything
+        //    compresses toward the ground plane.
+        for (i, p) in particles.iter_mut().enumerate() {
+            let over = ((densities[i] - rest_density) / rest_density).clamp(0.0, 1.0);
+            p.z *= 0.99;
+            p.x += 0.002 * over * if i % 2 == 0 { 1.0 } else { -1.0 };
+            index.move_point(i as u32, *p);
         }
         // Interior particles of a lattice at this spacing have 30+ neighbors
         // within 2.2 spacings; densities should land near the rest density.
         assert!(avg_density > 0.5 * rest_density && avg_density < 2.0 * rest_density);
     }
-    println!("total simulated neighbor-search time over {steps} steps: {total_search_ms:.2} ms");
+
+    // Oracle spot-check of the final frame: the streaming index must agree
+    // with an exhaustive scan.
+    let last = index.search(&particles).expect("final search");
+    for qi in (0..particles.len()).step_by(173) {
+        check_result(
+            &particles,
+            particles[qi],
+            &params,
+            &last.results.neighbors[qi],
+        )
+        .unwrap_or_else(|e| panic!("query {qi} disagrees with the oracle: {e}"));
+    }
+
+    let m = index.frame_metrics();
+    assert!(
+        m.rebuilds < m.frames,
+        "a settling fluid must not rebuild every frame"
+    );
+    println!(
+        "{} frames: {} rebuilds, {} refits; amortized {:.2} ms/frame (structure {:.3} ms/frame, peak {:.2} ms)",
+        m.frames,
+        m.rebuilds,
+        m.refits,
+        m.amortized_frame_ms(),
+        m.amortized_structure_ms(),
+        m.peak_frame_ms,
+    );
     println!("SPH example finished ✓");
 }

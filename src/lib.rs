@@ -10,6 +10,7 @@ pub use rtnn;
 pub use rtnn_baselines as baselines;
 pub use rtnn_bvh as bvh;
 pub use rtnn_data as data;
+pub use rtnn_dynamic as dynamic;
 pub use rtnn_gpusim as gpusim;
 pub use rtnn_math as math;
 pub use rtnn_optix as optix;
