@@ -8,7 +8,7 @@
 //! Figure 11/13 is therefore apples-to-apples by construction.
 
 use crate::common::{Baseline, BaselineRun, SearchRequest};
-use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, OptLevel, QueryPlan};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 
@@ -39,10 +39,15 @@ impl Baseline for FastRnn {
         queries: &[Vec3],
         request: SearchRequest,
     ) -> Option<BaselineRun> {
-        let config =
-            RtnnConfig::new(SearchParams::knn(request.radius, request.k)).with_opt(OptLevel::NoOpt);
-        let engine = Rtnn::new(device, config);
-        let results = engine.search(points, queries).ok()?;
+        let backend = GpusimBackend::new(device);
+        let mut index = Index::build(
+            &backend,
+            points,
+            EngineConfig::default().with_opt(OptLevel::NoOpt),
+        );
+        let results = index
+            .query(queries, &QueryPlan::knn(request.radius, request.k))
+            .ok()?;
         Some(BaselineRun {
             neighbors: results.neighbors,
             build_ms: results.breakdown.bvh_ms,
@@ -58,6 +63,7 @@ impl Baseline for FastRnn {
 mod tests {
     use super::*;
     use rtnn::verify::check_all;
+    use rtnn::SearchParams;
 
     fn cloud() -> Vec<Vec3> {
         (0..600)
@@ -112,8 +118,9 @@ mod tests {
         let fastrnn = FastRnn
             .knn_search(&device, &points, &queries, request)
             .unwrap();
-        let rtnn_full = Rtnn::new(&device, RtnnConfig::new(SearchParams::knn(2.0, 8)))
-            .search(&points, &queries)
+        let backend = GpusimBackend::new(&device);
+        let rtnn_full = Index::build(&backend, &points[..], EngineConfig::default())
+            .query(&queries, &QueryPlan::knn(2.0, 8))
             .unwrap();
         assert!(
             rtnn_full.breakdown.total_ms() < fastrnn.total_ms(),

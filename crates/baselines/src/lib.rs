@@ -26,7 +26,13 @@
 //! simulated time split into build / search / transfer components, and every
 //! baseline's results are validated against the brute-force oracle in its
 //! tests.
+//!
+//! The crate also provides [`backend::BruteForceBackend`], an exhaustive
+//! `rtnn::Backend` implementation that plugs the brute-force scan into the
+//! engine's backend seam and doubles as the oracle of the cross-backend
+//! equivalence suite.
 
+pub mod backend;
 pub mod bruteforce;
 pub mod common;
 pub mod fastrnn;
@@ -35,4 +41,5 @@ pub mod kdtree;
 pub mod octree;
 pub mod uniform_grid;
 
+pub use backend::BruteForceBackend;
 pub use common::{Baseline, BaselineRun, SearchRequest};

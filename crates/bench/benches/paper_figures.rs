@@ -7,7 +7,7 @@
 //! implementation itself are caught by `cargo bench`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, OptLevel, QueryPlan, SearchMode, SearchParams};
 use rtnn_baselines::fastrnn::FastRnn;
 use rtnn_baselines::grid_knn::GridKnn;
 use rtnn_baselines::kdtree::KdTreeSearch;
@@ -87,12 +87,45 @@ fn bench_rtnn_opt_levels(c: &mut Criterion) {
                 k: f.k,
                 mode,
             };
-            let engine = Rtnn::new(&device, RtnnConfig::new(params).with_opt(opt));
+            let backend = GpusimBackend::new(&device);
+            let cfg = EngineConfig::default().with_opt(opt);
+            let plan = QueryPlan::from_params(params);
             let id = BenchmarkId::new(format!("{mode:?}"), opt.label());
             group.bench_function(id, |b| {
-                b.iter(|| engine.search(&f.points, &f.queries).unwrap());
+                // Fresh index per iteration: the full cold-start pipeline,
+                // matching what the legacy one-shot engine measured.
+                b.iter(|| {
+                    Index::build(&backend, &f.points[..], cfg)
+                        .query(&f.queries, &plan)
+                        .unwrap()
+                });
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_rtnn_warm_index(c: &mut Criterion) {
+    // The amortized path the new API opens: one persistent index, plans
+    // answered against warm structure caches.
+    let f = fixture();
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let mut group = c.benchmark_group("rtnn_warm_index");
+    configure(&mut group);
+    for mode in [SearchMode::Range, SearchMode::Knn] {
+        let params = SearchParams {
+            radius: f.radius,
+            k: f.k,
+            mode,
+        };
+        let plan = QueryPlan::from_params(params);
+        let mut index = Index::build(&backend, &f.points[..], EngineConfig::default());
+        index.query(&f.queries, &plan).unwrap(); // warm the caches
+        let id = BenchmarkId::new(format!("{mode:?}"), "warm");
+        group.bench_function(id, |b| {
+            b.iter(|| index.query(&f.queries, &plan).unwrap());
+        });
     }
     group.finish();
 }
@@ -167,6 +200,7 @@ criterion_group!(
     benches,
     bench_bvh_builders,
     bench_rtnn_opt_levels,
+    bench_rtnn_warm_index,
     bench_baselines,
     bench_scheduling_and_partitioning
 );

@@ -1,0 +1,13 @@
+//! Extension figure: heterogeneous query plans (3 radii × 2 kinds) served
+//! by one persistent `Index` in a single batch vs six fused single-plan
+//! engines.
+
+use rtnn_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let report = experiments::mixed::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

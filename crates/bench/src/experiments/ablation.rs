@@ -10,7 +10,7 @@
 use crate::report::{fmt_ms, FigureReport, Table};
 use crate::scale::ExperimentScale;
 use crate::workloads::{Workload, DEFAULT_K};
-use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, OptLevel, QueryPlan, SearchMode, SearchParams};
 use rtnn_data::DatasetName;
 use rtnn_gpusim::Device;
 
@@ -21,13 +21,15 @@ fn time_of(device: &Device, workload: &Workload, mode: SearchMode, opt: OptLevel
         k: DEFAULT_K,
         mode,
     };
-    Rtnn::new(
-        device,
-        RtnnConfig::new(params)
+    let backend = GpusimBackend::new(device);
+    Index::build(
+        &backend,
+        &workload.points[..],
+        EngineConfig::default()
             .with_opt(opt)
             .with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
     )
-    .search(&workload.points, &workload.queries)
+    .query(&workload.queries, &QueryPlan::from_params(params))
     .expect("ablation workload fits the device")
     .total_time_ms()
 }

@@ -9,7 +9,7 @@
 use crate::report::{fmt_ms, FigureReport, Table};
 use crate::scale::ExperimentScale;
 use crate::workloads::{characterization_workload, DEFAULT_K};
-use rtnn::{raster_order, OptLevel, Rtnn, RtnnConfig, SearchParams};
+use rtnn::{raster_order, EngineConfig, GpusimBackend, Index, OptLevel, QueryPlan};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 use rtnn_optix::LaunchMetrics;
@@ -40,11 +40,14 @@ fn run_ordered(
     queries: &[Vec3],
     radius: f32,
 ) -> (f64, LaunchMetrics) {
-    let config = RtnnConfig::new(SearchParams::knn(radius, DEFAULT_K)).with_opt(OptLevel::NoOpt);
-    let engine = Rtnn::new(device, config);
-    let results = engine
-        .search(points, queries)
-        .expect("coherence workload fits the device");
+    let backend = GpusimBackend::new(device);
+    let results = Index::build(
+        &backend,
+        points,
+        EngineConfig::default().with_opt(OptLevel::NoOpt),
+    )
+    .query(queries, &QueryPlan::knn(radius, DEFAULT_K))
+    .expect("coherence workload fits the device");
     (results.breakdown.search_ms, results.search_metrics)
 }
 

@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod bvh_build;
 pub mod coherence;
 pub mod dynamic;
+pub mod mixed;
 pub mod partition_dist;
 pub mod sensitivity;
 pub mod speedups;

@@ -4,7 +4,7 @@
 use crate::report::{FigureReport, Table};
 use crate::scale::ExperimentScale;
 use crate::workloads::{Workload, DEFAULT_K};
-use rtnn::{Rtnn, RtnnConfig, SearchMode, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan, SearchMode, SearchParams};
 use rtnn_baselines::fastrnn::FastRnn;
 use rtnn_baselines::grid_knn::GridKnn;
 use rtnn_baselines::octree::OctreeSearch;
@@ -19,11 +19,13 @@ const RADII: [f32; 4] = [0.00124, 0.0124, 0.124, 0.4];
 const KS: [usize; 5] = [1, 4, 16, 64, 128];
 
 fn rtnn_time(device: &Device, w: &Workload, params: SearchParams) -> f64 {
-    Rtnn::new(
-        device,
-        RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
+    let backend = GpusimBackend::new(device);
+    Index::build(
+        &backend,
+        &w.points[..],
+        EngineConfig::default().with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
     )
-    .search(&w.points, &w.queries)
+    .query(&w.queries, &QueryPlan::from_params(params))
     .map(|r| r.total_time_ms())
     .unwrap_or(f64::INFINITY)
 }

@@ -14,7 +14,9 @@
 use crate::report::{fmt_ms, fmt_speedup, geomean, FigureReport, Table};
 use crate::scale::ExperimentScale;
 use crate::workloads::{evaluation_datasets, Workload, DEFAULT_K};
-use rtnn::{Rtnn, RtnnConfig, SearchMode, SearchParams, SearchResults};
+use rtnn::{
+    EngineConfig, GpusimBackend, Index, QueryPlan, SearchMode, SearchParams, SearchResults,
+};
 use rtnn_baselines::fastrnn::FastRnn;
 use rtnn_baselines::grid_knn::GridKnn;
 use rtnn_baselines::octree::OctreeSearch;
@@ -53,11 +55,14 @@ fn run_rtnn(device: &Device, workload: &Workload, mode: SearchMode) -> Option<Se
         mode,
     };
     // The paper's configuration: equi-volume KNN AABB heuristic (Section 5.1).
-    let engine = Rtnn::new(
-        device,
-        RtnnConfig::new(params).with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
-    );
-    engine.search(&workload.points, &workload.queries).ok()
+    let backend = GpusimBackend::new(device);
+    Index::build(
+        &backend,
+        &workload.points[..],
+        EngineConfig::default().with_knn_rule(rtnn::KnnAabbRule::EquiVolume),
+    )
+    .query(&workload.queries, &QueryPlan::from_params(params))
+    .ok()
 }
 
 fn run_baseline(

@@ -22,6 +22,8 @@
 //! | `fig15_bvh_build` | Fig. 15 — BVH build time vs #AABBs |
 //! | `fig16_partition_dist` | Fig. 16 — queries per partition vs AABB size |
 //! | `micro_step_costs` | §3.1 — step 1 vs step 2 cost |
+//! | `fig_dynamic` | extension — refit vs rebuild vs policy on streaming scenes |
+//! | `fig_mixed` | extension — heterogeneous plans on one `Index` vs per-plan engines |
 //! | `reproduce_all` | everything above, written to `results/` |
 //!
 //! Scale is controlled by the `RTNN_SCALE` environment variable: the point

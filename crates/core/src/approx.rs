@@ -13,6 +13,7 @@
 //!   `√3·r` of the query (the AABB half-diagonal), and the expensive step-2
 //!   work disappears entirely.
 
+use crate::plan::PlanError;
 use serde::{Deserialize, Serialize};
 
 /// The approximation mode of a search.
@@ -63,13 +64,12 @@ impl ApproxMode {
         matches!(self, ApproxMode::Exact)
     }
 
-    /// Validate the mode's parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the mode's parameters; violations are typed
+    /// [`PlanError`]s naming the offending field.
+    pub fn validate(&self) -> Result<(), PlanError> {
         if let ApproxMode::ShrunkenAabb { factor } = self {
             if !(*factor > 0.0 && *factor <= 1.0) {
-                return Err(format!(
-                    "AABB shrink factor must be in (0, 1], got {factor}"
-                ));
+                return Err(PlanError::InvalidShrinkFactor { factor: *factor });
             }
         }
         Ok(())

@@ -1,24 +1,26 @@
-//! The end-to-end RTNN search engine: ties together the basic mapping, query
-//! scheduling, partitioning and bundling, and produces the per-phase time
-//! breakdown of Figure 12.
+//! The legacy single-plan engine, kept as thin deprecated shims over the
+//! two-level [`Index`](crate::Index) / [`QueryPlan`] API.
+//!
+//! [`Rtnn`] fuses scene and query: one `(radius, K, mode)` is baked into
+//! the engine at construction, so every new radius or K means a new engine
+//! and a redundant structure rebuild. New code should build an
+//! [`Index`](crate::Index) once and pass typed plans per call (see the
+//! README migration table); [`Rtnn::search`] / [`Rtnn::search_prepared`]
+//! remain so existing callers keep compiling and keep getting bit-identical
+//! results — they run the exact same execution core.
 
 use crate::approx::ApproxMode;
-use crate::bundling::{apply_bundles, plan_bundles};
-use crate::cost_model::CostCoefficients;
+use crate::backend::GpusimBackend;
+use crate::index::{run_params, AccelStore, EngineConfig, SceneRefs};
 use crate::megacell::MegacellGrid;
-use crate::partition::{
-    partition_queries, partition_queries_cached, KnnAabbRule, MegacellCache, Partition,
-    PartitionSet,
-};
-use crate::result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
-use crate::scheduling::{schedule_queries, QuerySchedule};
-use crate::shaders::{KnnProgram, QueryIndexing, RangeProgram};
+use crate::partition::{KnnAabbRule, MegacellCache};
+use crate::plan::{PlanError, QueryPlan};
+use crate::result::{SearchParams, SearchResults};
 use rtnn_bvh::BuildParams;
 use rtnn_gpusim::device::OutOfDeviceMemory;
-use rtnn_gpusim::kernel::point_cloud_bytes;
-use rtnn_gpusim::{Device, IsShaderKind};
+use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, Vec3};
-use rtnn_optix::{Gas, LaunchMetrics, Pipeline};
+use rtnn_optix::Gas;
 
 /// Which of the paper's optimisations are enabled — the five configurations
 /// compared in Figure 13 (the `Oracle` variant is an exhaustive search over
@@ -59,20 +61,24 @@ impl OptLevel {
         }
     }
 
-    fn scheduling(&self) -> bool {
+    pub(crate) fn scheduling(&self) -> bool {
         *self >= OptLevel::Sched
     }
 
-    fn partitioning(&self) -> bool {
+    pub(crate) fn partitioning(&self) -> bool {
         *self >= OptLevel::SchedPartition
     }
 
-    fn bundling(&self) -> bool {
+    pub(crate) fn bundling(&self) -> bool {
         *self >= OptLevel::Full
     }
 }
 
-/// Full engine configuration.
+/// The legacy all-in-one configuration: per-query search parameters fused
+/// with engine-wide tuning. New code should hold an
+/// [`EngineConfig`] and pass per-call
+/// [`QueryPlan`]s instead; [`RtnnConfig::engine`] and
+/// [`RtnnConfig::plan`] split a legacy config into the two halves.
 #[derive(Debug, Clone, Copy)]
 pub struct RtnnConfig {
     /// Search radius, K, and variant.
@@ -122,17 +128,47 @@ impl RtnnConfig {
     }
 
     /// Set the megacell grid budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `cells == 0` with a clear message (a zero budget used to
+    /// be accepted silently); hand-assembled configs are additionally
+    /// rejected with [`PlanError::ZeroGridBudget`] at search time.
     pub fn with_grid_max_cells(mut self, cells: usize) -> Self {
-        self.grid_max_cells = cells;
+        self.grid_max_cells = crate::index::checked_grid_budget(cells);
         self
+    }
+
+    /// The engine-wide half of this configuration (everything except the
+    /// per-query search parameters).
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            opt: self.opt,
+            build: self.build,
+            knn_rule: self.knn_rule,
+            approx: self.approx,
+            grid_max_cells: self.grid_max_cells,
+        }
+    }
+
+    /// The per-query half of this configuration as a typed plan.
+    pub fn plan(&self) -> QueryPlan {
+        QueryPlan::from_params(self.params)
+    }
+
+    /// The full AABB width the global acceleration structure uses for this
+    /// configuration (`2r` scaled by the approximation mode).
+    pub fn global_aabb_width(&self) -> f32 {
+        2.0 * self.params.radius * self.approx.aabb_width_factor()
     }
 }
 
 /// Errors a search can report.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchError {
-    /// The search parameters or approximation mode are invalid.
-    InvalidConfig(String),
+    /// The query plan, search parameters or engine configuration are
+    /// invalid; the typed [`PlanError`] names the offending field.
+    InvalidPlan(PlanError),
     /// The working set does not fit in the simulated device memory (the
     /// `OOM` outcomes of Figure 11).
     OutOfDeviceMemory(OutOfDeviceMemory),
@@ -141,7 +177,7 @@ pub enum SearchError {
 impl std::fmt::Display for SearchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SearchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SearchError::InvalidPlan(e) => write!(f, "invalid configuration: {e}"),
             SearchError::OutOfDeviceMemory(e) => write!(f, "{e}"),
         }
     }
@@ -152,6 +188,12 @@ impl std::error::Error for SearchError {}
 impl From<OutOfDeviceMemory> for SearchError {
     fn from(e: OutOfDeviceMemory) -> Self {
         SearchError::OutOfDeviceMemory(e)
+    }
+}
+
+impl From<PlanError> for SearchError {
+    fn from(e: PlanError) -> Self {
+        SearchError::InvalidPlan(e)
     }
 }
 
@@ -189,17 +231,24 @@ pub struct PreparedMegacells<'a> {
     pub cache: &'a mut MegacellCache,
 }
 
-/// The RTNN search engine, bound to a simulated device.
+/// The legacy RTNN search engine, bound to a simulated device. A thin shim
+/// over the [`Index`](crate::Index) execution core — see the module docs
+/// and the README migration table.
 #[derive(Debug, Clone)]
 pub struct Rtnn<'d> {
     device: &'d Device,
+    backend: GpusimBackend<'d>,
     config: RtnnConfig,
 }
 
 impl<'d> Rtnn<'d> {
     /// Create an engine.
     pub fn new(device: &'d Device, config: RtnnConfig) -> Self {
-        Rtnn { device, config }
+        Rtnn {
+            device,
+            backend: GpusimBackend::new(device),
+            config,
+        }
     }
 
     /// The engine's configuration.
@@ -217,250 +266,81 @@ impl<'d> Rtnn<'d> {
     /// index ([`Rtnn::search_prepared`]) must build/refit its GAS at exactly
     /// this width.
     pub fn global_aabb_width(&self) -> f32 {
-        2.0 * self.config.params.radius * self.config.approx.aabb_width_factor()
+        self.config.global_aabb_width()
     }
 
     /// Run the search: for every query, find its neighbors among `points`
     /// according to the configured [`SearchParams`].
+    #[deprecated(
+        note = "build an `Index` once and pass a per-call `QueryPlan` instead: \
+                `Index::build(&backend, points, config.engine()).query(queries, &config.plan())` \
+                — see the README migration table"
+    )]
     pub fn search(&self, points: &[Vec3], queries: &[Vec3]) -> Result<SearchResults, SearchError> {
-        self.search_inner(points, queries, None)
+        let mut store = AccelStore::new();
+        run_params(
+            &self.backend,
+            &self.config.engine(),
+            self.config.params,
+            points,
+            queries,
+            &mut store,
+            SceneRefs::fresh(),
+        )
     }
 
     /// Run the search against a *persistent* scene whose global acceleration
     /// structure (and optionally megacell grid + per-query megacell cache)
-    /// is maintained across query rounds by the caller — the streaming path
-    /// the `rtnn-dynamic` crate drives. Instead of building the global GAS
-    /// from scratch, the prepared structure is traversed directly and the
-    /// caller-supplied maintenance cost (`structure_ms`: this frame's refit
-    /// or rebuild time) is charged to the `BVH` component of the breakdown.
+    /// is maintained across query rounds by the caller. Instead of building
+    /// the global GAS from scratch, the prepared structure is traversed
+    /// directly and the caller-supplied maintenance cost (`structure_ms`)
+    /// is charged to the `BVH` component of the breakdown.
     ///
     /// The caller guarantees that `prepared.gas` holds one width-
     /// [`Rtnn::global_aabb_width`] cube per point at the points' *current*
     /// positions, and that a supplied megacell grid was built/refreshed over
     /// the current positions.
+    #[deprecated(
+        note = "use `Index::adopt` (or `DynamicIndex::as_index`) and `Index::query` with a \
+                per-call `QueryPlan` — see the README migration table"
+    )]
     pub fn search_prepared(
         &self,
         points: &[Vec3],
         queries: &[Vec3],
         prepared: PreparedScene<'_>,
     ) -> Result<SearchResults, SearchError> {
-        self.search_inner(points, queries, Some(prepared))
+        debug_assert_eq!(prepared.gas.num_primitives(), points.len());
+        let mut store = AccelStore::new();
+        store.adopt_gas(prepared.gas, self.global_aabb_width());
+        let (grid, dirty_region, cache) = match prepared.megacells {
+            Some(pm) => (Some(pm.grid), pm.dirty_region, Some(pm.cache)),
+            None => (None, Aabb::EMPTY, None),
+        };
+        run_params(
+            &self.backend,
+            &self.config.engine(),
+            self.config.params,
+            points,
+            queries,
+            &mut store,
+            SceneRefs {
+                structure_ms: prepared.structure_ms,
+                grid,
+                dirty_region,
+                cache,
+            },
+        )
     }
-
-    fn search_inner(
-        &self,
-        points: &[Vec3],
-        queries: &[Vec3],
-        prepared: Option<PreparedScene<'_>>,
-    ) -> Result<SearchResults, SearchError> {
-        let cfg = &self.config;
-        cfg.params.validate().map_err(SearchError::InvalidConfig)?;
-        cfg.approx.validate().map_err(SearchError::InvalidConfig)?;
-        let params = cfg.params;
-
-        let mut breakdown = TimeBreakdown::default();
-        let mut search_metrics = LaunchMetrics::default();
-        let mut fs_metrics = LaunchMetrics::default();
-
-        // Data transfer (the `Data` component): points + queries in, result
-        // ids out.
-        let footprint = point_cloud_bytes(points.len(), queries.len(), params.k);
-        self.device.check_allocation(footprint)?;
-        breakdown.data_ms = self
-            .device
-            .transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
-            + self
-                .device
-                .transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
-
-        if queries.is_empty() {
-            return Ok(SearchResults {
-                neighbors: Vec::new(),
-                breakdown,
-                search_metrics,
-                fs_metrics,
-                num_partitions: 0,
-                num_bundles: 0,
-            });
-        }
-        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
-        if points.is_empty() {
-            return Ok(SearchResults {
-                neighbors,
-                breakdown,
-                search_metrics,
-                fs_metrics,
-                num_partitions: 0,
-                num_bundles: 0,
-            });
-        }
-
-        let pipeline = Pipeline::new(self.device);
-        let full_width = self.global_aabb_width();
-
-        // Global GAS: used directly by the NoOpt/Sched paths and by the
-        // first-hit scheduling pass; reused by any partition that falls back
-        // to the full AABB width. A prepared scene supplies it (already
-        // refitted/rebuilt for this frame) and charges its maintenance cost;
-        // the batch path builds it from scratch.
-        let (prepared_gas, mut prepared_megacells) = match prepared {
-            Some(p) => (Some((p.gas, p.structure_ms)), p.megacells),
-            None => (None, None),
-        };
-        let built_gas;
-        let global_gas: &Gas = match prepared_gas {
-            Some((gas, structure_ms)) => {
-                debug_assert_eq!(gas.num_primitives(), points.len());
-                breakdown.bvh_ms += structure_ms;
-                gas
-            }
-            None => {
-                built_gas = Gas::build(self.device, &point_aabbs(points, full_width), cfg.build)?;
-                breakdown.bvh_ms += built_gas.build_time_ms();
-                &built_gas
-            }
-        };
-
-        // Query scheduling (Section 4).
-        let schedule = if cfg.opt.scheduling() {
-            let s = schedule_queries(self.device, global_gas, points, queries);
-            breakdown.fs_ms += s.fs_metrics.time_ms();
-            breakdown.opt_ms += s.sort_metrics.time_ms;
-            s
-        } else {
-            QuerySchedule::identity(queries.len())
-        };
-        fs_metrics = schedule.fs_metrics.clone();
-
-        // Query partitioning (Section 5.1) and bundling (Section 5.2).
-        let (partitions, num_partitions, num_bundles) = if cfg.opt.partitioning() {
-            let set: PartitionSet = if let Some(pm) = prepared_megacells.as_mut() {
-                partition_queries_cached(
-                    self.device,
-                    queries,
-                    &schedule.order,
-                    &params,
-                    cfg.knn_rule,
-                    pm.grid,
-                    &pm.dirty_region,
-                    pm.cache,
-                )
-            } else {
-                partition_queries(
-                    self.device,
-                    points,
-                    queries,
-                    &schedule.order,
-                    &params,
-                    cfg.knn_rule,
-                    cfg.grid_max_cells,
-                )
-            };
-            breakdown.opt_ms += set.opt_metrics.time_ms;
-            let raw_count = set.partitions.len();
-            let parts = if cfg.opt.bundling() {
-                let coeffs = CostCoefficients::calibrate(self.device);
-                let plan = plan_bundles(&set.partitions, points.len(), &params, &coeffs);
-                apply_bundles(&set.partitions, &plan, &params)
-            } else {
-                set.partitions
-            };
-            let bundles = parts.len();
-            (parts, raw_count, bundles)
-        } else {
-            let single = Partition {
-                aabb_width: full_width,
-                query_ids: schedule.order.clone(),
-                megacell_width: full_width,
-                sphere_test: !cfg.approx.skip_sphere_test(),
-                density: 0.0,
-            };
-            (vec![single], 1, 1)
-        };
-
-        // Search every partition with its own acceleration structure.
-        for part in &partitions {
-            if part.is_empty() {
-                continue;
-            }
-            let reuse_global = (part.aabb_width - full_width).abs() <= f32::EPSILON * full_width;
-            let gas_storage;
-            let gas = if reuse_global {
-                global_gas
-            } else {
-                gas_storage = Gas::build(
-                    self.device,
-                    &point_aabbs(
-                        points,
-                        part.aabb_width * cfg.approx.aabb_width_factor().min(1.0),
-                    ),
-                    cfg.build,
-                )?;
-                breakdown.bvh_ms += gas_storage.build_time_ms();
-                &gas_storage
-            };
-
-            let sphere_test = part.sphere_test && !cfg.approx.skip_sphere_test();
-            let launch_metrics = match params.mode {
-                SearchMode::Range => {
-                    let program = RangeProgram {
-                        points,
-                        queries,
-                        indexing: QueryIndexing::Mapped(&part.query_ids),
-                        radius: params.radius,
-                        k: params.k,
-                        sphere_test,
-                    };
-                    let kind = if sphere_test {
-                        IsShaderKind::RangeSphereTest
-                    } else {
-                        IsShaderKind::RangeNoSphereTest
-                    };
-                    let launch = pipeline.launch(gas, part.len(), &program, kind);
-                    for (launch_idx, payload) in launch.payloads.into_iter().enumerate() {
-                        neighbors[part.query_ids[launch_idx] as usize] = payload;
-                    }
-                    launch.metrics
-                }
-                SearchMode::Knn => {
-                    let program = KnnProgram {
-                        points,
-                        queries,
-                        indexing: QueryIndexing::Mapped(&part.query_ids),
-                        radius: params.radius,
-                        k: params.k,
-                    };
-                    let launch = pipeline.launch(gas, part.len(), &program, IsShaderKind::Knn);
-                    for (launch_idx, payload) in launch.payloads.into_iter().enumerate() {
-                        neighbors[part.query_ids[launch_idx] as usize] = payload.into_sorted_ids();
-                    }
-                    launch.metrics
-                }
-            };
-            breakdown.search_ms += launch_metrics.time_ms();
-            search_metrics.merge_sequential(&launch_metrics);
-        }
-
-        Ok(SearchResults {
-            neighbors,
-            breakdown,
-            search_metrics,
-            fs_metrics,
-            num_partitions,
-            num_bundles,
-        })
-    }
-}
-
-/// The per-point AABBs of Listing 1: width-`w` cubes centred at the points.
-fn point_aabbs(points: &[Vec3], width: f32) -> Vec<rtnn_math::Aabb> {
-    rtnn_parallel::par_map(points.len(), |i| rtnn_math::Aabb::cube(points[i], width))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims are exactly what these tests exercise
+
     use super::*;
     use crate::verify::check_all;
+    use rtnn_parallel::par_map;
 
     fn grid_points(n_per_axis: usize, spacing: f32) -> Vec<Vec3> {
         let mut pts = Vec::new();
@@ -472,6 +352,10 @@ mod tests {
             }
         }
         pts
+    }
+
+    fn point_aabbs(points: &[Vec3], width: f32) -> Vec<Aabb> {
+        par_map(points.len(), |i| Aabb::cube(points[i], width))
     }
 
     fn run(
@@ -536,7 +420,7 @@ mod tests {
         let bad_radius = Rtnn::new(&device, RtnnConfig::new(SearchParams::range(-1.0, 4)));
         assert!(matches!(
             bad_radius.search(&[Vec3::ZERO], &[Vec3::ZERO]),
-            Err(SearchError::InvalidConfig(_))
+            Err(SearchError::InvalidPlan(PlanError::InvalidRadius { .. }))
         ));
         let bad_approx = Rtnn::new(
             &device,
@@ -545,6 +429,12 @@ mod tests {
         );
         let err = bad_approx.search(&[Vec3::ZERO], &[Vec3::ZERO]).unwrap_err();
         assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid_max_cells must be a positive cell budget")]
+    fn zero_grid_budget_is_rejected_by_the_builder() {
+        let _ = RtnnConfig::new(SearchParams::range(1.0, 4)).with_grid_max_cells(0);
     }
 
     #[test]
@@ -711,5 +601,33 @@ mod tests {
             engine.search(&points, &queries),
             Err(SearchError::OutOfDeviceMemory(_))
         ));
+    }
+
+    #[test]
+    fn legacy_shim_and_index_are_bit_identical() {
+        // The acceptance contract of the API redesign: the deprecated shim
+        // and the new per-plan path run the same execution core.
+        use crate::backend::GpusimBackend;
+        use crate::index::Index;
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = grid_points(7, 0.7);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        for params in [SearchParams::knn(1.4, 7), SearchParams::range(1.1, 64)] {
+            for opt in OptLevel::all() {
+                let config = RtnnConfig::new(params).with_opt(opt);
+                let legacy = Rtnn::new(&device, config)
+                    .search(&points, &queries)
+                    .unwrap();
+                let mut index = Index::build(&backend, &points[..], config.engine());
+                let modern = index.query(&queries, &config.plan()).unwrap();
+                assert_eq!(
+                    legacy.neighbors, modern.neighbors,
+                    "{params:?} {opt:?}: Index::query must be bit-equal to Rtnn::search"
+                );
+                assert_eq!(legacy.num_partitions, modern.num_partitions);
+                assert_eq!(legacy.num_bundles, modern.num_bundles);
+            }
+        }
     }
 }

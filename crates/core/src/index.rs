@@ -1,0 +1,1002 @@
+//! The persistent [`Index`]: build the scene-side state once, answer many
+//! typed [`QueryPlan`]s against it.
+//!
+//! The legacy `Rtnn` engine fused scene and query: one `(radius, K, mode)`
+//! was baked into the engine at construction, so every new radius or K
+//! meant a new engine and a redundant structure rebuild. The two-level API
+//! splits them:
+//!
+//! * [`Index`] — built once from points (or adopted from a streaming
+//!   `DynamicIndex`), owning the acceleration structures (one per AABB
+//!   width, built lazily and cached), the megacell grid and the per-query
+//!   caches;
+//! * [`QueryPlan`] — passed per call to [`Index::query`], validated at
+//!   query time with typed [`PlanError`]s.
+//!
+//! Engine-wide tuning that is *not* per-query (optimisation level, KNN
+//! AABB rule, approximation mode, grid budget, BVH build knobs) lives in
+//! [`EngineConfig`].
+//!
+//! ```
+//! use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
+//! use rtnn_gpusim::Device;
+//! use rtnn_math::Vec3;
+//!
+//! let device = Device::rtx_2080();
+//! let backend = GpusimBackend::new(&device);
+//! let points: Vec<Vec3> = (0..1000)
+//!     .map(|i| Vec3::new((i % 10) as f32, ((i / 10) % 10) as f32, (i / 100) as f32))
+//!     .collect();
+//!
+//! let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+//! let knn = index.query(&points, &QueryPlan::knn(1.5, 8)).unwrap();
+//! let rng = index.query(&points, &QueryPlan::range(0.9, 32)).unwrap();
+//! assert_eq!(knn.neighbors.len(), points.len());
+//! assert_eq!(rng.neighbors.len(), points.len());
+//! // The second query reused the index's cached grid; only structures for
+//! // new AABB widths were built.
+//! assert!(index.cached_structures() >= 1);
+//! ```
+
+use crate::approx::ApproxMode;
+use crate::backend::{Accel, AccelRef, Backend, TraversalJob, TraversalKind};
+use crate::bundling::{apply_bundles, plan_bundles};
+use crate::cost_model::CostCoefficients;
+use crate::engine::{OptLevel, SearchError};
+use crate::megacell::MegacellGrid;
+use crate::partition::{
+    partition_queries, partition_queries_cached, partition_queries_on_grid, KnnAabbRule,
+    MegacellCache, Partition, PartitionSet,
+};
+use crate::plan::{PlanError, PlanSlice, QueryPlan};
+use crate::result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
+use crate::scheduling::{anchor_keys, charge_sort_kernel, schedule_queries_on, QuerySchedule};
+use rtnn_bvh::BuildParams;
+use rtnn_gpusim::kernel::point_cloud_bytes;
+use rtnn_math::{Aabb, Vec3};
+use rtnn_optix::{Gas, LaunchMetrics};
+use rtnn_parallel::par_sort_by_key;
+use std::borrow::Cow;
+
+/// Engine-wide tuning, shared by every plan an [`Index`] serves. Per-query
+/// parameters (radius, K, variant) live in the [`QueryPlan`] instead.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Which of the paper's optimisations are enabled.
+    pub opt: OptLevel,
+    /// BVH builder configuration.
+    pub build: BuildParams,
+    /// How KNN partition AABB widths are derived (default: guaranteed-exact).
+    pub knn_rule: KnnAabbRule,
+    /// Approximation mode (default: exact).
+    pub approx: ApproxMode,
+    /// Grid-resolution budget for the megacell pass (stands in for the GPU
+    /// memory cap the paper mentions). Must be at least 1.
+    pub grid_max_cells: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            opt: OptLevel::Full,
+            build: BuildParams::default(),
+            knn_rule: KnnAabbRule::default(),
+            approx: ApproxMode::default(),
+            grid_max_cells: 1 << 21,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Set the optimisation level.
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Set the BVH build parameters.
+    pub fn with_build(mut self, build: BuildParams) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// Set the KNN AABB rule.
+    pub fn with_knn_rule(mut self, rule: KnnAabbRule) -> Self {
+        self.knn_rule = rule;
+        self
+    }
+
+    /// Set the approximation mode.
+    pub fn with_approx(mut self, approx: ApproxMode) -> Self {
+        self.approx = approx;
+        self
+    }
+
+    /// Set the megacell grid budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `cells == 0` with a clear message — a zero-cell grid
+    /// budget silently disabled partitioning in earlier versions. (Configs
+    /// assembled by hand are additionally rejected with
+    /// [`PlanError::ZeroGridBudget`] at query time.)
+    pub fn with_grid_max_cells(mut self, cells: usize) -> Self {
+        self.grid_max_cells = checked_grid_budget(cells);
+        self
+    }
+
+    /// Validate the engine-wide knobs (approximation parameters, grid
+    /// budget); run automatically at query time.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        self.approx.validate()?;
+        if self.grid_max_cells == 0 {
+            return Err(PlanError::ZeroGridBudget);
+        }
+        Ok(())
+    }
+}
+
+/// Shared builder-side rejection of a zero grid budget (used by both
+/// [`EngineConfig::with_grid_max_cells`] and the legacy
+/// `RtnnConfig::with_grid_max_cells`).
+pub(crate) fn checked_grid_budget(cells: usize) -> usize {
+    assert!(
+        cells >= 1,
+        "error: grid_max_cells must be a positive cell budget, got 0 \
+         (the megacell pass needs at least one grid cell)"
+    );
+    cells
+}
+
+// ---------------------------------------------------------------------------
+// Structure cache
+// ---------------------------------------------------------------------------
+
+enum StoreEntry<'a> {
+    Owned(Accel),
+    Shared(&'a Accel),
+    SharedGas { gas: &'a Gas, aabb_width: f32 },
+}
+
+impl<'a> StoreEntry<'a> {
+    fn aabb_width_bits(&self) -> u32 {
+        match self {
+            StoreEntry::Owned(a) => a.aabb_width().to_bits(),
+            StoreEntry::Shared(a) => a.aabb_width().to_bits(),
+            StoreEntry::SharedGas { aabb_width, .. } => aabb_width.to_bits(),
+        }
+    }
+
+    fn accel_ref(&self) -> AccelRef<'_> {
+        match self {
+            StoreEntry::Owned(a) => a.as_ref(),
+            StoreEntry::Shared(a) => a.as_ref(),
+            StoreEntry::SharedGas { gas, aabb_width } => AccelRef::Gas {
+                gas,
+                aabb_width: *aabb_width,
+            },
+        }
+    }
+}
+
+/// A width-keyed cache of acceleration structures: the index's global
+/// structure per plan radius plus the per-partition structures, owned or
+/// adopted (borrowed from a streaming index / prepared scene).
+pub(crate) struct AccelStore<'a> {
+    entries: Vec<StoreEntry<'a>>,
+}
+
+impl<'a> AccelStore<'a> {
+    pub(crate) fn new() -> Self {
+        AccelStore {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adopt a caller-owned structure (hit by width like any other entry).
+    pub(crate) fn adopt(&mut self, accel: &'a Accel) {
+        self.entries.push(StoreEntry::Shared(accel));
+    }
+
+    /// Adopt a caller-owned raw GAS built at `aabb_width`.
+    pub(crate) fn adopt_gas(&mut self, gas: &'a Gas, aabb_width: f32) {
+        self.entries.push(StoreEntry::SharedGas { gas, aabb_width });
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn accel_ref(&self, id: usize) -> AccelRef<'_> {
+        self.entries[id].accel_ref()
+    }
+
+    /// Get the structure for `aabb_width`, building (and charging) it on a
+    /// miss. Returns the entry id and the simulated build cost incurred by
+    /// *this* call (0 on a hit — that is the amortisation the index
+    /// provides).
+    pub(crate) fn ensure(
+        &mut self,
+        backend: &dyn Backend,
+        points: &[Vec3],
+        aabb_width: f32,
+        build: BuildParams,
+    ) -> Result<(usize, f64), SearchError> {
+        let key = aabb_width.to_bits();
+        if let Some(id) = self.entries.iter().position(|e| e.aabb_width_bits() == key) {
+            return Ok((id, 0.0));
+        }
+        let accel = backend
+            .build(points, aabb_width, build)
+            .map_err(SearchError::OutOfDeviceMemory)?;
+        let build_ms = accel.build_time_ms();
+        self.entries.push(StoreEntry::Owned(accel));
+        Ok((self.entries.len() - 1, build_ms))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared execution core (used by Index::query and the legacy Rtnn shims)
+// ---------------------------------------------------------------------------
+
+/// Caller-maintained scene state handed to one execution.
+pub(crate) struct SceneRefs<'s> {
+    /// Structure-maintenance cost (refit/rebuild) to charge to the `BVH`
+    /// breakdown slot.
+    pub structure_ms: f64,
+    /// Prebuilt megacell grid over the current points.
+    pub grid: Option<&'s MegacellGrid>,
+    /// Bounds of grid cells whose population changed since the cache
+    /// entries were written.
+    pub dirty_region: Aabb,
+    /// Per-query megacell cache, updated in place.
+    pub cache: Option<&'s mut MegacellCache>,
+}
+
+impl SceneRefs<'_> {
+    /// No prebuilt state: build everything from scratch (the legacy batch
+    /// path).
+    pub(crate) fn fresh() -> Self {
+        SceneRefs {
+            structure_ms: 0.0,
+            grid: None,
+            dirty_region: Aabb::EMPTY,
+            cache: None,
+        }
+    }
+}
+
+fn empty_results(
+    num_queries: usize,
+    breakdown: TimeBreakdown,
+    search_metrics: LaunchMetrics,
+    fs_metrics: LaunchMetrics,
+) -> SearchResults {
+    SearchResults {
+        neighbors: vec![Vec::new(); num_queries],
+        breakdown,
+        search_metrics,
+        fs_metrics,
+        num_partitions: 0,
+        num_bundles: 0,
+    }
+}
+
+/// Execute one single-plan search — the pipeline the legacy engine ran,
+/// expressed over a backend and a structure store so both the deprecated
+/// `Rtnn` shims and [`Index::query`] produce bit-identical results.
+pub(crate) fn run_params(
+    backend: &dyn Backend,
+    cfg: &EngineConfig,
+    params: SearchParams,
+    points: &[Vec3],
+    queries: &[Vec3],
+    store: &mut AccelStore<'_>,
+    scene: SceneRefs<'_>,
+) -> Result<SearchResults, SearchError> {
+    params.validate()?;
+    cfg.validate()?;
+    let device = backend.device();
+
+    let mut breakdown = TimeBreakdown::default();
+    let mut search_metrics = LaunchMetrics::default();
+
+    // Data transfer (the `Data` component): points + queries in, result
+    // ids out.
+    let footprint = point_cloud_bytes(points.len(), queries.len(), params.k);
+    device.check_allocation(footprint)?;
+    breakdown.data_ms = device.transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
+        + device.transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
+
+    if queries.is_empty() {
+        return Ok(SearchResults {
+            neighbors: Vec::new(),
+            breakdown,
+            search_metrics,
+            fs_metrics: LaunchMetrics::default(),
+            num_partitions: 0,
+            num_bundles: 0,
+        });
+    }
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+    if points.is_empty() {
+        return Ok(SearchResults {
+            neighbors,
+            breakdown,
+            search_metrics,
+            fs_metrics: LaunchMetrics::default(),
+            num_partitions: 0,
+            num_bundles: 0,
+        });
+    }
+
+    // Global structure: used directly by the NoOpt/Sched paths and by the
+    // first-hit scheduling pass; reused by any partition that falls back to
+    // the full AABB width. An index hits its width cache here (charging
+    // nothing); the legacy batch path builds it fresh every call.
+    let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
+    let (gid, built_ms) = store.ensure(backend, points, full_width, cfg.build)?;
+    debug_assert_eq!(store.accel_ref(gid).num_primitives(), points.len());
+    breakdown.bvh_ms += built_ms + scene.structure_ms;
+
+    // Query scheduling (Section 4).
+    let schedule = if cfg.opt.scheduling() {
+        let s = schedule_queries_on(backend, store.accel_ref(gid), points, queries);
+        breakdown.fs_ms += s.fs_metrics.time_ms();
+        breakdown.opt_ms += s.sort_metrics.time_ms;
+        s
+    } else {
+        QuerySchedule::identity(queries.len())
+    };
+    let fs_metrics = schedule.fs_metrics.clone();
+
+    let (num_partitions, num_bundles) = search_ordered(
+        backend,
+        cfg,
+        params,
+        points,
+        queries,
+        &schedule.order,
+        store,
+        gid,
+        scene.grid,
+        &scene.dirty_region,
+        scene.cache,
+        &mut neighbors,
+        &mut breakdown,
+        &mut search_metrics,
+    )?;
+
+    Ok(SearchResults {
+        neighbors,
+        breakdown,
+        search_metrics,
+        fs_metrics,
+        num_partitions,
+        num_bundles,
+    })
+}
+
+/// Partition (+ bundle) the ordered queries and run the per-partition
+/// search launches, scattering results into `neighbors`.
+#[allow(clippy::too_many_arguments)]
+fn search_ordered(
+    backend: &dyn Backend,
+    cfg: &EngineConfig,
+    params: SearchParams,
+    points: &[Vec3],
+    queries: &[Vec3],
+    order: &[u32],
+    store: &mut AccelStore<'_>,
+    gid: usize,
+    grid: Option<&MegacellGrid>,
+    dirty_region: &Aabb,
+    cache: Option<&mut MegacellCache>,
+    neighbors: &mut [Vec<u32>],
+    breakdown: &mut TimeBreakdown,
+    search_metrics: &mut LaunchMetrics,
+) -> Result<(usize, usize), SearchError> {
+    let device = backend.device();
+    let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
+
+    // Query partitioning (Section 5.1) and bundling (Section 5.2).
+    let (partitions, num_partitions, num_bundles) = if cfg.opt.partitioning() {
+        let set: PartitionSet = match (grid, cache) {
+            (Some(g), Some(c)) => partition_queries_cached(
+                device,
+                queries,
+                order,
+                &params,
+                cfg.knn_rule,
+                g,
+                dirty_region,
+                c,
+            ),
+            (Some(g), None) => {
+                partition_queries_on_grid(device, g, queries, order, &params, cfg.knn_rule)
+            }
+            (None, _) => partition_queries(
+                device,
+                points,
+                queries,
+                order,
+                &params,
+                cfg.knn_rule,
+                cfg.grid_max_cells,
+            ),
+        };
+        breakdown.opt_ms += set.opt_metrics.time_ms;
+        let raw_count = set.partitions.len();
+        let parts = if cfg.opt.bundling() {
+            let coeffs = CostCoefficients::calibrate(device);
+            let plan = plan_bundles(&set.partitions, points.len(), &params, &coeffs);
+            apply_bundles(&set.partitions, &plan, &params)
+        } else {
+            set.partitions
+        };
+        let bundles = parts.len();
+        (parts, raw_count, bundles)
+    } else {
+        let single = Partition {
+            aabb_width: full_width,
+            query_ids: order.to_vec(),
+            megacell_width: full_width,
+            sphere_test: !cfg.approx.skip_sphere_test(),
+            density: 0.0,
+        };
+        (vec![single], 1, 1)
+    };
+
+    // Search every partition with its own acceleration structure (cached by
+    // width in the store).
+    for part in &partitions {
+        if part.is_empty() {
+            continue;
+        }
+        let reuse_global = (part.aabb_width - full_width).abs() <= f32::EPSILON * full_width;
+        let aid = if reuse_global {
+            gid
+        } else {
+            let eff_width = part.aabb_width * cfg.approx.aabb_width_factor().min(1.0);
+            let (aid, built_ms) = store.ensure(backend, points, eff_width, cfg.build)?;
+            breakdown.bvh_ms += built_ms;
+            aid
+        };
+
+        let sphere_test = part.sphere_test && !cfg.approx.skip_sphere_test();
+        let kind = match params.mode {
+            SearchMode::Range => TraversalKind::Range {
+                radius: params.radius,
+                cap: params.k,
+                sphere_test,
+            },
+            SearchMode::Knn => TraversalKind::Knn {
+                radius: params.radius,
+                k: params.k,
+            },
+        };
+        let traversal = backend.traverse(
+            store.accel_ref(aid),
+            &TraversalJob {
+                points,
+                queries,
+                query_ids: &part.query_ids,
+                kind,
+            },
+        );
+        for (launch_idx, payload) in traversal.payloads.into_iter().enumerate() {
+            neighbors[part.query_ids[launch_idx] as usize] = payload;
+        }
+        breakdown.search_ms += traversal.metrics.time_ms();
+        search_metrics.merge_sequential(&traversal.metrics);
+    }
+
+    Ok((num_partitions, num_bundles))
+}
+
+// ---------------------------------------------------------------------------
+// Index
+// ---------------------------------------------------------------------------
+
+enum GridSlot<'a> {
+    Unbuilt,
+    Owned(Option<MegacellGrid>),
+    Shared(&'a MegacellGrid),
+}
+
+fn grid_for<'s, 'a>(
+    slot: &'s mut GridSlot<'a>,
+    points: &[Vec3],
+    budget: usize,
+) -> Option<&'s MegacellGrid> {
+    if let GridSlot::Unbuilt = slot {
+        *slot = GridSlot::Owned(MegacellGrid::build(points, budget));
+    }
+    match slot {
+        GridSlot::Shared(g) => Some(g),
+        GridSlot::Owned(opt) => opt.as_ref(),
+        GridSlot::Unbuilt => unreachable!("built above"),
+    }
+}
+
+/// Scene state adopted by [`Index::adopt`] from a caller that maintains it
+/// across frames (the streaming `DynamicIndex`).
+pub struct AdoptedScene<'a> {
+    /// The global structure over the current point positions.
+    pub accel: &'a Accel,
+    /// Megacell grid over the current positions (`None` falls back to a
+    /// lazily built grid).
+    pub grid: Option<&'a MegacellGrid>,
+    /// Bounds of grid cells whose population changed since `cache` entries
+    /// were written ([`Aabb::EMPTY`] when none did).
+    pub dirty_region: Aabb,
+    /// Per-query megacell cache, updated in place across frames.
+    pub cache: Option<&'a mut MegacellCache>,
+    /// The search parameters the adopted cache serves (`None`: any). Plans
+    /// with different parameters *bypass* the cache instead of wiping the
+    /// owner's warm entries — megacell results depend on `(radius, k)`.
+    pub cache_params: Option<SearchParams>,
+}
+
+/// A persistent neighbor-search index: scene-side state built once, typed
+/// [`QueryPlan`]s answered per call (see module docs).
+pub struct Index<'a> {
+    backend: &'a dyn Backend,
+    config: EngineConfig,
+    points: Cow<'a, [Vec3]>,
+    store: AccelStore<'a>,
+    grid: GridSlot<'a>,
+    cache: Option<&'a mut MegacellCache>,
+    cache_params: Option<SearchParams>,
+    dirty_region: Aabb,
+    pending_structure_ms: f64,
+}
+
+impl<'a> Index<'a> {
+    /// Build an index over `points` on `backend`. Structures are built
+    /// lazily — each AABB width the plans demand is built on first use and
+    /// cached — so construction is cheap; validation happens at
+    /// [`query`](Self::query) time.
+    pub fn build(
+        backend: &'a dyn Backend,
+        points: impl Into<Cow<'a, [Vec3]>>,
+        config: EngineConfig,
+    ) -> Self {
+        Index {
+            backend,
+            config,
+            points: points.into(),
+            store: AccelStore::new(),
+            grid: GridSlot::Unbuilt,
+            cache: None,
+            cache_params: None,
+            dirty_region: Aabb::EMPTY,
+            pending_structure_ms: 0.0,
+        }
+    }
+
+    /// Adopt scene state maintained by a caller across query rounds (the
+    /// streaming contract): the caller guarantees `scene.accel` covers
+    /// `points` at their current positions and that a supplied grid was
+    /// built/refreshed over them.
+    pub fn adopt(
+        backend: &'a dyn Backend,
+        points: &'a [Vec3],
+        config: EngineConfig,
+        scene: AdoptedScene<'a>,
+    ) -> Self {
+        let mut store = AccelStore::new();
+        store.adopt(scene.accel);
+        Index {
+            backend,
+            config,
+            points: Cow::Borrowed(points),
+            store,
+            grid: match scene.grid {
+                Some(g) => GridSlot::Shared(g),
+                None => GridSlot::Unbuilt,
+            },
+            cache: scene.cache,
+            cache_params: scene.cache_params,
+            dirty_region: scene.dirty_region,
+            pending_structure_ms: 0.0,
+        }
+    }
+
+    /// The points the index was built over.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The engine-wide configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend
+    }
+
+    /// Number of acceleration structures currently cached (owned +
+    /// adopted) — grows with the distinct AABB widths the plans demand.
+    pub fn cached_structures(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Charge `ms` of caller-side structure maintenance (refit / rebuild
+    /// time) to the next query's `BVH` breakdown slot — the streaming
+    /// contract a `DynamicIndex` frame uses.
+    pub fn charge_structure_ms(&mut self, ms: f64) {
+        self.pending_structure_ms += ms;
+    }
+
+    /// Answer `plan` for `queries` against the indexed points.
+    ///
+    /// The plan is validated first ([`PlanError`] names the offending
+    /// field). Single plans are bit-identical to what the legacy
+    /// one-engine-per-config path returned; [`QueryPlan::Batch`] answers
+    /// heterogeneous plans in one call, sharing a single scheduling pass
+    /// and every cached structure.
+    pub fn query(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+    ) -> Result<SearchResults, SearchError> {
+        plan.validate(queries.len())?;
+        match plan {
+            QueryPlan::Batch(slices) => self.query_batch(queries, slices),
+            single => {
+                let params = single.params().expect("non-batch plan has params");
+                let backend = self.backend;
+                let grid = if self.config.opt.partitioning() {
+                    grid_for(&mut self.grid, &self.points, self.config.grid_max_cells)
+                } else {
+                    None
+                };
+                // The adopted dirty region is applied on *every* query for
+                // the lifetime of this view (re-invalidating an entry that
+                // was already recomputed is wasted work, never wrong); the
+                // adopting owner decides when the invalidation has been
+                // durably absorbed and stops resupplying it.
+                // An adopted cache serves exactly the params it was
+                // grown under; other plans bypass it (reading its entries
+                // would be wrong, wiping them would cost the owner its
+                // warm state).
+                let cache_matches = self.cache_params.is_none_or(|cp| cp == params);
+                let scene = SceneRefs {
+                    structure_ms: std::mem::take(&mut self.pending_structure_ms),
+                    grid,
+                    dirty_region: self.dirty_region,
+                    cache: if cache_matches {
+                        self.cache.as_deref_mut()
+                    } else {
+                        None
+                    },
+                };
+                run_params(
+                    backend,
+                    &self.config,
+                    params,
+                    &self.points,
+                    queries,
+                    &mut self.store,
+                    scene,
+                )
+            }
+        }
+    }
+
+    /// The heterogeneous-batch path: one shared first-hit scheduling pass
+    /// over every covered query (against the widest structure any slice
+    /// needs), then per-slice partitioned searches that all hit the same
+    /// structure store and grid.
+    ///
+    /// The per-query megacell *cache* is deliberately bypassed here: it is
+    /// keyed to a single `(radius, k)` pair, and a batch's slices carry
+    /// several — every slice grows its megacells fresh against the shared
+    /// grid. An adopted dirty region therefore need not be consumed by this
+    /// path; the adopting owner keeps resupplying it until a single-plan
+    /// query absorbs it into the cache.
+    fn query_batch(
+        &mut self,
+        queries: &[Vec3],
+        slices: &[PlanSlice],
+    ) -> Result<SearchResults, SearchError> {
+        self.config.validate()?;
+        let backend = self.backend;
+        let cfg = self.config;
+        let device = backend.device();
+        let slice_params: Vec<(SearchParams, &[u32])> = slices
+            .iter()
+            .map(|s| {
+                (
+                    s.plan.params().expect("validated non-batch slice"),
+                    s.query_ids.as_slice(),
+                )
+            })
+            .collect();
+
+        let max_k = slice_params.iter().map(|(p, _)| p.k).max().unwrap_or(1);
+        let footprint = point_cloud_bytes(self.points.len(), queries.len(), max_k);
+        device.check_allocation(footprint)?;
+        let mut breakdown = TimeBreakdown::default();
+        let result_bytes: u64 = slice_params
+            .iter()
+            .map(|(p, ids)| ids.len() as u64 * p.k as u64 * 4)
+            .sum();
+        breakdown.data_ms = device.transfer_h2d_ms((self.points.len() + queries.len()) as u64 * 12)
+            + device.transfer_d2h_ms(result_bytes);
+        breakdown.bvh_ms += std::mem::take(&mut self.pending_structure_ms);
+
+        let mut search_metrics = LaunchMetrics::default();
+        let mut fs_metrics = LaunchMetrics::default();
+        let covered: Vec<u32> = slice_params
+            .iter()
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        if queries.is_empty() || self.points.is_empty() || covered.is_empty() {
+            return Ok(empty_results(
+                queries.len(),
+                breakdown,
+                search_metrics,
+                fs_metrics,
+            ));
+        }
+
+        // Shared scheduling pass (Section 4, once for the whole batch).
+        let mut orders: Vec<Vec<u32>> = slice_params.iter().map(|(_, ids)| ids.to_vec()).collect();
+        if cfg.opt.scheduling() {
+            let max_r = slice_params
+                .iter()
+                .map(|(p, _)| p.radius)
+                .fold(0.0f32, f32::max);
+            let shared_width = 2.0 * max_r * cfg.approx.aabb_width_factor();
+            let (sid, built_ms) =
+                self.store
+                    .ensure(backend, &self.points, shared_width, cfg.build)?;
+            breakdown.bvh_ms += built_ms;
+            let fs = backend.traverse(
+                self.store.accel_ref(sid),
+                &TraversalJob {
+                    points: &self.points,
+                    queries,
+                    query_ids: &covered,
+                    kind: TraversalKind::FirstHit,
+                },
+            );
+            breakdown.fs_ms += fs.metrics.time_ms();
+            let keys = anchor_keys(&self.points, queries, &covered, &fs.payloads);
+            fs_metrics = fs.metrics;
+            let mut key_of: Vec<u64> = vec![0; queries.len()];
+            for (i, &qid) in covered.iter().enumerate() {
+                key_of[qid as usize] = keys[i];
+            }
+            breakdown.opt_ms += charge_sort_kernel(device, covered.len()).time_ms;
+            for order in orders.iter_mut() {
+                par_sort_by_key(order, |&q| (key_of[q as usize], q));
+            }
+        }
+
+        // Per-slice partitioned searches over the shared store and grid.
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        let mut num_partitions = 0;
+        let mut num_bundles = 0;
+        for ((params, _), order) in slice_params.iter().zip(&orders) {
+            if order.is_empty() {
+                continue;
+            }
+            let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
+            let (gid, built_ms) =
+                self.store
+                    .ensure(backend, &self.points, full_width, cfg.build)?;
+            breakdown.bvh_ms += built_ms;
+            let grid = if cfg.opt.partitioning() {
+                grid_for(&mut self.grid, &self.points, cfg.grid_max_cells)
+            } else {
+                None
+            };
+            let (p, b) = search_ordered(
+                backend,
+                &cfg,
+                *params,
+                &self.points,
+                queries,
+                order,
+                &mut self.store,
+                gid,
+                grid,
+                &Aabb::EMPTY,
+                None,
+                &mut neighbors,
+                &mut breakdown,
+                &mut search_metrics,
+            )?;
+            num_partitions += p;
+            num_bundles += b;
+        }
+
+        Ok(SearchResults {
+            neighbors,
+            breakdown,
+            search_metrics,
+            fs_metrics,
+            num_partitions,
+            num_bundles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GpusimBackend;
+    use crate::verify::check_all;
+    use rtnn_gpusim::Device;
+
+    fn jittered(n_per_axis: usize, spacing: f32) -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    let j = 0.05 * spacing * ((x * 7 + y * 13 + z * 29) % 10) as f32 / 10.0;
+                    pts.push(Vec3::new(
+                        x as f32 * spacing + j,
+                        y as f32 * spacing - j,
+                        z as f32 * spacing + j,
+                    ));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn repeated_queries_amortise_structure_builds() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = jittered(7, 0.6);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let plan = QueryPlan::knn(1.2, 6);
+        let first = index.query(&queries, &plan).unwrap();
+        assert!(first.breakdown.bvh_ms > 0.0, "first call builds structures");
+        let second = index.query(&queries, &plan).unwrap();
+        assert_eq!(second.neighbors, first.neighbors, "results are stable");
+        assert_eq!(
+            second.breakdown.bvh_ms, 0.0,
+            "second call hits the width cache for every structure"
+        );
+        assert!(index.cached_structures() >= 1);
+        // A different radius builds (and caches) additional widths.
+        let other = index.query(&queries, &QueryPlan::range(0.9, 32)).unwrap();
+        assert!(other.breakdown.bvh_ms > 0.0);
+        check_all(
+            &points,
+            &queries,
+            &SearchParams::range(0.9, 32),
+            &other.neighbors,
+        )
+        .unwrap_or_else(|(q, e)| panic!("query {q}: {e}"));
+    }
+
+    #[test]
+    fn batch_matches_per_slice_single_plans() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = jittered(7, 0.5);
+        let queries: Vec<Vec3> = points.iter().step_by(2).copied().collect();
+        let n = queries.len() as u32;
+        let knn_ids: Vec<u32> = (0..n).filter(|i| i % 2 == 0).collect();
+        let rng_ids: Vec<u32> = (0..n).filter(|i| i % 2 == 1).collect();
+        let knn_plan = QueryPlan::knn(1.1, 5);
+        let rng_plan = QueryPlan::range(0.8, 1000);
+        let batch = QueryPlan::Batch(vec![
+            PlanSlice::new(knn_plan.clone(), knn_ids.clone()),
+            PlanSlice::new(rng_plan.clone(), rng_ids.clone()),
+        ]);
+
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let combined = index.query(&queries, &batch).unwrap();
+        let knn_single = index.query(&queries, &knn_plan).unwrap();
+        let rng_single = index.query(&queries, &rng_plan).unwrap();
+
+        for &qid in &knn_ids {
+            assert_eq!(
+                combined.neighbors[qid as usize], knn_single.neighbors[qid as usize],
+                "KNN slice query {qid}"
+            );
+        }
+        for &qid in &rng_ids {
+            // Range order is traversal-defined; with a non-truncating cap
+            // the sets must agree.
+            let mut a = combined.neighbors[qid as usize].clone();
+            let mut b = rng_single.neighbors[qid as usize].clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "range slice query {qid}");
+        }
+        // One shared scheduling pass covers all launched queries.
+        assert_eq!(combined.fs_metrics.active_rays, n as u64);
+    }
+
+    #[test]
+    fn batch_leaves_uncovered_queries_empty() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = jittered(5, 1.0);
+        let queries: Vec<Vec3> = points.iter().step_by(4).copied().collect();
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let batch = QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::knn(1.5, 4), vec![0, 2])]);
+        let results = index.query(&queries, &batch).unwrap();
+        assert!(!results.neighbors[0].is_empty());
+        assert!(
+            results.neighbors[1].is_empty(),
+            "uncovered query stays empty"
+        );
+    }
+
+    #[test]
+    fn typed_errors_surface_at_query_time() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = [Vec3::ZERO];
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let err = index
+            .query(&[Vec3::ZERO], &QueryPlan::knn(-1.0, 4))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SearchError::InvalidPlan(PlanError::InvalidRadius {
+                field: "Knn.r",
+                value: -1.0
+            })
+        );
+
+        // A hand-assembled config with a zero grid budget is rejected with
+        // a typed error too (the builder panics instead, see below).
+        let bad_cfg = EngineConfig {
+            grid_max_cells: 0,
+            ..EngineConfig::default()
+        };
+        let mut bad = Index::build(&backend, &points[..], bad_cfg);
+        assert_eq!(
+            bad.query(&[Vec3::ZERO], &QueryPlan::knn(1.0, 4))
+                .unwrap_err(),
+            SearchError::InvalidPlan(PlanError::ZeroGridBudget)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid_max_cells must be a positive cell budget")]
+    fn zero_grid_budget_builder_panics() {
+        let _ = EngineConfig::default().with_grid_max_cells(0);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = [Vec3::ZERO];
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let no_queries = index.query(&[], &QueryPlan::range(1.0, 4)).unwrap();
+        assert!(no_queries.neighbors.is_empty());
+        let mut empty = Index::build(&backend, Vec::new(), EngineConfig::default());
+        assert!(empty.is_empty());
+        let no_points = empty
+            .query(&[Vec3::ZERO, Vec3::ONE], &QueryPlan::knn(1.0, 4))
+            .unwrap();
+        assert_eq!(no_points.neighbors.len(), 2);
+        assert!(no_points.neighbors.iter().all(Vec::is_empty));
+    }
+}

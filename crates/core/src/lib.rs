@@ -27,46 +27,66 @@
 //!    analytical cost model bundles partitions so that BVH-construction
 //!    overhead never outweighs the traversal savings.
 //!
-//! ## Quick start
+//! ## The two-level API
+//!
+//! Scene-side state and per-query parameters are decoupled: build an
+//! [`Index`] once over the points, then answer typed [`QueryPlan`]s
+//! against it — different radii, Ks and variants, even a heterogeneous
+//! [`QueryPlan::Batch`] in one call — on a pluggable [`Backend`]
+//! ([`GpusimBackend`] by default, [`OptixBackend`] as the real-hardware
+//! shim, `BruteForceBackend` in `rtnn-baselines` as the oracle).
 //!
 //! ```
-//! use rtnn::{Rtnn, RtnnConfig, SearchMode, SearchParams};
+//! use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
 //! use rtnn_gpusim::Device;
 //! use rtnn_math::Vec3;
 //!
 //! let device = Device::rtx_2080();
+//! let backend = GpusimBackend::new(&device);
 //! let points: Vec<Vec3> = (0..1000)
 //!     .map(|i| Vec3::new((i % 10) as f32, ((i / 10) % 10) as f32, (i / 100) as f32))
 //!     .collect();
 //! let queries = points.clone();
 //!
-//! let config = RtnnConfig::new(SearchParams {
-//!     radius: 1.5,
-//!     k: 8,
-//!     mode: SearchMode::Knn,
-//! });
-//! let engine = Rtnn::new(&device, config);
-//! let results = engine.search(&points, &queries).unwrap();
-//! assert_eq!(results.neighbors.len(), queries.len());
-//! assert!(results.breakdown.total_ms() > 0.0);
+//! // One index, many plans: the structures the first plan builds are
+//! // cached and reused by every later plan.
+//! let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+//! let knn = index.query(&queries, &QueryPlan::knn(1.5, 8)).unwrap();
+//! let rng = index.query(&queries, &QueryPlan::range(0.8, 32)).unwrap();
+//! assert_eq!(knn.neighbors.len(), queries.len());
+//! assert!(knn.breakdown.total_ms() > 0.0);
+//! assert_eq!(rng.neighbors.len(), queries.len());
 //! ```
+//!
+//! The legacy single-plan engine ([`Rtnn`]) remains as a deprecated shim
+//! over the same execution core; see the README migration table.
 
 pub mod approx;
+pub mod backend;
 pub mod bundling;
 pub mod cost_model;
 pub mod engine;
+pub mod index;
 pub mod megacell;
 pub mod partition;
+pub mod plan;
 pub mod result;
 pub mod scheduling;
 pub mod shaders;
 pub mod verify;
 
 pub use approx::ApproxMode;
+pub use backend::{
+    exhaustive_traverse, Accel, AccelRef, Backend, GpusimBackend, OptixBackend, RefitOutcome,
+    Traversal, TraversalJob, TraversalKind,
+};
 pub use bundling::{apply_bundles, plan_bundles, BundlePlan};
 pub use cost_model::CostCoefficients;
 pub use engine::{OptLevel, PreparedMegacells, PreparedScene, Rtnn, RtnnConfig, SearchError};
+pub use index::{AdoptedScene, EngineConfig, Index};
 pub use megacell::{GridRefresh, MegacellGrid, MegacellResult};
 pub use partition::{KnnAabbRule, MegacellCache, Partition, PartitionSet};
+pub use plan::{PlanError, PlanSlice, QueryPlan};
 pub use result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
-pub use scheduling::{raster_order, schedule_queries, QuerySchedule};
+pub use rtnn_gpusim::StructureTiming;
+pub use scheduling::{raster_order, schedule_queries, schedule_queries_on, QuerySchedule};

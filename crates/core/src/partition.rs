@@ -162,7 +162,20 @@ pub fn partition_queries(
     let Some(grid) = MegacellGrid::build(points, grid_max_cells) else {
         return PartitionSet::single(query_order, params);
     };
+    partition_queries_on_grid(device, &grid, queries, query_order, params, rule)
+}
 
+/// [`partition_queries`] over a *prebuilt* grid — the persistent-index path:
+/// an [`crate::Index`] builds its megacell grid once and partitions every
+/// plan's queries against it, instead of re-growing a grid per search.
+pub fn partition_queries_on_grid(
+    device: &Device,
+    grid: &MegacellGrid,
+    queries: &[Vec3],
+    query_order: &[u32],
+    params: &SearchParams,
+    rule: KnnAabbRule,
+) -> PartitionSet {
     // Megacell kernel: one thread per query. The host-side growth result is
     // returned as the thread's result; its work is charged to the device.
     let (megacells, opt_metrics) = run_sm_kernel(
@@ -171,12 +184,12 @@ pub fn partition_queries(
         SmKernelConfig::default(),
         |launch_idx| {
             let q = queries[query_order[launch_idx] as usize];
-            let (mc, work) = grow_megacell(&grid, q, params);
+            let (mc, work) = grow_megacell(grid, q, params);
             (Wrapped(mc), work)
         },
     );
 
-    group_into_partitions(&megacells, query_order, &grid, params, rule, opt_metrics)
+    group_into_partitions(&megacells, query_order, grid, params, rule, opt_metrics)
 }
 
 /// Grow one query's megacell and account its device-side work: the
@@ -263,13 +276,18 @@ fn group_into_partitions(
 /// reachable region changed population. [`partition_queries_cached`]
 /// enforces exactly that, recomputing only the invalidated queries instead
 /// of re-growing every megacell wholesale. The query *positions* may change
-/// freely between frames (the central-cell check catches them); the search
-/// parameters and the grid identity must stay fixed for the cache's
-/// lifetime — invalidate on any change of either.
+/// freely between frames (the central-cell check catches them), and a
+/// lookup under different search parameters drops the entries wholesale
+/// (megacell growth depends on `(radius, k)`); the *grid identity* must
+/// stay fixed for the cache's lifetime — invalidate on a grid rebuild.
 #[derive(Debug, Clone, Default)]
 pub struct MegacellCache {
     /// Per query id: the central cell the entry was computed for + result.
     entries: Vec<Option<(u32, MegacellResult)>>,
+    /// The search parameters the entries were computed for (megacell growth
+    /// depends on `(radius, k)`): a lookup under different parameters must
+    /// not trust them.
+    params_key: Option<(u32, usize, SearchMode)>,
 }
 
 impl MegacellCache {
@@ -277,6 +295,7 @@ impl MegacellCache {
     pub fn new(num_queries: usize) -> Self {
         MegacellCache {
             entries: vec![None; num_queries],
+            params_key: None,
         }
     }
 
@@ -285,6 +304,20 @@ impl MegacellCache {
     pub fn invalidate_all(&mut self, num_queries: usize) {
         self.entries.clear();
         self.entries.resize(num_queries, None);
+        self.params_key = None;
+    }
+
+    /// Make the cache safe for a lookup under `params` over `num_queries`
+    /// queries: entries computed for different search parameters (or a
+    /// different query count) are dropped wholesale. Called by
+    /// [`partition_queries_cached`], so a persistent cache may be handed
+    /// plans with changing radii/K and stays conservative-correct.
+    fn ensure_params(&mut self, params: &SearchParams, num_queries: usize) {
+        let key = (params.radius.to_bits(), params.k, params.mode);
+        if self.entries.len() != num_queries || self.params_key != Some(key) {
+            self.invalidate_all(num_queries);
+            self.params_key = Some(key);
+        }
     }
 
     /// Number of currently valid entries.
@@ -321,9 +354,7 @@ pub fn partition_queries_cached(
     dirty_region: &Aabb,
     cache: &mut MegacellCache,
 ) -> PartitionSet {
-    if cache.entries.len() != queries.len() {
-        cache.invalidate_all(queries.len());
-    }
+    cache.ensure_params(params, queries.len());
     let entries = &cache.entries;
     let (outcomes, opt_metrics) = run_sm_kernel(
         device,
@@ -673,6 +704,72 @@ mod tests {
             assert_eq!(a.aabb_width, b.aabb_width);
         }
         assert!(warm.opt_metrics.total_cycles < cold.opt_metrics.total_cycles);
+    }
+
+    #[test]
+    fn cache_entries_are_dropped_when_the_params_change() {
+        // Megacell growth depends on (radius, k): entries grown for a small
+        // k must never be trusted by a lookup with a larger one (the box
+        // would be too small and miss neighbors). The cache invalidates
+        // itself wholesale on a params change.
+        let device = Device::rtx_2080();
+        let points = grid_points(9);
+        let queries = points.clone();
+        let order = identity_order(queries.len());
+        let grid = MegacellGrid::build(&points, 1 << 18).unwrap();
+        let mut cache = MegacellCache::new(queries.len());
+        let small = SearchParams::knn(3.0, 2);
+        partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &small,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        assert_eq!(cache.valid_entries(), queries.len());
+        // Same cache, much larger K: must match a cold computation exactly.
+        let large = SearchParams::knn(3.0, 40);
+        let warm = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &large,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        let mut cold_cache = MegacellCache::new(queries.len());
+        let cold = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &large,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cold_cache,
+        );
+        assert_eq!(warm.partitions.len(), cold.partitions.len());
+        for (a, b) in warm.partitions.iter().zip(&cold.partitions) {
+            assert_eq!(a.aabb_width, b.aabb_width);
+            assert_eq!(a.query_ids, b.query_ids);
+        }
+        // And a repeat under the same params is a pure cache hit again.
+        let repeat = partition_queries_cached(
+            &device,
+            &queries,
+            &order,
+            &large,
+            KnnAabbRule::Guaranteed,
+            &grid,
+            &Aabb::EMPTY,
+            &mut cache,
+        );
+        assert!(repeat.opt_metrics.total_cycles < warm.opt_metrics.total_cycles);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Typed, per-call query plans — the query half of the two-level
+//! [`Index`](crate::Index) API.
+//!
+//! The paper's pipeline builds one acceleration structure over the points
+//! and then answers *many* searches against it, with different radii, `K`s
+//! and variants (unrestricted KNN à la RT-kNNS Unbound, clustering-style
+//! epsilon queries à la RT-DBSCAN). A [`QueryPlan`] captures one such
+//! search — or a heterogeneous [`QueryPlan::Batch`] of them — and is passed
+//! *per call* to [`Index::query`](crate::Index::query), so the same index
+//! serves every plan without rebuilding.
+//!
+//! Plans are validated at query time; every violation is reported as a
+//! typed [`PlanError`] naming the offending field.
+
+use crate::result::{SearchMode, SearchParams};
+
+/// A typed description of one neighbor search (or a batch of them),
+/// decoupled from the scene it runs against.
+///
+/// ```
+/// use rtnn::QueryPlan;
+///
+/// let knn = QueryPlan::knn(1.5, 8); // 8 nearest neighbors within r = 1.5
+/// let rng = QueryPlan::range(0.8, 64); // up to 64 neighbors within r = 0.8
+/// assert!(knn.validate(100).is_ok());
+/// assert!(rng.validate(100).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// K-nearest-neighbor search: the `k` nearest neighbors within `r`.
+    /// (An unrestricted KNN is expressed with a very large `r`.)
+    Knn {
+        /// Number of nearest neighbors to return (must be at least 1).
+        k: usize,
+        /// Search radius bounding the returned neighbors (positive, finite).
+        r: f32,
+    },
+    /// Fixed-radius (range) search: up to `cap` neighbors within `r`.
+    /// (An unbounded range search is expressed with a very large `cap`.)
+    Range {
+        /// Search radius (positive, finite).
+        r: f32,
+        /// Maximum neighbor count (must be at least 1).
+        cap: usize,
+    },
+    /// A heterogeneous batch: several plans with per-plan radii/K answered
+    /// against the same index in one call, sharing a single scheduling
+    /// traversal pass and the index's cached structures. Each slice names
+    /// the query ids (indices into the query array) it applies to; ids must
+    /// be disjoint across slices, and queries covered by no slice get an
+    /// empty result.
+    Batch(Vec<PlanSlice>),
+}
+
+/// One sub-plan of a [`QueryPlan::Batch`]: a (non-batch) plan plus the
+/// query ids it applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSlice {
+    /// The plan for these queries ([`QueryPlan::Knn`] or
+    /// [`QueryPlan::Range`]; nesting batches is rejected).
+    pub plan: QueryPlan,
+    /// Indices into the query array this plan applies to.
+    pub query_ids: Vec<u32>,
+}
+
+impl PlanSlice {
+    /// A slice applying `plan` to `query_ids`.
+    pub fn new(plan: QueryPlan, query_ids: Vec<u32>) -> Self {
+        PlanSlice { plan, query_ids }
+    }
+}
+
+impl QueryPlan {
+    /// KNN plan: the `k` nearest neighbors within `r`.
+    pub fn knn(r: f32, k: usize) -> Self {
+        QueryPlan::Knn { k, r }
+    }
+
+    /// Range plan: up to `cap` neighbors within `r`.
+    pub fn range(r: f32, cap: usize) -> Self {
+        QueryPlan::Range { r, cap }
+    }
+
+    /// The plan equivalent to legacy [`SearchParams`] (used by the
+    /// deprecated `Rtnn::search` shims; see the README migration table).
+    pub fn from_params(params: SearchParams) -> Self {
+        match params.mode {
+            SearchMode::Knn => QueryPlan::Knn {
+                k: params.k,
+                r: params.radius,
+            },
+            SearchMode::Range => QueryPlan::Range {
+                r: params.radius,
+                cap: params.k,
+            },
+        }
+    }
+
+    /// The legacy parameter bundle for a non-batch plan (`None` for
+    /// [`QueryPlan::Batch`]).
+    pub fn params(&self) -> Option<SearchParams> {
+        match *self {
+            QueryPlan::Knn { k, r } => Some(SearchParams::knn(r, k)),
+            QueryPlan::Range { r, cap } => Some(SearchParams::range(r, cap)),
+            QueryPlan::Batch(_) => None,
+        }
+    }
+
+    /// The largest radius any part of this plan searches (0 for an empty
+    /// batch). The batch path sizes its shared scheduling pass from this.
+    pub fn max_radius(&self) -> f32 {
+        match self {
+            QueryPlan::Knn { r, .. } | QueryPlan::Range { r, .. } => *r,
+            QueryPlan::Batch(slices) => slices
+                .iter()
+                .map(|s| s.plan.max_radius())
+                .fold(0.0, f32::max),
+        }
+    }
+
+    /// Validate the plan against a query set of `num_queries` queries.
+    ///
+    /// Every violation is a typed [`PlanError`] naming the offending field:
+    ///
+    /// ```
+    /// use rtnn::{PlanError, QueryPlan};
+    ///
+    /// let err = QueryPlan::knn(-1.0, 8).validate(10).unwrap_err();
+    /// assert_eq!(
+    ///     err,
+    ///     PlanError::InvalidRadius { field: "Knn.r", value: -1.0 }
+    /// );
+    /// assert_eq!(
+    ///     QueryPlan::range(1.0, 0).validate(10).unwrap_err(),
+    ///     PlanError::ZeroNeighborCount { field: "Range.cap" }
+    /// );
+    /// ```
+    pub fn validate(&self, num_queries: usize) -> Result<(), PlanError> {
+        match self {
+            QueryPlan::Knn { k, r } => {
+                check_radius("Knn.r", *r)?;
+                check_count("Knn.k", *k)
+            }
+            QueryPlan::Range { r, cap } => {
+                check_radius("Range.r", *r)?;
+                check_count("Range.cap", *cap)
+            }
+            QueryPlan::Batch(slices) => {
+                if slices.is_empty() {
+                    return Err(PlanError::EmptyBatch);
+                }
+                let mut claimed = vec![false; num_queries];
+                for (si, slice) in slices.iter().enumerate() {
+                    if matches!(slice.plan, QueryPlan::Batch(_)) {
+                        return Err(PlanError::NestedBatch { slice: si });
+                    }
+                    slice.plan.validate(num_queries)?;
+                    for &qid in &slice.query_ids {
+                        if qid as usize >= num_queries {
+                            return Err(PlanError::QueryIdOutOfRange {
+                                slice: si,
+                                query_id: qid,
+                                num_queries,
+                            });
+                        }
+                        if claimed[qid as usize] {
+                            return Err(PlanError::DuplicateQueryId {
+                                slice: si,
+                                query_id: qid,
+                            });
+                        }
+                        claimed[qid as usize] = true;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn check_radius(field: &'static str, r: f32) -> Result<(), PlanError> {
+    if !r.is_finite() || r <= 0.0 {
+        Err(PlanError::InvalidRadius { field, value: r })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_count(field: &'static str, k: usize) -> Result<(), PlanError> {
+    if k == 0 {
+        Err(PlanError::ZeroNeighborCount { field })
+    } else {
+        Ok(())
+    }
+}
+
+/// A typed plan/configuration validation error, naming the offending field.
+///
+/// Replaces the stringly-typed `Result<(), String>` the legacy
+/// `SearchParams::validate` used to return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A radius field is non-positive or non-finite.
+    InvalidRadius {
+        /// Which field (`"Knn.r"`, `"Range.r"`, `"SearchParams.radius"`...).
+        field: &'static str,
+        /// The rejected value.
+        value: f32,
+    },
+    /// A neighbor-count field is zero.
+    ZeroNeighborCount {
+        /// Which field (`"Knn.k"`, `"Range.cap"`, `"SearchParams.k"`...).
+        field: &'static str,
+    },
+    /// `grid_max_cells` is zero — the megacell pass needs at least one cell.
+    ZeroGridBudget,
+    /// The `ShrunkenAabb` approximation factor is outside `(0, 1]`.
+    InvalidShrinkFactor {
+        /// The rejected factor.
+        factor: f32,
+    },
+    /// A [`QueryPlan::Batch`] holds no slices.
+    EmptyBatch,
+    /// A batch slice nests another batch.
+    NestedBatch {
+        /// Index of the offending slice.
+        slice: usize,
+    },
+    /// A batch slice names a query id outside the query array.
+    QueryIdOutOfRange {
+        /// Index of the offending slice.
+        slice: usize,
+        /// The out-of-range id.
+        query_id: u32,
+        /// The number of queries in the call.
+        num_queries: usize,
+    },
+    /// Two batch slices claim the same query id.
+    DuplicateQueryId {
+        /// Index of the second slice claiming the id.
+        slice: usize,
+        /// The doubly-claimed id.
+        query_id: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidRadius { field, value } => {
+                write!(f, "{field}: search radius must be positive and finite, got {value}")
+            }
+            PlanError::ZeroNeighborCount { field } => {
+                write!(f, "{field}: neighbor count must be at least 1, got 0")
+            }
+            PlanError::ZeroGridBudget => write!(
+                f,
+                "grid_max_cells: the megacell grid budget must be at least 1 cell, got 0"
+            ),
+            PlanError::InvalidShrinkFactor { factor } => {
+                write!(f, "ShrunkenAabb.factor: must be in (0, 1], got {factor}")
+            }
+            PlanError::EmptyBatch => write!(f, "Batch: must hold at least one plan slice"),
+            PlanError::NestedBatch { slice } => {
+                write!(f, "Batch slice {slice}: nested Batch plans are not allowed")
+            }
+            PlanError::QueryIdOutOfRange {
+                slice,
+                query_id,
+                num_queries,
+            } => write!(
+                f,
+                "Batch slice {slice}: query id {query_id} is out of range (call has {num_queries} queries)"
+            ),
+            PlanError::DuplicateQueryId { slice, query_id } => write!(
+                f,
+                "Batch slice {slice}: query id {query_id} is already claimed by an earlier slice"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_params_round_trip() {
+        let knn = QueryPlan::knn(1.5, 8);
+        assert_eq!(knn.params(), Some(SearchParams::knn(1.5, 8)));
+        let range = QueryPlan::range(0.8, 64);
+        assert_eq!(range.params(), Some(SearchParams::range(0.8, 64)));
+        assert_eq!(QueryPlan::from_params(SearchParams::knn(1.5, 8)), knn);
+        assert_eq!(QueryPlan::from_params(SearchParams::range(0.8, 64)), range);
+        assert_eq!(QueryPlan::Batch(Vec::new()).params(), None);
+    }
+
+    #[test]
+    fn single_plan_validation_names_the_field() {
+        assert!(QueryPlan::knn(1.0, 4).validate(0).is_ok());
+        assert!(matches!(
+            QueryPlan::knn(f32::NAN, 4).validate(0).unwrap_err(),
+            PlanError::InvalidRadius {
+                field: "Knn.r",
+                value,
+            } if value.is_nan()
+        ));
+        assert_eq!(
+            QueryPlan::knn(1.0, 0).validate(0).unwrap_err(),
+            PlanError::ZeroNeighborCount { field: "Knn.k" }
+        );
+        assert_eq!(
+            QueryPlan::range(0.0, 4).validate(0).unwrap_err(),
+            PlanError::InvalidRadius {
+                field: "Range.r",
+                value: 0.0
+            }
+        );
+        let msg = QueryPlan::range(-2.0, 4)
+            .validate(0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("Range.r") && msg.contains("-2"), "{msg}");
+    }
+
+    #[test]
+    fn batch_validation_rejects_structural_errors() {
+        assert_eq!(
+            QueryPlan::Batch(Vec::new()).validate(4).unwrap_err(),
+            PlanError::EmptyBatch
+        );
+        let nested = QueryPlan::Batch(vec![PlanSlice::new(
+            QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::knn(1.0, 2), vec![0])]),
+            vec![0],
+        )]);
+        assert_eq!(
+            nested.validate(4).unwrap_err(),
+            PlanError::NestedBatch { slice: 0 }
+        );
+        let oob = QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::knn(1.0, 2), vec![4])]);
+        assert_eq!(
+            oob.validate(4).unwrap_err(),
+            PlanError::QueryIdOutOfRange {
+                slice: 0,
+                query_id: 4,
+                num_queries: 4
+            }
+        );
+        let dup = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 2), vec![0, 1]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![1]),
+        ]);
+        assert_eq!(
+            dup.validate(4).unwrap_err(),
+            PlanError::DuplicateQueryId {
+                slice: 1,
+                query_id: 1
+            }
+        );
+        let ok = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 2), vec![0, 1]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![2, 3]),
+        ]);
+        assert!(ok.validate(4).is_ok());
+        assert_eq!(ok.max_radius(), 2.0);
+    }
+
+    #[test]
+    fn invalid_slice_plans_are_reported() {
+        let bad = QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::range(1.0, 0), vec![0])]);
+        assert_eq!(
+            bad.validate(2).unwrap_err(),
+            PlanError::ZeroNeighborCount { field: "Range.cap" }
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! Search parameters, results and the per-phase time breakdown.
 
+use crate::plan::PlanError;
 use rtnn_optix::LaunchMetrics;
 use serde::{Deserialize, Serialize};
 
@@ -45,16 +46,19 @@ impl SearchParams {
         }
     }
 
-    /// Validate the parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the parameters; every violation is a typed
+    /// [`PlanError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), PlanError> {
         if !self.radius.is_finite() || self.radius <= 0.0 {
-            return Err(format!(
-                "search radius must be positive and finite, got {}",
-                self.radius
-            ));
+            return Err(PlanError::InvalidRadius {
+                field: "SearchParams.radius",
+                value: self.radius,
+            });
         }
         if self.k == 0 {
-            return Err("maximum neighbor count K must be at least 1".to_string());
+            return Err(PlanError::ZeroNeighborCount {
+                field: "SearchParams.k",
+            });
         }
         Ok(())
     }
@@ -147,10 +151,21 @@ mod tests {
     fn params_validation() {
         assert!(SearchParams::range(1.0, 10).validate().is_ok());
         assert!(SearchParams::knn(0.5, 1).validate().is_ok());
-        assert!(SearchParams::range(0.0, 10).validate().is_err());
+        assert_eq!(
+            SearchParams::range(0.0, 10).validate().unwrap_err(),
+            PlanError::InvalidRadius {
+                field: "SearchParams.radius",
+                value: 0.0
+            }
+        );
         assert!(SearchParams::range(-1.0, 10).validate().is_err());
         assert!(SearchParams::range(f32::NAN, 10).validate().is_err());
-        assert!(SearchParams::range(1.0, 0).validate().is_err());
+        assert_eq!(
+            SearchParams::range(1.0, 0).validate().unwrap_err(),
+            PlanError::ZeroNeighborCount {
+                field: "SearchParams.k"
+            }
+        );
     }
 
     #[test]

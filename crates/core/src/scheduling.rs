@@ -19,12 +19,13 @@
 //! first-hit data already resident in device memory); here it is charged to
 //! the simulated device as an SM kernel with `O(log n)` work per thread.
 
-use crate::shaders::{FirstHitProgram, NO_HIT};
+use crate::backend::{Backend, TraversalJob, TraversalKind};
+use crate::shaders::{FirstHitProgram, QueryIndexing, NO_HIT};
 use rtnn_gpusim::kernel::{point_address, run_sm_kernel, SmKernelConfig, ThreadWork};
 use rtnn_gpusim::{Device, IsShaderKind, KernelMetrics};
 use rtnn_math::morton::MortonEncoder;
 use rtnn_math::{Aabb, Vec3};
-use rtnn_optix::{Gas, LaunchMetrics, Pipeline};
+use rtnn_optix::{AccelRef, Gas, LaunchMetrics, Pipeline};
 use rtnn_parallel::par_sort_by_key;
 
 /// The outcome of the scheduling pass.
@@ -61,7 +62,12 @@ impl QuerySchedule {
 }
 
 /// Compute the spatially-ordered schedule for `queries` against the global
-/// GAS built over `points` (Listing 2 of the paper).
+/// GAS built over `points` (Listing 2 of the paper), on the default
+/// simulated-pipeline backend. Prefer [`schedule_queries_on`] when a
+/// [`Backend`] and a full structure handle are already in hand — this
+/// convenience wrapper only has the raw GAS, so it drives the pipeline
+/// directly rather than fabricating an [`AccelRef`] with a made-up AABB
+/// width.
 pub fn schedule_queries(
     device: &Device,
     gas: &Gas,
@@ -71,51 +77,109 @@ pub fn schedule_queries(
     if queries.is_empty() {
         return QuerySchedule::identity(0);
     }
-    // 1. First-hit launch: K = 1, terminate at the first IS call.
     let pipeline = Pipeline::new(device);
-    let program = FirstHitProgram { queries };
+    let program = FirstHitProgram {
+        queries,
+        indexing: QueryIndexing::Identity,
+    };
     let launch = pipeline.launch(
         gas,
         queries.len(),
         &program,
         IsShaderKind::RangeNoSphereTest,
     );
-
-    // 2. Morton keys of the first-hit AABB centres (i.e. of the points the
-    //    AABBs were generated from). Queries with no hit use their own
-    //    position, which keeps them spatially grouped among themselves.
-    let scene_bounds = scene_bounds_for(points, queries);
-    let encoder = MortonEncoder::new(&scene_bounds);
-    let keys: Vec<u64> = launch
+    let ids: Vec<u32> = (0..queries.len() as u32).collect();
+    let hits: Vec<Vec<u32>> = launch
         .payloads
         .iter()
-        .enumerate()
-        .map(|(qi, &hit)| {
-            let anchor = if hit == NO_HIT {
-                queries[qi]
-            } else {
-                points[hit as usize]
-            };
-            encoder.encode(anchor)
-        })
+        .map(|&hit| if hit == NO_HIT { Vec::new() } else { vec![hit] })
         .collect();
-
-    // 3. Sort query ids by key. Charged to the device as an SM kernel doing
-    //    O(log n) comparisons + one key read per thread (a GPU radix/merge
-    //    sort pass structure).
-    let log_n = (queries.len() as f64).log2().ceil().max(1.0) as u64;
-    let (_, sort_metrics) = run_sm_kernel(device, queries.len(), SmKernelConfig::default(), |i| {
-        ((), ThreadWork::new(log_n, vec![point_address(i as u32)]))
-    });
-
-    let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+    let keys = anchor_keys(points, queries, &ids, &hits);
+    let sort_metrics = charge_sort_kernel(device, queries.len());
+    let mut order = ids;
     par_sort_by_key(&mut order, |&q| (keys[q as usize], q));
-
     QuerySchedule {
         order,
         fs_metrics: launch.metrics,
         sort_metrics,
     }
+}
+
+/// [`schedule_queries`] against an arbitrary backend and structure handle —
+/// the backend-agnostic scheduling pass the engine and [`crate::Index`]
+/// drive.
+pub fn schedule_queries_on(
+    backend: &dyn Backend,
+    accel: AccelRef<'_>,
+    points: &[Vec3],
+    queries: &[Vec3],
+) -> QuerySchedule {
+    if queries.is_empty() {
+        return QuerySchedule::identity(0);
+    }
+    // 1. First-hit launch: K = 1, terminate at the first IS call.
+    let ids: Vec<u32> = (0..queries.len() as u32).collect();
+    let fs = backend.traverse(
+        accel,
+        &TraversalJob {
+            points,
+            queries,
+            query_ids: &ids,
+            kind: TraversalKind::FirstHit,
+        },
+    );
+
+    // 2. Morton keys of the first-hit AABB centres (i.e. of the points the
+    //    AABBs were generated from). Queries with no hit use their own
+    //    position, which keeps them spatially grouped among themselves.
+    let keys = anchor_keys(points, queries, &ids, &fs.payloads);
+
+    // 3. Sort query ids by key. Charged to the device as an SM kernel doing
+    //    O(log n) comparisons + one key read per thread (a GPU radix/merge
+    //    sort pass structure).
+    let sort_metrics = charge_sort_kernel(backend.device(), queries.len());
+
+    let mut order = ids;
+    par_sort_by_key(&mut order, |&q| (keys[q as usize], q));
+
+    QuerySchedule {
+        order,
+        fs_metrics: fs.metrics,
+        sort_metrics,
+    }
+}
+
+/// Morton key of every covered query's first-hit anchor: the first-hit
+/// point when one exists, the query's own position otherwise. `hits[i]` is
+/// the first-hit payload of query `ids[i]`.
+pub(crate) fn anchor_keys(
+    points: &[Vec3],
+    queries: &[Vec3],
+    ids: &[u32],
+    hits: &[Vec<u32>],
+) -> Vec<u64> {
+    let scene_bounds = scene_bounds_for(points, queries);
+    let encoder = MortonEncoder::new(&scene_bounds);
+    ids.iter()
+        .zip(hits)
+        .map(|(&qid, hit)| {
+            let anchor = match hit.first() {
+                Some(&h) => points[h as usize],
+                None => queries[qid as usize],
+            };
+            encoder.encode(anchor)
+        })
+        .collect()
+}
+
+/// Charge the query sort over `n` keys to the device as an SM kernel
+/// (`O(log n)` comparisons + one key read per thread).
+pub(crate) fn charge_sort_kernel(device: &Device, n: usize) -> KernelMetrics {
+    let log_n = (n as f64).log2().ceil().max(1.0) as u64;
+    let (_, sort_metrics) = run_sm_kernel(device, n, SmKernelConfig::default(), |i| {
+        ((), ThreadWork::new(log_n, vec![point_address(i as u32)]))
+    });
+    sort_metrics
 }
 
 /// Scene bounds covering both points and queries (queries may lie outside

@@ -236,16 +236,17 @@ pub type FirstHitPayload = u32;
 pub struct FirstHitProgram<'a> {
     /// Query positions.
     pub queries: &'a [Vec3],
+    /// Launch-index → query-id mapping (identity for a full-query-set pass;
+    /// a batch's shared scheduling pass maps onto the covered subset).
+    pub indexing: QueryIndexing<'a>,
 }
 
 impl<'a> RayProgram for FirstHitProgram<'a> {
     type Payload = FirstHitPayload;
 
     fn ray_gen(&self, launch_index: u32) -> Option<(Ray, FirstHitPayload)> {
-        Some((
-            Ray::point_probe(self.queries[launch_index as usize]),
-            NO_HIT,
-        ))
+        let q = self.queries[self.indexing.query_id(launch_index) as usize];
+        Some((Ray::point_probe(q), NO_HIT))
     }
 
     fn intersection(
@@ -386,7 +387,10 @@ mod tests {
     #[test]
     fn first_hit_program_terminates_immediately() {
         let queries = vec![Vec3::ZERO];
-        let prog = FirstHitProgram { queries: &queries };
+        let prog = FirstHitProgram {
+            queries: &queries,
+            indexing: QueryIndexing::Identity,
+        };
         let (_, initial) = prog.ray_gen(0).unwrap();
         assert_eq!(initial, NO_HIT);
         let mut payload = initial;

@@ -1,17 +1,15 @@
 //! The persistent [`DynamicIndex`]: a point cloud that survives across
 //! query rounds, with stable point handles, in-place structure refits, and
-//! cost-model-driven rebuilds.
+//! policy-driven rebuilds — executing on any `rtnn::Backend`.
 
 use crate::policy::RebuildPolicy;
 use rtnn::{
-    CostCoefficients, MegacellCache, MegacellGrid, PreparedMegacells, PreparedScene, Rtnn,
+    Accel, AdoptedScene, Backend, GpusimBackend, Index, MegacellCache, MegacellGrid, QueryPlan,
     RtnnConfig, SearchError, SearchResults,
 };
 use rtnn_bvh::SahMonitor;
 use rtnn_gpusim::{Device, FrameAccumulator};
 use rtnn_math::{Aabb, Vec3};
-use rtnn_optix::Gas;
-use rtnn_parallel::par_map;
 use std::collections::BTreeSet;
 
 /// What a frame did to the acceleration structure.
@@ -19,8 +17,8 @@ use std::collections::BTreeSet;
 pub enum StructureAction {
     /// Nothing moved since the last frame: every structure was reused as-is.
     Reused,
-    /// Points moved; the BVH was refitted in place and the megacell grid
-    /// absorbed the motion incrementally.
+    /// Points moved; the structure was refitted in place and the megacell
+    /// grid absorbed the motion incrementally.
     Refit,
     /// The structure was rebuilt from scratch (first frame, a structural
     /// insert/remove, a policy decision, or motion that escaped the grid).
@@ -37,7 +35,8 @@ pub struct FrameResult {
     /// What happened to the acceleration structure this frame.
     pub action: StructureAction,
     /// SAH quality ratio of the (refitted) tree against its last rebuild
-    /// (1.0 right after a rebuild; grows as the topology goes stale).
+    /// (1.0 right after a rebuild; grows as the topology goes stale; stays
+    /// 1.0 on backends that expose no tree quality).
     pub quality_ratio: f64,
     /// Simulated milliseconds spent on structure maintenance this frame
     /// (refit and/or rebuild time; also included in the results' breakdown).
@@ -50,17 +49,73 @@ pub struct FrameResult {
     pub host_structure_ms: f64,
 }
 
+/// A per-frame [`Index`] view over a [`DynamicIndex`]'s live points —
+/// returned by [`DynamicIndex::as_index`] so heterogeneous
+/// [`QueryPlan`]s (different radii, Ks, batches) can be answered against
+/// the maintained structures without rebuilding anything.
+pub struct FrameIndex<'a> {
+    /// The adopted index. Querying it directly returns *compact* ids
+    /// (positions into [`Index::points`]); use [`FrameIndex::query`] to get
+    /// stable handles.
+    pub index: Index<'a>,
+    /// Compact id → stable handle translation for this frame.
+    pub handles: &'a [u32],
+}
+
+impl FrameIndex<'_> {
+    /// Answer `plan` against the frame's live points, translating neighbor
+    /// ids into stable point handles.
+    pub fn query(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+    ) -> Result<SearchResults, SearchError> {
+        let mut results = self.index.query(queries, plan)?;
+        for neighbors in results.neighbors.iter_mut() {
+            for id in neighbors.iter_mut() {
+                *id = self.handles[*id as usize];
+            }
+        }
+        Ok(results)
+    }
+}
+
+/// The execution backend a [`DynamicIndex`] runs on: the default
+/// device-owned gpusim backend, or any caller-supplied `dyn Backend`.
+enum BackendHolder<'d> {
+    Owned(GpusimBackend<'d>),
+    Borrowed(&'d dyn Backend),
+}
+
+impl<'d> BackendHolder<'d> {
+    fn as_dyn(&self) -> &dyn Backend {
+        match self {
+            BackendHolder::Owned(b) => b,
+            BackendHolder::Borrowed(b) => *b,
+        }
+    }
+}
+
+/// Outcome of one frame's structure maintenance. The maintenance *cost*
+/// is not carried here — it accumulates in the pending accounting fields
+/// and is drained by the next reporting search.
+struct SyncInfo {
+    action: StructureAction,
+    quality_ratio: f64,
+    dirty_region: Aabb,
+}
+
 /// A persistent neighbor-search index over a mutable point cloud.
 ///
 /// Mutations ([`insert`](Self::insert), [`remove`](Self::remove),
 /// [`move_point`](Self::move_point)) are cheap bookkeeping; the expensive
-/// state — global BVH, megacell grid, per-query megacell cache — is
-/// maintained lazily at the next [`search`](Self::search):
+/// state — global acceleration structure, megacell grid, per-query megacell
+/// cache — is maintained lazily at the next [`search`](Self::search):
 ///
-/// * pure motion refits the BVH in place and refreshes the grid
-///   incrementally, then lets the [`RebuildPolicy`] decide from the
-///   calibrated cost model whether the accumulated quality loss justifies a
-///   rebuild;
+/// * pure motion refits the structure in place (through the backend) and
+///   refreshes the grid incrementally, then lets the [`RebuildPolicy`]
+///   decide from the backend's structure timing whether the accumulated
+///   quality loss justifies a rebuild;
 /// * structural changes always rebuild (a refit cannot re-topologize);
 /// * an untouched cloud reuses everything and pays zero structure cost.
 ///
@@ -68,10 +123,9 @@ pub struct FrameResult {
 /// constructed batch engine would (the refit path only ever changes *how
 /// fast* the correct answer is found, never which answer).
 pub struct DynamicIndex<'d> {
-    device: &'d Device,
+    backend: BackendHolder<'d>,
     config: RtnnConfig,
     policy: RebuildPolicy,
-    coeffs: CostCoefficients,
     /// Slot-stable storage: `positions[h]` is point handle `h`.
     positions: Vec<Vec3>,
     live: Vec<bool>,
@@ -83,27 +137,57 @@ pub struct DynamicIndex<'d> {
     membership_dirty: bool,
     moved_slots: BTreeSet<u32>,
     /// Structure state (None until the first search).
-    gas: Option<Gas>,
+    accel: Option<Accel>,
     monitor: Option<SahMonitor>,
     grid: Option<MegacellGrid>,
     cache: MegacellCache,
+    /// Union of every grid dirty region not yet durably absorbed into the
+    /// megacell cache: refits accumulate it, and it is only cleared when a
+    /// search actually ran the cached partitioning pass (or a rebuild
+    /// dropped the cache wholesale). A [`FrameIndex`] that is dropped
+    /// unused, or queried only with batches, therefore never loses an
+    /// invalidation.
+    pending_dirty: Aabb,
+    /// Structure-maintenance cost (simulated / host wall-clock) incurred
+    /// but not yet reported through a [`FrameResult`]: maintenance done for
+    /// a dropped-or-unqueried view accumulates here and the next search
+    /// drains it, so no work ever vanishes from the accounting.
+    pending_structure_ms: f64,
+    pending_host_structure_ms: f64,
     last_traversal_ms: Option<f64>,
     metrics: FrameAccumulator,
 }
 
 impl<'d> DynamicIndex<'d> {
-    /// An empty index with the default (adaptive) rebuild policy.
+    /// An empty index on the default (gpusim) backend with the default
+    /// (adaptive) rebuild policy.
     pub fn new(device: &'d Device, config: RtnnConfig) -> Self {
         Self::with_policy(device, config, RebuildPolicy::default())
     }
 
-    /// An empty index with an explicit policy.
+    /// An empty index on the default backend with an explicit policy.
     pub fn with_policy(device: &'d Device, config: RtnnConfig, policy: RebuildPolicy) -> Self {
-        DynamicIndex {
-            device,
+        Self::from_holder(
+            BackendHolder::Owned(GpusimBackend::new(device)),
             config,
             policy,
-            coeffs: CostCoefficients::calibrate(device),
+        )
+    }
+
+    /// An empty index on an explicit execution backend.
+    pub fn with_backend(
+        backend: &'d dyn Backend,
+        config: RtnnConfig,
+        policy: RebuildPolicy,
+    ) -> Self {
+        Self::from_holder(BackendHolder::Borrowed(backend), config, policy)
+    }
+
+    fn from_holder(backend: BackendHolder<'d>, config: RtnnConfig, policy: RebuildPolicy) -> Self {
+        DynamicIndex {
+            backend,
+            config,
+            policy,
             positions: Vec::new(),
             live: Vec::new(),
             num_live: 0,
@@ -112,12 +196,15 @@ impl<'d> DynamicIndex<'d> {
             slot_to_compact: Vec::new(),
             membership_dirty: false,
             moved_slots: BTreeSet::new(),
-            gas: None,
+            accel: None,
             monitor: None,
             grid: None,
             cache: MegacellCache::default(),
             last_traversal_ms: None,
             metrics: FrameAccumulator::default(),
+            pending_dirty: Aabb::EMPTY,
+            pending_structure_ms: 0.0,
+            pending_host_structure_ms: 0.0,
         }
     }
 
@@ -196,6 +283,11 @@ impl<'d> DynamicIndex<'d> {
         &self.policy
     }
 
+    /// The execution backend.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_dyn()
+    }
+
     /// Accumulated per-frame metrics (frames, rebuild/refit counts,
     /// amortized simulated cost).
     pub fn frame_metrics(&self) -> &FrameAccumulator {
@@ -206,18 +298,104 @@ impl<'d> DynamicIndex<'d> {
     ///
     /// Maintains the persistent structures first (refit / incremental grid
     /// refresh / rebuild, as the state and policy demand), then searches
-    /// through the batch engine's prepared-scene path. Neighbor ids in the
-    /// returned results are stable point handles.
+    /// through a per-frame [`Index`] view adopting them. Neighbor ids in
+    /// the returned results are stable point handles.
     pub fn search(&mut self, queries: &[Vec3]) -> Result<FrameResult, SearchError> {
-        let engine = Rtnn::new(self.device, self.config);
-        let width = engine.global_aabb_width();
-        // Validate early so invalid configs fail before touching state.
-        self.config
-            .params
-            .validate()
-            .map_err(SearchError::InvalidConfig)?;
+        let sync = self.sync_structures()?;
+        // Drain *all* maintenance cost not yet reported — this frame's plus
+        // anything charged by views that were dropped without a query — so
+        // no simulated work ever vanishes from the accounting.
+        let structure_ms = std::mem::take(&mut self.pending_structure_ms);
+        let host_structure_ms = std::mem::take(&mut self.pending_host_structure_ms);
 
-        // Fold pending mutations into the compacted view.
+        let plan = self.config.plan();
+        let mut view = self.frame_view(sync.dirty_region, structure_ms);
+        let results = view.query(queries, &plan)?;
+        drop(view);
+
+        // The cached partitioning pass ran exactly when partitioning is on,
+        // a grid exists and the search was non-trivial — the pending dirty
+        // region has then been absorbed into the cache and can be retired.
+        if self.config.opt >= rtnn::OptLevel::SchedPartition
+            && self.grid.is_some()
+            && !queries.is_empty()
+            && !self.compact.is_empty()
+        {
+            self.pending_dirty = Aabb::EMPTY;
+        }
+
+        self.last_traversal_ms = Some(results.breakdown.fs_ms + results.breakdown.search_ms);
+        self.metrics.record_frame(
+            &results.search_metrics.kernel,
+            structure_ms,
+            results.total_time_ms(),
+        );
+        match sync.action {
+            StructureAction::Rebuilt => self.metrics.rebuilds += 1,
+            StructureAction::Refit => self.metrics.refits += 1,
+            StructureAction::Reused => {}
+        }
+
+        Ok(FrameResult {
+            results,
+            action: sync.action,
+            quality_ratio: sync.quality_ratio,
+            structure_ms,
+            host_structure_ms,
+        })
+    }
+
+    /// Maintain the structures for the current positions and return a
+    /// per-frame [`Index`] view adopting them — the escape hatch for
+    /// heterogeneous plans: any [`QueryPlan`] (other radii, Ks, a
+    /// [`QueryPlan::Batch`]) can be answered against the live scene
+    /// without rebuilding anything.
+    ///
+    /// Structure-maintenance cost triggered by this call is *not* charged
+    /// to the view's queries: it stays pending and is reported (simulated
+    /// and host) by the next [`search`](Self::search) frame, so a view that
+    /// is dropped without a query loses no accounting. View queries are not
+    /// recorded in [`frame_metrics`](Self::frame_metrics).
+    pub fn as_index(&mut self) -> Result<FrameIndex<'_>, SearchError> {
+        let sync = self.sync_structures()?;
+        Ok(self.frame_view(sync.dirty_region, 0.0))
+    }
+
+    /// Build the per-frame adopted view both query paths share. The
+    /// adopted megacell cache is tagged with the config's params, so view
+    /// plans with other radii/K bypass it instead of wiping it.
+    fn frame_view(&mut self, dirty_region: Aabb, structure_ms: f64) -> FrameIndex<'_> {
+        let accel = self
+            .accel
+            .as_ref()
+            .expect("structure exists after maintenance");
+        let mut index = Index::adopt(
+            self.backend.as_dyn(),
+            &self.compact,
+            self.config.engine(),
+            AdoptedScene {
+                accel,
+                grid: self.grid.as_ref(),
+                dirty_region,
+                cache: Some(&mut self.cache),
+                cache_params: Some(self.config.params),
+            },
+        );
+        index.charge_structure_ms(structure_ms);
+        FrameIndex {
+            index,
+            handles: &self.compact_to_slot,
+        }
+    }
+
+    /// Fold pending mutations into the compacted view and bring the
+    /// structures up to date (refit / rebuild / reuse, per state and
+    /// policy).
+    fn sync_structures(&mut self) -> Result<SyncInfo, SearchError> {
+        // Validate early so invalid configs fail before touching state.
+        self.config.params.validate().map_err(SearchError::from)?;
+        let width = self.config.global_aabb_width();
+
         let membership_was_dirty = self.membership_dirty;
         if membership_was_dirty {
             self.refresh_compact();
@@ -232,14 +410,13 @@ impl<'d> DynamicIndex<'d> {
         }
         let n = self.compact.len();
 
-        // Structure maintenance.
         let host_structure_start = std::time::Instant::now();
         let mut structure_ms = 0.0;
         let mut quality_ratio = 1.0;
         let mut dirty_region = Aabb::EMPTY;
         let structural = membership_was_dirty
-            || self.gas.is_none()
-            || self.gas.as_ref().map(Gas::num_primitives) != Some(n);
+            || self.accel.is_none()
+            || self.accel.as_ref().map(Accel::num_primitives) != Some(n);
         let action = if structural
             || (!self.moved_slots.is_empty() && self.policy.always_rebuilds())
         {
@@ -250,78 +427,59 @@ impl<'d> DynamicIndex<'d> {
             StructureAction::Rebuilt
         } else if !self.moved_slots.is_empty() {
             // Refit first (cheap), measure the quality, then let the policy
-            // decide from the cost model whether a rebuild pays for itself.
-            let aabbs = point_aabbs(&self.compact, width);
-            let gas = self.gas.as_mut().expect("checked above");
-            let refit = gas
-                .refit(self.device, &aabbs)
-                .expect("primitive count is unchanged on the refit path");
-            structure_ms += refit.refit_time_ms;
-            quality_ratio = match self.monitor.as_ref() {
-                Some(m) if m.built_sah() > 0.0 => (refit.stats.sah_after / m.built_sah()).max(1.0),
-                _ => 1.0,
+            // decide from the backend's timing whether a rebuild pays for
+            // itself.
+            let outcome = {
+                let backend = self.backend.as_dyn();
+                let accel = self.accel.as_mut().expect("checked above");
+                backend.refit(accel, &self.compact)
             };
-            if self
-                .policy
-                .should_rebuild(quality_ratio, n, &self.coeffs, self.last_traversal_ms)
-            {
-                structure_ms += self.rebuild_structures(width)?;
-                StructureAction::Rebuilt
-            } else {
-                dirty_region = self.refresh_grid();
-                StructureAction::Refit
+            match outcome {
+                Some(refit) => {
+                    structure_ms += refit.refit_ms;
+                    quality_ratio = match (refit.sah_after, self.monitor.as_ref()) {
+                        (Some(sah), Some(m)) if m.built_sah() > 0.0 => {
+                            (sah / m.built_sah()).max(1.0)
+                        }
+                        _ => 1.0,
+                    };
+                    let timing = self.backend.as_dyn().timing(n);
+                    if self
+                        .policy
+                        .should_rebuild(quality_ratio, &timing, self.last_traversal_ms)
+                    {
+                        structure_ms += self.rebuild_structures(width)?;
+                        StructureAction::Rebuilt
+                    } else {
+                        dirty_region = self.refresh_grid();
+                        StructureAction::Refit
+                    }
+                }
+                None => {
+                    // The backend cannot refit this structure — rebuild.
+                    structure_ms += self.rebuild_structures(width)?;
+                    StructureAction::Rebuilt
+                }
             }
         } else {
             StructureAction::Reused
         };
         let host_structure_ms = host_structure_start.elapsed().as_secs_f64() * 1e3;
-
-        // The search itself, through the engine's prepared-scene path.
-        let gas = self
-            .gas
-            .as_ref()
-            .expect("structure exists after maintenance");
-        let megacells = self.grid.as_ref().map(|grid| PreparedMegacells {
-            grid,
-            dirty_region,
-            cache: &mut self.cache,
-        });
-        let mut results = engine.search_prepared(
-            &self.compact,
-            queries,
-            PreparedScene {
-                gas,
-                structure_ms,
-                megacells,
-            },
-        )?;
-
-        // Translate compact ids back into stable handles.
-        for neighbors in results.neighbors.iter_mut() {
-            for id in neighbors.iter_mut() {
-                *id = self.compact_to_slot[*id as usize];
-            }
-        }
-
-        self.last_traversal_ms = Some(results.breakdown.fs_ms + results.breakdown.search_ms);
-        self.metrics.record_frame(
-            &results.search_metrics.kernel,
-            structure_ms,
-            results.total_time_ms(),
-        );
-        match action {
-            StructureAction::Rebuilt => self.metrics.rebuilds += 1,
-            StructureAction::Refit => self.metrics.refits += 1,
-            StructureAction::Reused => {}
-        }
+        self.pending_structure_ms += structure_ms;
+        self.pending_host_structure_ms += host_structure_ms;
         self.moved_slots.clear();
 
-        Ok(FrameResult {
-            results,
+        // Fold this frame's invalidation into the not-yet-absorbed union;
+        // a rebuild dropped the cache wholesale, so nothing is pending.
+        self.pending_dirty = match action {
+            StructureAction::Rebuilt => Aabb::EMPTY,
+            _ => self.pending_dirty.union(&dirty_region),
+        };
+
+        Ok(SyncInfo {
             action,
             quality_ratio,
-            structure_ms,
-            host_structure_ms,
+            dirty_region: self.pending_dirty,
         })
     }
 
@@ -351,16 +509,23 @@ impl<'d> DynamicIndex<'d> {
             .min((16 * self.compact.len().max(1)).next_power_of_two())
     }
 
-    /// Rebuild the global GAS, SAH baseline, megacell grid and cache from
-    /// the current compact positions; returns the simulated build time.
+    /// Rebuild the global structure, SAH baseline, megacell grid and cache
+    /// from the current compact positions through the backend; returns the
+    /// simulated build time.
     fn rebuild_structures(&mut self, width: f32) -> Result<f64, SearchError> {
-        let aabbs = point_aabbs(&self.compact, width);
-        let gas = Gas::build(self.device, &aabbs, self.config.build)
-            .map_err(SearchError::OutOfDeviceMemory)?;
-        let build_ms = gas.build_time_ms();
-        self.monitor = Some(SahMonitor::baseline(gas.bvh()));
-        self.gas = Some(gas);
-        self.grid = MegacellGrid::build(&self.compact, self.grid_budget());
+        let budget = self.grid_budget();
+        let accel = {
+            let backend = self.backend.as_dyn();
+            backend
+                .build(&self.compact, width, self.config.build)
+                .map_err(SearchError::OutOfDeviceMemory)?
+        };
+        let build_ms = accel.build_time_ms();
+        // Backends that expose tree quality seed the SAH baseline; opaque
+        // backends leave the monitor empty (quality stays 1.0).
+        self.monitor = accel.gas().map(|g| SahMonitor::baseline(g.bvh()));
+        self.accel = Some(accel);
+        self.grid = MegacellGrid::build(&self.compact, budget);
         self.cache.invalidate_all(0);
         Ok(build_ms)
     }
@@ -393,15 +558,10 @@ impl<'d> DynamicIndex<'d> {
     }
 }
 
-/// Width-`width` cubes centred at `points` (the engine's global mapping).
-fn point_aabbs(points: &[Vec3], width: f32) -> Vec<Aabb> {
-    par_map(points.len(), |i| Aabb::cube(points[i], width))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtnn::{OptLevel, SearchParams};
+    use rtnn::{OptLevel, OptixBackend, PlanSlice, SearchParams};
 
     fn jittered_block(n_per_axis: usize, spacing: f32) -> Vec<Vec3> {
         let mut pts = Vec::new();
@@ -467,7 +627,8 @@ mod tests {
             }
             let queries: Vec<Vec3> = points.iter().step_by(4).copied().collect();
             let dynamic = index.search(&queries).unwrap();
-            let fresh = Rtnn::new(&device, config)
+            #[allow(deprecated)] // the legacy shim is the reference here
+            let fresh = rtnn::Rtnn::new(&device, config)
                 .search(&points, &queries)
                 .unwrap();
             for (qi, (d, f)) in dynamic
@@ -557,5 +718,230 @@ mod tests {
             }
         }
         assert!(saw_rebuild, "policy never rebuilt under heavy scrambling");
+    }
+
+    #[test]
+    fn frame_index_view_answers_heterogeneous_plans_with_stable_handles() {
+        let device = Device::rtx_2080();
+        let points = jittered_block(6, 0.6);
+        let config = RtnnConfig::new(SearchParams::knn(1.2, 8));
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        let queries: Vec<Vec3> = points.iter().step_by(5).copied().collect();
+        index.search(&queries).unwrap();
+
+        // A frame view answers plans the fused config never mentioned.
+        let mut view = index.as_index().unwrap();
+        let knn = view.query(&queries, &QueryPlan::knn(1.8, 4)).unwrap();
+        let batch = view
+            .query(
+                &queries,
+                &QueryPlan::Batch(vec![
+                    PlanSlice::new(QueryPlan::knn(0.9, 3), vec![0, 1]),
+                    PlanSlice::new(QueryPlan::range(1.5, 32), vec![2]),
+                ]),
+            )
+            .unwrap();
+        drop(view);
+        // Handles are stable ids: every reported neighbor is a live handle
+        // at the position the searcher saw.
+        for (qi, q) in queries.iter().enumerate() {
+            for &h in &knn.neighbors[qi] {
+                let p = index.position(h).expect("live handle");
+                assert!(q.distance(p) < 1.8);
+            }
+        }
+        for &h in &batch.neighbors[2] {
+            let p = index.position(h).expect("live handle");
+            assert!(queries[2].distance(p) < 1.5);
+        }
+        // The view shares the maintained structures; frame metrics are not
+        // advanced by view queries.
+        assert_eq!(index.frame_metrics().frames, 1);
+    }
+
+    #[test]
+    fn dropped_or_batch_only_views_never_lose_cache_invalidations() {
+        // A FrameIndex that is dropped unused (or queried only with batch
+        // plans, which bypass the megacell cache) must not swallow the
+        // frame's grid dirty region: the next search still has to treat the
+        // cache entries whose reach the earlier motion touched as stale.
+        //
+        // The scene is built to make a lost invalidation observable: a
+        // dense clump right at the query (its cached megacell is tiny), a
+        // mid-distance shell that becomes the true nearest set once the
+        // clump scatters, and a lone far sentinel whose later motion
+        // produces a dirty region that does NOT overlap the query's reach.
+        let device = Device::rtx_2080();
+        let mut points: Vec<Vec3> = Vec::new();
+        let centre = Vec3::new(10.0, 10.0, 10.0);
+        let clump = 30usize;
+        for i in 0..clump {
+            // Dense clump within ~0.1 of the query position: its cached
+            // megacell is a single fine grid cell.
+            let f = i as f32;
+            points.push(
+                centre
+                    + Vec3::new(
+                        (f * 0.731).sin() * 0.1,
+                        (f * 1.137).cos() * 0.1,
+                        (f * 0.389).sin() * 0.1,
+                    ),
+            );
+        }
+        for i in 0..600 {
+            // Mid-distance shell inside the radius, every point at a
+            // *distinct* distance (2.5 + i/1000) so there are no ties.
+            let a = i as f32 * 0.41;
+            let b = i as f32 * 0.17;
+            let rho = 2.5 + i as f32 * 0.001;
+            points.push(centre + Vec3::new(a.sin() * b.cos(), a.cos() * b.cos(), b.sin()) * rho);
+        }
+        // Filler far outside the query's reach: raises the point count so
+        // the megacell grid gets a fine cell size (the staleness window
+        // only exists when the cached box is much smaller than the radius).
+        let filler_base = points.len();
+        for i in 0..3400 {
+            let f = i as f32;
+            points.push(Vec3::new(
+                30.0 + (f * 0.617) % 10.0,
+                30.0 + (f * 0.389) % 10.0,
+                30.0 + (f * 0.829) % 10.0,
+            ));
+        }
+        let sentinel = filler_base as u32;
+
+        let k = 8;
+        let params = SearchParams::knn(6.0, k);
+        let config = RtnnConfig::new(params);
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        let queries = vec![centre];
+        index.search(&queries).unwrap(); // cache: tiny megacell (clump)
+
+        // Frame 2: the clump scatters out of the search radius entirely;
+        // structures are synced through a view that is immediately dropped.
+        for h in 0..clump as u32 {
+            let p = points[h as usize] + Vec3::new(0.0, 0.0, 8.0);
+            points[h as usize] = p;
+            index.move_point(h, p);
+        }
+        drop(index.as_index().unwrap());
+
+        // Frame 3: only the far sentinel twitches — its dirty region does
+        // not overlap the query's reach, so a per-frame dirty region would
+        // let the stale tiny megacell pass the overlap check and miss the
+        // shell entirely.
+        let moved = points[sentinel as usize] + Vec3::new(0.5, 0.0, 0.0);
+        points[sentinel as usize] = moved;
+        index.move_point(sentinel, moved);
+
+        let frame = index.search(&queries).unwrap();
+        assert_eq!(
+            frame.action,
+            StructureAction::Refit,
+            "scenario precondition"
+        );
+        let expected = rtnn::verify::brute_force_knn(&points, centre, 6.0, k);
+        assert_eq!(
+            sorted(frame.results.neighbors[0].clone()),
+            sorted(expected),
+            "stale megacell cache leaked through a dropped view"
+        );
+    }
+
+    #[test]
+    fn dropped_views_never_lose_structure_cost_accounting() {
+        // Maintenance triggered by as_index() is not charged to the view;
+        // it stays pending and the next search frame reports it, so a
+        // dropped view loses no simulated cost from the accounting.
+        let device = Device::rtx_2080();
+        let points = jittered_block(6, 0.5);
+        let config = RtnnConfig::new(SearchParams::knn(1.2, 8));
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        let queries: Vec<Vec3> = points.iter().step_by(4).copied().collect();
+        index.search(&queries).unwrap();
+
+        // Motion, then a view that is dropped without being queried: the
+        // refit ran during as_index() and must not vanish.
+        for h in 0..points.len() as u32 {
+            let p = index.position(h).unwrap();
+            index.move_point(h, p + Vec3::new(0.003, 0.0, -0.002));
+        }
+        drop(index.as_index().unwrap());
+        let structure_before = index.frame_metrics().structure_ms;
+
+        // No further motion: the frame reuses everything, but reports the
+        // carried refit cost.
+        let frame = index.search(&queries).unwrap();
+        assert_eq!(frame.action, StructureAction::Reused);
+        assert!(
+            frame.structure_ms > 0.0,
+            "the dropped view's refit cost must be carried to this frame"
+        );
+        assert!(index.frame_metrics().structure_ms > structure_before);
+    }
+
+    #[test]
+    fn view_plans_with_other_params_stay_exact() {
+        // The persistent megacell cache is populated under the config's
+        // params; a view plan with a *larger* K (or radius) must not trust
+        // those undersized megacells.
+        let device = Device::rtx_2080();
+        let points = jittered_block(7, 0.5);
+        let config = RtnnConfig::new(SearchParams::knn(1.0, 2));
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        index.search(&queries).unwrap(); // cache grown for k = 2
+
+        let mut view = index.as_index().unwrap();
+        let wide = view.query(&queries, &QueryPlan::knn(1.6, 24)).unwrap();
+        drop(view);
+        // Compare distance sequences (the jittered block has equidistant
+        // ties at the k-boundary, where ids are traversal-order-defined; a
+        // stale undersized megacell would *miss* a closer point and shift
+        // the distances).
+        for (qi, q) in queries.iter().enumerate() {
+            let dists = |ids: &[u32]| -> Vec<f32> {
+                ids.iter()
+                    .map(|&id| q.distance(points[id as usize]))
+                    .collect()
+            };
+            assert_eq!(
+                dists(&wide.neighbors[qi]),
+                dists(&rtnn::verify::brute_force_knn(&points, *q, 1.6, 24)),
+                "query {qi}: k=2 megacells must not serve a k=24 plan"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_backends_drive_the_dynamic_index() {
+        // The opaque OptiX shim exposes no SAH, so quality stays 1.0 and
+        // the adaptive policy relies on its cap — results stay exact.
+        let device = Device::rtx_2080();
+        let backend = OptixBackend::new(&device);
+        let points = jittered_block(5, 0.7);
+        let config = RtnnConfig::new(SearchParams::knn(1.4, 6));
+        let mut index = DynamicIndex::with_backend(&backend, config, RebuildPolicy::adaptive());
+        for &p in &points {
+            index.insert(p);
+        }
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        let f0 = index.search(&queries).unwrap();
+        assert_eq!(f0.action, StructureAction::Rebuilt);
+        for h in 0..points.len() as u32 {
+            let p = index.position(h).unwrap();
+            index.move_point(h, p + Vec3::new(0.01, 0.0, -0.01));
+        }
+        let f1 = index.search(&queries).unwrap();
+        assert_eq!(f1.action, StructureAction::Refit);
+        assert_eq!(f1.quality_ratio, 1.0, "opaque backend exposes no SAH");
+        // Exactness against the default backend's fresh engine.
+        let moved: Vec<Vec3> = (0..points.len() as u32)
+            .filter_map(|h| index.position(h))
+            .collect();
+        let gpusim = GpusimBackend::new(&device);
+        let mut fresh = Index::build(&gpusim, &moved[..], config.engine());
+        let reference = fresh.query(&queries, &config.plan()).unwrap();
+        assert_eq!(f1.results.neighbors, reference.neighbors);
     }
 }

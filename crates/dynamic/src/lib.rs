@@ -22,12 +22,16 @@
 //!   incrementally, invalidating only the per-query megacell cache entries
 //!   whose reachable cells changed population.
 //! * A **refit-vs-rebuild policy** ([`RebuildPolicy`]) driven by the
-//!   engine's calibrated cost model: refitting degrades tree quality (the
-//!   SAH monitor measures by how much), so each frame the policy compares
-//!   the predicted traversal penalty of keeping the refitted tree against
-//!   the cost of a fresh build and picks whichever the cost model predicts
-//!   is faster. Structural changes (insert/remove) always rebuild — a
-//!   refit cannot re-topologize.
+//!   execution backend's structure timing (`rtnn::Backend::timing`):
+//!   refitting degrades tree quality (the SAH monitor measures by how
+//!   much), so each frame the policy compares the predicted traversal
+//!   penalty of keeping the refitted tree against the backend-reported
+//!   rebuild premium and picks whichever is faster. Structural changes
+//!   (insert/remove) always rebuild — a refit cannot re-topologize.
+//! * A per-frame **[`Index`](rtnn::Index) view** ([`DynamicIndex::as_index`]):
+//!   heterogeneous `rtnn::QueryPlan`s (other radii, Ks, batches) run
+//!   against the maintained structures without rebuilding anything, with
+//!   neighbor ids translated back to stable handles.
 //!
 //! ## Quick start
 //!
@@ -63,5 +67,5 @@
 pub mod index;
 pub mod policy;
 
-pub use index::{DynamicIndex, FrameResult, StructureAction};
+pub use index::{DynamicIndex, FrameIndex, FrameResult, StructureAction};
 pub use policy::{PolicyMode, RebuildPolicy};

@@ -1,10 +1,10 @@
-//! The refit-vs-rebuild decision, driven by the engine's calibrated cost
-//! model (`rtnn::CostCoefficients`).
+//! The refit-vs-rebuild decision, driven by the execution backend's
+//! structure timing (`rtnn::Backend::timing`).
 //!
-//! Refitting a BVH in place is `~accel_refit_speedup`× cheaper than a
-//! rebuild but freezes the topology: as points drift from the positions the
-//! tree was built for, sibling AABBs overlap and traversal slows down. The
-//! SAH monitor (`rtnn_bvh::SahMonitor`) expresses that degradation as a
+//! Refitting a BVH in place is several times cheaper than a rebuild but
+//! freezes the topology: as points drift from the positions the tree was
+//! built for, sibling AABBs overlap and traversal slows down. The SAH
+//! monitor (`rtnn_bvh::SahMonitor`) expresses that degradation as a
 //! quality ratio `q ≥ 1` (refitted SAH cost over freshly-built SAH cost),
 //! which is a first-order predictor of traversal time: a query round that
 //! took `S` ms on a fresh tree is predicted to take `q·S` on the refitted
@@ -15,19 +15,23 @@
 //! * keep refitting: `T_refit = R + q·S`
 //! * rebuild now:    `T_build = B + S`
 //!
-//! with `R`/`B` the refit/build cost of the cost model (Equation 3's
-//! `T_build = k1·M`, plus the refit analogue) and `S` the last measured
+//! with `R`/`B` the refit/build cost the *backend* reports for the current
+//! structure size ([`StructureTiming`]) and `S` the last measured
 //! traversal time. The adaptive policy rebuilds exactly when
 //! `(q − 1)·S > B − R` — when the predicted traversal penalty of the stale
 //! topology exceeds what the rebuild would cost over a refit — plus a hard
 //! quality cap as a safety net for workloads whose `S` is noisy or unknown.
+//!
+//! Backends that expose no tree quality (the opaque OptiX shim, the
+//! brute-force oracle) report `q = 1`, so the adaptive policy degrades
+//! gracefully to refit-only behaviour there.
 
-use rtnn::CostCoefficients;
+use rtnn::StructureTiming;
 
 /// How the policy decides (the bench compares all three).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PolicyMode {
-    /// Cost-model-driven refit-vs-rebuild (the default).
+    /// Timing-driven refit-vs-rebuild (the default).
     #[default]
     Adaptive,
     /// Rebuild the structure every frame (the batch-engine baseline).
@@ -59,7 +63,7 @@ impl Default for RebuildPolicy {
 }
 
 impl RebuildPolicy {
-    /// The cost-model-driven policy with default knobs.
+    /// The timing-driven policy with default knobs.
     pub fn adaptive() -> Self {
         RebuildPolicy::default()
     }
@@ -88,14 +92,13 @@ impl RebuildPolicy {
     }
 
     /// Decide whether this frame should rebuild, given the measured quality
-    /// ratio `q` of the already-refitted tree, the primitive count, the
-    /// calibrated cost model, and the last frame's traversal time (`None`
-    /// until a frame has run).
+    /// ratio `q` of the already-refitted tree, the backend's structure
+    /// timing at the current size, and the last frame's traversal time
+    /// (`None` until a frame has run).
     pub fn should_rebuild(
         &self,
         quality_ratio: f64,
-        num_prims: usize,
-        coeffs: &CostCoefficients,
+        timing: &StructureTiming,
         last_traversal_ms: Option<f64>,
     ) -> bool {
         match self.mode {
@@ -108,8 +111,7 @@ impl RebuildPolicy {
                 let Some(s) = last_traversal_ms else {
                     return false;
                 };
-                let rebuild_premium = coeffs.build_ms(num_prims) - coeffs.refit_ms(num_prims);
-                (quality_ratio - 1.0) * s > rebuild_premium
+                (quality_ratio - 1.0) * s > timing.rebuild_premium_ms()
             }
         }
     }
@@ -118,51 +120,62 @@ impl RebuildPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtnn::{Backend, GpusimBackend};
     use rtnn_gpusim::Device;
 
-    fn coeffs() -> CostCoefficients {
-        CostCoefficients::calibrate(&Device::rtx_2080())
+    fn timing(n: usize) -> StructureTiming {
+        GpusimBackend::new(&Device::rtx_2080()).timing(n)
     }
 
     #[test]
-    fn forced_modes_ignore_the_cost_model() {
-        let c = coeffs();
-        assert!(RebuildPolicy::always_rebuild().should_rebuild(1.0, 1000, &c, Some(1.0)));
-        assert!(!RebuildPolicy::never_rebuild().should_rebuild(100.0, 1000, &c, Some(1.0)));
+    fn forced_modes_ignore_the_timing() {
+        let t = timing(1000);
+        assert!(RebuildPolicy::always_rebuild().should_rebuild(1.0, &t, Some(1.0)));
+        assert!(!RebuildPolicy::never_rebuild().should_rebuild(100.0, &t, Some(1.0)));
     }
 
     #[test]
     fn adaptive_keeps_a_fresh_tree_and_drops_a_degraded_one() {
-        let c = coeffs();
         let p = RebuildPolicy::adaptive();
-        let n = 1_000_000;
+        let t = timing(1_000_000);
         // Pristine tree: never rebuild.
-        assert!(!p.should_rebuild(1.0, n, &c, Some(10.0)));
+        assert!(!p.should_rebuild(1.0, &t, Some(10.0)));
         // Far beyond the quality cap: rebuild even with no time estimate.
-        assert!(p.should_rebuild(10.0, n, &c, None));
+        assert!(p.should_rebuild(10.0, &t, None));
         // Mild degradation on a cheap search: the rebuild premium dominates.
-        let premium = c.build_ms(n) - c.refit_ms(n);
-        assert!(!p.should_rebuild(1.05, n, &c, Some(premium / 10.0)));
+        let premium = t.rebuild_premium_ms();
+        assert!(!p.should_rebuild(1.05, &t, Some(premium / 10.0)));
         // Same degradation but an expensive search: traversal penalty wins.
-        assert!(p.should_rebuild(1.05, n, &c, Some(premium * 40.0)));
+        assert!(p.should_rebuild(1.05, &t, Some(premium * 40.0)));
     }
 
     #[test]
     fn break_even_scales_with_the_rebuild_premium() {
-        let c = coeffs();
         let p = RebuildPolicy::adaptive();
         // A bigger cloud has a bigger rebuild premium, so the same (q, S)
         // that justifies a rebuild on a small cloud may not on a large one.
         let q = 1.2;
-        let s = (c.build_ms(100_000) - c.refit_ms(100_000)) / (q - 1.0) * 1.5;
-        assert!(p.should_rebuild(q, 100_000, &c, Some(s)));
-        assert!(!p.should_rebuild(q, 10_000_000, &c, Some(s)));
+        let small = timing(100_000);
+        let large = timing(10_000_000);
+        let s = small.rebuild_premium_ms() / (q - 1.0) * 1.5;
+        assert!(p.should_rebuild(q, &small, Some(s)));
+        assert!(!p.should_rebuild(q, &large, Some(s)));
     }
 
     #[test]
     fn no_history_means_no_speculative_rebuild_below_the_cap() {
-        let c = coeffs();
         let p = RebuildPolicy::adaptive();
-        assert!(!p.should_rebuild(1.5, 1_000_000, &c, None));
+        assert!(!p.should_rebuild(1.5, &timing(1_000_000), None));
+    }
+
+    #[test]
+    fn free_structures_always_prefer_a_rebuild_once_stale() {
+        // A backend with zero structure cost (the brute-force oracle) has a
+        // zero rebuild premium: any quality loss with a known traversal
+        // time justifies rebuilding.
+        let p = RebuildPolicy::adaptive();
+        let free = StructureTiming::default();
+        assert!(p.should_rebuild(1.01, &free, Some(1.0)));
+        assert!(!p.should_rebuild(1.0, &free, Some(1.0)));
     }
 }

@@ -3,6 +3,8 @@
 //! bit-equal to a batch engine rebuilt from scratch every frame, while
 //! doing strictly less structure work.
 
+#![allow(deprecated)] // the legacy shim is the from-scratch reference here
+
 use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchParams};
 use rtnn_data::dynamics::{DriftModel, DriftScene, FrameUpdate};
 use rtnn_data::PointCloud;

@@ -5,6 +5,8 @@
 //! search modes and all four optimisation levels. The refitted tree may be
 //! arbitrarily worse to traverse, but never allowed to change an answer.
 
+#![allow(deprecated)] // the legacy shim is the from-scratch reference here
+
 use proptest::prelude::*;
 use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
 use rtnn_dynamic::{DynamicIndex, RebuildPolicy, StructureAction};

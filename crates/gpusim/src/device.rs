@@ -29,6 +29,28 @@ impl std::fmt::Display for OutOfDeviceMemory {
 
 impl std::error::Error for OutOfDeviceMemory {}
 
+/// Structure-maintenance timing pair reported by [`Device::structure_timing`]
+/// (and forwarded by search backends): what a from-scratch build and an
+/// in-place refit of an acceleration structure cost at a given size. The
+/// refit-vs-rebuild policies consume this instead of talking to a device
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StructureTiming {
+    /// Simulated milliseconds of a from-scratch structure build.
+    pub build_ms: f64,
+    /// Simulated milliseconds of an in-place refit.
+    pub refit_ms: f64,
+}
+
+impl StructureTiming {
+    /// What a rebuild costs *over* a refit — the premium the adaptive
+    /// refit-vs-rebuild policy weighs against the traversal penalty of a
+    /// stale tree.
+    pub fn rebuild_premium_ms(&self) -> f64 {
+        self.build_ms - self.refit_ms
+    }
+}
+
 /// A simulated GPU. Cheap to clone conceptually but exposed by reference;
 /// launches do not mutate it (each launch builds fresh shard state), so one
 /// device can be shared across experiments.
@@ -91,6 +113,17 @@ impl Device {
             * c.accel_refit_speedup
             * (self.config.num_sms as f64 / 68.0);
         c.accel_refit_fixed_ms + num_prims as f64 / rate
+    }
+
+    /// The build/refit cost pair for a structure over `num_prims`
+    /// primitives — the timing a search backend reports so structure
+    /// policies (refit-vs-rebuild) can be decided without knowing which
+    /// device model is underneath.
+    pub fn structure_timing(&self, num_prims: usize) -> StructureTiming {
+        StructureTiming {
+            build_ms: self.accel_build_time_ms(num_prims),
+            refit_ms: self.accel_refit_time_ms(num_prims),
+        }
     }
 
     /// Simulated milliseconds to copy `bytes` from host to device over PCIe.

@@ -40,7 +40,7 @@ pub mod shard;
 
 pub use cache::{CacheConfig, CacheStats, SetAssociativeCache};
 pub use config::{CostModel, DeviceConfig, IsShaderKind};
-pub use device::Device;
+pub use device::{Device, StructureTiming};
 pub use kernel::{run_sm_kernel, SmKernelConfig, ThreadWork};
 pub use metrics::{FrameAccumulator, KernelMetrics, MemoryStats};
 pub use shard::SmShard;

@@ -13,7 +13,7 @@
 
 use crate::{Aabb, Vec3};
 
-/// The key type produced by [`MortonKey::encode`].
+/// The key type produced by [`MortonEncoder::encode`].
 pub type MortonKey = u64;
 
 /// Expand a 10-bit integer so its bits occupy every third position.

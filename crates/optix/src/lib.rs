@@ -23,10 +23,12 @@
 //!   Section 4 exploits), traverses the BVH for each ray, and charges the
 //!   traversal, shader and memory work to the simulated device.
 
+pub mod accel;
 pub mod gas;
 pub mod pipeline;
 pub mod shader;
 
+pub use accel::{Accel, AccelRef, RefitOutcome};
 pub use gas::{Gas, GasRefit};
 pub use pipeline::{LaunchMetrics, LaunchResult, Pipeline};
 pub use shader::{IsVerdict, RayProgram};

@@ -7,7 +7,7 @@
 //! cargo run --release --example lidar_pipeline
 //! ```
 
-use rtnn::{Rtnn, RtnnConfig, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
 use rtnn_data::lidar::{self, LidarParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
@@ -54,11 +54,14 @@ fn main() {
         bounds.extent().z
     );
 
+    // One index over the frame serves every perception stage: a KNN plan
+    // for normal estimation here, a different range plan further down — no
+    // per-stage engine or structure rebuild.
     let device = Device::rtx_2080();
-    let params = SearchParams::knn(1.5, 16);
-    let engine = Rtnn::new(&device, RtnnConfig::new(params));
-    let results = engine
-        .search(&points, &points)
+    let backend = GpusimBackend::new(&device);
+    let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+    let results = index
+        .query(&points, &QueryPlan::knn(1.5, 16))
         .expect("knn search over the frame");
     println!(
         "neighborhoods computed in simulated {:.2} ms ({} partitions, {} IS calls)",
@@ -93,5 +96,31 @@ fn main() {
         isolated as f64 / total * 100.0
     );
     assert!(ground > obstacle, "a LiDAR frame is mostly ground");
+
+    // Second perception stage against the SAME index: a tight epsilon
+    // (range) query around the sensor origin for obstacle clearance — a
+    // different radius and kind, answered from the warm structures.
+    let probes = vec![
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::new(5.0, 0.0, 1.0),
+        Vec3::new(-5.0, 0.0, 1.0),
+    ];
+    let clearance = index
+        .query(&probes, &QueryPlan::range(3.0, 256))
+        .expect("clearance probe");
+    for (pi, hits) in clearance.neighbors.iter().enumerate() {
+        for &id in hits {
+            assert!(
+                probes[pi].distance(points[id as usize]) < 3.0,
+                "clearance hit outside the probe radius"
+            );
+        }
+    }
+    println!(
+        "clearance probes: {} returns within 3 m (simulated {:.2} ms, {:.3} ms new structure builds)",
+        clearance.total_neighbors(),
+        clearance.total_time_ms(),
+        clearance.breakdown.bvh_ms
+    );
     println!("pipeline finished ✓");
 }

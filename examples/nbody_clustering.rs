@@ -16,7 +16,7 @@
 //! cargo run --release --example nbody_clustering
 //! ```
 
-use rtnn::{RtnnConfig, SearchParams};
+use rtnn::{QueryPlan, RtnnConfig, SearchParams};
 use rtnn_data::dynamics::{DriftModel, DriftScene};
 use rtnn_data::nbody::{self, NBodyParams};
 use rtnn_dynamic::{DynamicIndex, StructureAction};
@@ -133,6 +133,29 @@ fn main() {
             index.move_point(slot, scene.position(slot).unwrap());
         }
     }
+
+    // After the last frame, answer a heterogeneous probe through the
+    // per-frame Index view: a KNN plan at a different radius than the FoF
+    // linking length, reusing the structures the streaming index maintains.
+    let centres = scene.live_points();
+    let probe_queries: Vec<_> = centres.iter().step_by(97).copied().collect();
+    let mut view = index.as_index().expect("frame view");
+    let knn = view
+        .query(&probe_queries, &QueryPlan::knn(2.0 * mean_spacing, 8))
+        .expect("density probe");
+    drop(view);
+    for (qi, q) in probe_queries.iter().enumerate() {
+        for &h in &knn.neighbors[qi] {
+            let p = index.position(h).expect("live handle");
+            assert!(q.distance(p) < 2.0 * mean_spacing);
+        }
+    }
+    println!(
+        "density probe via Index view: {} links over {} probes at r = {:.2}",
+        knn.total_neighbors(),
+        probe_queries.len(),
+        2.0 * mean_spacing
+    );
 
     let m = index.frame_metrics();
     println!(

@@ -1,5 +1,6 @@
-//! Quickstart: build a small point cloud, run both search modes on the
-//! simulated RTX 2080, and verify the results against a brute-force scan.
+//! Quickstart for the two-level Index/QueryPlan API: build one `Index` over
+//! a point cloud, answer heterogeneous typed plans against it (KNN, range,
+//! and a mixed batch), and verify everything against a brute-force scan.
 //!
 //! Run with:
 //! ```text
@@ -7,7 +8,7 @@
 //! ```
 
 use rtnn::verify::{brute_force_knn, check_all};
-use rtnn::{Rtnn, RtnnConfig, SearchParams};
+use rtnn::{EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan, SearchParams};
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 
@@ -23,13 +24,16 @@ fn main() {
     let queries: Vec<_> = points.iter().step_by(10).copied().collect();
     println!("points: {}, queries: {}", points.len(), queries.len());
 
-    // 2. The simulated GPU the search runs on.
+    // 2. Pick an execution backend (the simulated RTX 2080 by default;
+    //    `OptixBackend` is the real-hardware shim, `BruteForceBackend` in
+    //    rtnn-baselines the exhaustive oracle) and build the index ONCE.
     let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let mut index = Index::build(&backend, &points[..], EngineConfig::default());
 
-    // 3. Fixed-radius search: up to 32 neighbors within r = 2.5.
-    let range_params = SearchParams::range(2.5, 32);
-    let engine = Rtnn::new(&device, RtnnConfig::new(range_params));
-    let range = engine.search(&points, &queries).expect("range search");
+    // 3. Fixed-radius plan: up to 32 neighbors within r = 2.5.
+    let range_plan = QueryPlan::range(2.5, 32);
+    let range = index.query(&queries, &range_plan).expect("range search");
     println!(
         "range search: {} neighbor links, {} partitions -> {} bundles, simulated {:.2} ms",
         range.total_neighbors(),
@@ -40,23 +44,56 @@ fn main() {
     for (label, ms) in range.breakdown.components() {
         println!("  {label:<6} {ms:>8.3} ms");
     }
-    check_all(&points, &queries, &range_params, &range.neighbors)
-        .expect("range results match the brute-force oracle");
+    check_all(
+        &points,
+        &queries,
+        &SearchParams::range(2.5, 32),
+        &range.neighbors,
+    )
+    .expect("range results match the brute-force oracle");
 
-    // 4. KNN search: the 8 nearest neighbors within the same radius.
-    let knn_params = SearchParams::knn(2.5, 8);
-    let engine = Rtnn::new(&device, RtnnConfig::new(knn_params));
-    let knn = engine.search(&points, &queries).expect("knn search");
+    // 4. KNN plan against the SAME index: the grid and every structure the
+    //    range plan built are still warm — no engine reconstruction.
+    let knn_plan = QueryPlan::knn(2.5, 8);
+    let knn = index.query(&queries, &knn_plan).expect("knn search");
     println!(
-        "knn search:   {} neighbor links, simulated {:.2} ms ({} IS calls)",
+        "knn search:   {} neighbor links, simulated {:.2} ms ({} IS calls, {:.3} ms rebuilt structures)",
         knn.total_neighbors(),
         knn.total_time_ms(),
-        knn.search_metrics.is_calls
+        knn.search_metrics.is_calls,
+        knn.breakdown.bvh_ms
     );
-    check_all(&points, &queries, &knn_params, &knn.neighbors)
-        .expect("knn results match the brute-force oracle");
+    check_all(
+        &points,
+        &queries,
+        &SearchParams::knn(2.5, 8),
+        &knn.neighbors,
+    )
+    .expect("knn results match the brute-force oracle");
 
-    // 5. Spot-check one query against the oracle explicitly.
+    // 5. A heterogeneous batch: different radii AND different query kinds
+    //    answered in one call, sharing a single scheduling pass.
+    let half = queries.len() as u32 / 2;
+    let batch = QueryPlan::Batch(vec![
+        PlanSlice::new(QueryPlan::knn(2.5, 8), (0..half).collect()),
+        PlanSlice::new(
+            QueryPlan::range(1.5, 64),
+            (half..queries.len() as u32).collect(),
+        ),
+    ]);
+    let mixed = index.query(&queries, &batch).expect("mixed batch");
+    println!(
+        "mixed batch:  {} neighbor links across 2 plans, simulated {:.2} ms, {} cached structures",
+        mixed.total_neighbors(),
+        mixed.total_time_ms(),
+        index.cached_structures()
+    );
+    // The KNN half of the batch is bit-identical to the single-plan call.
+    for qi in 0..half as usize {
+        assert_eq!(mixed.neighbors[qi], knn.neighbors[qi]);
+    }
+
+    // 6. Spot-check one query against the oracle explicitly.
     let q = 3;
     let expected = brute_force_knn(&points, queries[q], 2.5, 8);
     assert_eq!(knn.neighbors[q], expected);

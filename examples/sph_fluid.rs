@@ -58,8 +58,11 @@ fn main() {
     let particle_mass = rest_density * spacing.powi(3);
     let stiffness = 3.0f32;
 
-    // The persistent index: built once, maintained across every timestep.
+    // The persistent index: built once, maintained across every timestep on
+    // the default (gpusim) execution backend — swap in `OptixBackend` or
+    // the brute-force oracle via `DynamicIndex::with_backend`.
     let mut index = DynamicIndex::with_points(&device, config, &particles);
+    println!("execution backend: {}", index.backend().name());
 
     let steps = 8;
     for step in 0..steps {

@@ -147,7 +147,7 @@ pub mod collection {
     use super::{Rng, Strategy, TestRng};
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

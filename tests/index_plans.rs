@@ -1,0 +1,206 @@
+//! Acceptance tests for the Index/QueryPlan API redesign:
+//!
+//! * `Index::query` with per-call plans is **bit-equal** to the legacy
+//!   `Rtnn::search` path for all plan kinds × optimisation levels;
+//! * repeated plans on one index amortise every structure build away;
+//! * plan validation happens at query time with typed errors naming the
+//!   offending field;
+//! * a heterogeneous batch answers several plans in one call and matches
+//!   the corresponding single-plan results.
+
+#![allow(deprecated)] // the legacy shim is one side of the equivalence
+
+use rtnn::{
+    EngineConfig, GpusimBackend, Index, OptLevel, PlanError, PlanSlice, QueryPlan, Rtnn,
+    RtnnConfig, SearchError, SearchParams,
+};
+use rtnn_data::uniform::{self, UniformParams};
+use rtnn_gpusim::Device;
+use rtnn_math::Vec3;
+
+fn seeded_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+    uniform::generate(&UniformParams {
+        num_points: n,
+        seed,
+        ..Default::default()
+    })
+    .points
+}
+
+#[test]
+fn index_is_bit_equal_to_legacy_engine_for_all_plans_and_opt_levels() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(2500, 0xA11CE);
+    let mut queries: Vec<Vec3> = points.iter().step_by(7).copied().collect();
+    queries.push(Vec3::new(-50.0, -50.0, -50.0)); // outside the cloud
+    for params in [
+        SearchParams::knn(5.0, 8),
+        SearchParams::range(4.0, 64),
+        SearchParams::range(2.0, 5), // cap-truncating: order must match too
+    ] {
+        for opt in OptLevel::all() {
+            let config = RtnnConfig::new(params).with_opt(opt);
+            let legacy = Rtnn::new(&device, config)
+                .search(&points, &queries)
+                .unwrap();
+            let mut index = Index::build(&backend, &points[..], config.engine());
+            let modern = index.query(&queries, &config.plan()).unwrap();
+            assert_eq!(
+                legacy.neighbors, modern.neighbors,
+                "{params:?} {opt:?}: Index::query must be bit-equal to Rtnn::search"
+            );
+            assert_eq!(
+                legacy.num_partitions, modern.num_partitions,
+                "{params:?} {opt:?}"
+            );
+            assert_eq!(legacy.num_bundles, modern.num_bundles, "{params:?} {opt:?}");
+            // First call on a fresh index pays exactly the legacy build
+            // cost; a repeat pays none and returns identical results.
+            assert_eq!(legacy.breakdown.bvh_ms, modern.breakdown.bvh_ms);
+            let again = index.query(&queries, &config.plan()).unwrap();
+            assert_eq!(again.neighbors, modern.neighbors);
+            assert_eq!(
+                again.breakdown.bvh_ms, 0.0,
+                "{params:?} {opt:?}: warm index must not rebuild structures"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_index_serves_heterogeneous_plans_cheaper_than_new_engines() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(4000, 0x5EED);
+    let queries: Vec<Vec3> = points.iter().step_by(5).copied().collect();
+    let plans = [
+        QueryPlan::knn(4.0, 8),
+        QueryPlan::knn(6.0, 16),
+        QueryPlan::range(3.0, 32),
+        QueryPlan::range(4.0, 64),
+    ];
+
+    let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+    let mut index_total = 0.0;
+    for plan in &plans {
+        index_total += index.query(&queries, plan).unwrap().total_time_ms();
+    }
+
+    let mut engines_total = 0.0;
+    for plan in &plans {
+        let params = plan.params().unwrap();
+        engines_total += Rtnn::new(&device, RtnnConfig::new(params))
+            .search(&points, &queries)
+            .unwrap()
+            .total_time_ms();
+    }
+    assert!(
+        index_total < engines_total,
+        "one index ({index_total:.3} ms) must beat per-plan engines ({engines_total:.3} ms)"
+    );
+}
+
+#[test]
+fn batch_results_match_single_plan_results_on_the_same_index() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(2000, 0xBA7C4);
+    let queries: Vec<Vec3> = points.iter().step_by(4).copied().collect();
+    let n = queries.len() as u32;
+    let thirds = [
+        (0..n / 3).collect::<Vec<u32>>(),
+        (n / 3..2 * n / 3).collect(),
+        (2 * n / 3..n).collect(),
+    ];
+    let plans = [
+        QueryPlan::knn(3.0, 4),
+        QueryPlan::knn(5.5, 12),
+        QueryPlan::range(4.5, 100_000),
+    ];
+    let batch = QueryPlan::Batch(
+        plans
+            .iter()
+            .cloned()
+            .zip(thirds.iter().cloned())
+            .map(|(plan, ids)| PlanSlice::new(plan, ids))
+            .collect(),
+    );
+
+    let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+    let combined = index.query(&queries, &batch).unwrap();
+    for (plan, ids) in plans.iter().zip(&thirds) {
+        let single = index.query(&queries, plan).unwrap();
+        for &qid in ids {
+            let (mut a, mut b) = (
+                combined.neighbors[qid as usize].clone(),
+                single.neighbors[qid as usize].clone(),
+            );
+            if matches!(plan, QueryPlan::Range { .. }) {
+                a.sort_unstable();
+                b.sort_unstable();
+            }
+            assert_eq!(a, b, "slice {plan:?}, query {qid}");
+        }
+    }
+    // The batch shares one scheduling pass over all covered queries.
+    assert_eq!(combined.fs_metrics.active_rays, n as u64);
+}
+
+#[test]
+fn plan_validation_is_typed_and_names_the_field() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(100, 3);
+    let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+    let queries = vec![Vec3::ZERO];
+
+    let cases: Vec<(QueryPlan, PlanError)> = vec![
+        (
+            QueryPlan::knn(0.0, 4),
+            PlanError::InvalidRadius {
+                field: "Knn.r",
+                value: 0.0,
+            },
+        ),
+        (
+            QueryPlan::knn(1.0, 0),
+            PlanError::ZeroNeighborCount { field: "Knn.k" },
+        ),
+        (
+            QueryPlan::range(-3.0, 8),
+            PlanError::InvalidRadius {
+                field: "Range.r",
+                value: -3.0,
+            },
+        ),
+        (QueryPlan::Batch(Vec::new()), PlanError::EmptyBatch),
+        (
+            QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::knn(1.0, 2), vec![7])]),
+            PlanError::QueryIdOutOfRange {
+                slice: 0,
+                query_id: 7,
+                num_queries: 1,
+            },
+        ),
+    ];
+    for (plan, expected) in cases {
+        let err = index.query(&queries, &plan).unwrap_err();
+        assert_eq!(err, SearchError::InvalidPlan(expected.clone()));
+        // Every error message names the offending field or structure.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("invalid configuration"),
+            "missing error prefix: {msg}"
+        );
+    }
+
+    // The legacy shim reports the same typed errors.
+    let legacy = Rtnn::new(&device, RtnnConfig::new(SearchParams::range(1.0, 0)));
+    assert_eq!(
+        legacy.search(&points, &queries).unwrap_err(),
+        SearchError::InvalidPlan(PlanError::ZeroNeighborCount {
+            field: "SearchParams.k"
+        })
+    );
+}
