@@ -1,0 +1,18 @@
+//! Extension figure: the `rtnn-serve` query service under offered load —
+//! request coalescing vs one-request-per-call, and shard-count scaling of
+//! a saturated tick.
+
+use rtnn_bench::{experiments, ExperimentScale};
+use rtnn_serve::ServeConfig;
+
+fn main() {
+    // Validate (and honour) the serving environment knobs the same way the
+    // scale knobs are handled: garbage is a startup error, not a silently
+    // different experiment.
+    ServeConfig::from_env().apply_thread_limit();
+    let report = experiments::serve::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -10,5 +10,6 @@ pub mod dynamic;
 pub mod mixed;
 pub mod partition_dist;
 pub mod sensitivity;
+pub mod serve;
 pub mod speedups;
 pub mod step_costs;

@@ -24,6 +24,7 @@
 //! | `micro_step_costs` | §3.1 — step 1 vs step 2 cost |
 //! | `fig_dynamic` | extension — refit vs rebuild vs policy on streaming scenes |
 //! | `fig_mixed` | extension — heterogeneous plans on one `Index` vs per-plan engines |
+//! | `fig_serve` | extension — request coalescing + spatial sharding under offered load |
 //! | `reproduce_all` | everything above, written to `results/` |
 //!
 //! Scale is controlled by the `RTNN_SCALE` environment variable: the point

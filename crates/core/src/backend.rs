@@ -86,7 +86,12 @@ pub struct Traversal {
 
 /// A neighbor-search execution backend (see module docs). Object-safe: the
 /// engine and the [`crate::Index`] hold `&dyn Backend` / `Box<dyn Backend>`.
-pub trait Backend {
+///
+/// `Sync` is a supertrait so a `dyn Backend` can be shared across the
+/// worker threads of a serving layer (`rtnn-serve` fans one backend out to
+/// per-shard indexes executing in parallel); backends are read-only at
+/// traversal time, so every shipped implementation already satisfies it.
+pub trait Backend: Sync {
     /// Short human-readable backend name (used in reports).
     fn name(&self) -> &'static str;
 

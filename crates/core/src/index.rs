@@ -643,18 +643,20 @@ impl<'a> Index<'a> {
 
     /// Answer `plan` for `queries` against the indexed points.
     ///
-    /// The plan is validated first ([`PlanError`] names the offending
-    /// field). Single plans are bit-identical to what the legacy
-    /// one-engine-per-config path returned; [`QueryPlan::Batch`] answers
-    /// heterogeneous plans in one call, sharing a single scheduling pass
-    /// and every cached structure.
+    /// The plan is normalized ([`QueryPlan::normalized`]: nested batches
+    /// flattened, same-parameter slices merged) and then validated
+    /// ([`PlanError`] names the offending field). Single plans are
+    /// bit-identical to what the legacy one-engine-per-config path
+    /// returned; [`QueryPlan::Batch`] answers heterogeneous plans in one
+    /// call, sharing a single scheduling pass and every cached structure.
     pub fn query(
         &mut self,
         queries: &[Vec3],
         plan: &QueryPlan,
     ) -> Result<SearchResults, SearchError> {
+        let plan = plan.normalized();
         plan.validate(queries.len())?;
-        match plan {
+        match plan.as_ref() {
             QueryPlan::Batch(slices) => self.query_batch(queries, slices),
             single => {
                 let params = single.params().expect("non-batch plan has params");
@@ -960,6 +962,20 @@ mod tests {
             SearchError::InvalidPlan(PlanError::InvalidRadius {
                 field: "Knn.r",
                 value: -1.0
+            })
+        );
+
+        // Normalization must not swallow conflicting double claims: an id
+        // listed under two different parameter sets still errors.
+        let conflicted = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![0]),
+        ]);
+        assert_eq!(
+            index.query(&[Vec3::ZERO], &conflicted).unwrap_err(),
+            SearchError::InvalidPlan(PlanError::DuplicateQueryId {
+                slice: 1,
+                query_id: 0
             })
         );
 

@@ -87,6 +87,7 @@ pub use index::{AdoptedScene, EngineConfig, Index};
 pub use megacell::{GridRefresh, MegacellGrid, MegacellResult};
 pub use partition::{KnnAabbRule, MegacellCache, Partition, PartitionSet};
 pub use plan::{PlanError, PlanSlice, QueryPlan};
-pub use result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
+pub use result::{SearchMode, SearchParams, SearchResults, ShardMerge, TimeBreakdown};
 pub use rtnn_gpusim::StructureTiming;
+pub use rtnn_optix::LaunchMetrics;
 pub use scheduling::{raster_order, schedule_queries, schedule_queries_on, QuerySchedule};

@@ -13,6 +13,7 @@
 //! typed [`PlanError`] naming the offending field.
 
 use crate::result::{SearchMode, SearchParams};
+use std::borrow::Cow;
 
 /// A typed description of one neighbor search (or a batch of them),
 /// decoupled from the scene it runs against.
@@ -118,6 +119,84 @@ impl QueryPlan {
         }
     }
 
+    /// The canonical form of this plan: nested [`QueryPlan::Batch`]es are
+    /// flattened and slices with identical parameters are merged into one
+    /// slice (query ids concatenated in encounter order), with merged
+    /// slices ordered by the first appearance of their parameters.
+    ///
+    /// Deduplication is scoped to one merged slice: an id claimed twice by
+    /// slices with the *same* parameters is kept once (the merge makes the
+    /// two claims indistinguishable), while an id claimed by slices with
+    /// *different* parameters survives in both — that conflict is a plan
+    /// bug, and [`validate`](Self::validate) keeps reporting it as
+    /// [`PlanError::DuplicateQueryId`] after normalization.
+    ///
+    /// A slice wrapping a nested batch contributes the nested slices
+    /// verbatim — query ids are always absolute indices into the query
+    /// array, so the wrapper slice's own `query_ids` carry no additional
+    /// information and are ignored.
+    ///
+    /// Single plans and already-normal batches are returned borrowed, so
+    /// calling this on the hot path is free for them. [`Index::query`]
+    /// normalizes every plan before validating it (a flattened batch is
+    /// valid even when the original nested one would have been rejected),
+    /// and the `rtnn-serve` coalescer uses the same routine to fuse the
+    /// per-request slices of one serving tick into a minimal batch.
+    ///
+    /// ```
+    /// use rtnn::{PlanSlice, QueryPlan};
+    ///
+    /// let batch = QueryPlan::Batch(vec![
+    ///     PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0]),
+    ///     PlanSlice::new(QueryPlan::range(2.0, 8), vec![1]),
+    ///     PlanSlice::new(QueryPlan::knn(1.0, 4), vec![2]),
+    /// ]);
+    /// let normal = batch.normalized();
+    /// if let QueryPlan::Batch(slices) = normal.as_ref() {
+    ///     assert_eq!(slices.len(), 2);
+    ///     assert_eq!(slices[0].query_ids, vec![0, 2]);
+    /// } else {
+    ///     unreachable!();
+    /// }
+    /// ```
+    ///
+    /// [`Index::query`]: crate::Index::query
+    pub fn normalized(&self) -> Cow<'_, QueryPlan> {
+        let QueryPlan::Batch(slices) = self else {
+            return Cow::Borrowed(self);
+        };
+        // Fast path: no nesting, no duplicate ids, and no two slices with
+        // the same parameters — the plan is already normal.
+        let mut seen_params: Vec<SearchParams> = Vec::with_capacity(slices.len());
+        let already_normal = slices.iter().all(|s| match s.plan.params() {
+            Some(p) if !seen_params.contains(&p) => {
+                seen_params.push(p);
+                true
+            }
+            _ => false,
+        }) && !has_duplicate_ids(slices);
+        if already_normal {
+            return Cow::Borrowed(self);
+        }
+
+        // (params, query ids) in first-appearance order.
+        let mut merged: Vec<(SearchParams, Vec<u32>)> = Vec::new();
+        collect_slices(slices, &mut merged);
+        Cow::Owned(QueryPlan::Batch(
+            merged
+                .into_iter()
+                .map(|(params, mut ids)| {
+                    // Dedup within the merged slice only (see doc comment):
+                    // same-params double claims collapse, cross-params ones
+                    // are left for validate() to reject.
+                    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+                    ids.retain(|&q| seen.insert(q));
+                    PlanSlice::new(QueryPlan::from_params(params), ids)
+                })
+                .collect(),
+        ))
+    }
+
     /// Validate the plan against a query set of `num_queries` queries.
     ///
     /// Every violation is a typed [`PlanError`] naming the offending field:
@@ -176,6 +255,32 @@ impl QueryPlan {
             }
         }
     }
+}
+
+/// Append every (transitively nested) slice of `slices` to `merged`,
+/// grouping by exact parameters (per-group deduplication happens in the
+/// caller once the groups are complete).
+fn collect_slices(slices: &[PlanSlice], merged: &mut Vec<(SearchParams, Vec<u32>)>) {
+    for slice in slices {
+        match &slice.plan {
+            QueryPlan::Batch(nested) => collect_slices(nested, merged),
+            single => {
+                let params = single.params().expect("non-batch plan has params");
+                match merged.iter_mut().find(|(p, _)| *p == params) {
+                    Some((_, existing)) => existing.extend_from_slice(&slice.query_ids),
+                    None => merged.push((params, slice.query_ids.clone())),
+                }
+            }
+        }
+    }
+}
+
+fn has_duplicate_ids(slices: &[PlanSlice]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    slices
+        .iter()
+        .flat_map(|s| s.query_ids.iter())
+        .any(|&q| !seen.insert(q))
 }
 
 fn check_radius(field: &'static str, r: f32) -> Result<(), PlanError> {
@@ -365,6 +470,108 @@ mod tests {
         ]);
         assert!(ok.validate(4).is_ok());
         assert_eq!(ok.max_radius(), 2.0);
+    }
+
+    #[test]
+    fn normalized_passes_single_plans_and_normal_batches_through() {
+        let knn = QueryPlan::knn(1.5, 8);
+        assert!(matches!(knn.normalized(), Cow::Borrowed(_)));
+        let normal = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 2), vec![0, 1]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![2]),
+        ]);
+        let out = normal.normalized();
+        assert!(
+            matches!(out, Cow::Borrowed(_)),
+            "already-normal batch is borrowed"
+        );
+        assert_eq!(out.as_ref(), &normal);
+    }
+
+    #[test]
+    fn normalized_merges_identical_params_preserving_query_order() {
+        let batch = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![3, 0]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![1]),
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![5, 2]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![4]),
+        ]);
+        let QueryPlan::Batch(slices) = batch.normalized().into_owned() else {
+            panic!("normalized batch stays a batch");
+        };
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].plan, QueryPlan::knn(1.0, 4));
+        assert_eq!(slices[0].query_ids, vec![3, 0, 5, 2]);
+        assert_eq!(slices[1].plan, QueryPlan::range(2.0, 8));
+        assert_eq!(slices[1].query_ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn normalized_flattens_nested_batches_and_dedups_ids() {
+        let nested = QueryPlan::Batch(vec![
+            PlanSlice::new(
+                QueryPlan::Batch(vec![
+                    PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0, 1]),
+                    PlanSlice::new(QueryPlan::range(3.0, 16), vec![2]),
+                ]),
+                Vec::new(),
+            ),
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![1, 3]),
+        ]);
+        assert!(nested.validate(4).is_err(), "raw nested batch is rejected");
+        let flat = nested.normalized().into_owned();
+        assert!(flat.validate(4).is_ok(), "normalized form is valid");
+        let QueryPlan::Batch(slices) = flat else {
+            panic!("stays a batch")
+        };
+        assert_eq!(slices.len(), 2);
+        // Query 1 is claimed by the first knn slice; the duplicate is dropped.
+        assert_eq!(slices[0].query_ids, vec![0, 1, 3]);
+        assert_eq!(slices[1].query_ids, vec![2]);
+    }
+
+    #[test]
+    fn normalized_keeps_cross_params_duplicates_for_validation() {
+        // An id claimed under two *different* parameter sets is a plan bug,
+        // not a merge artefact: normalization must not silently drop either
+        // claim, so validate() still reports it.
+        let conflicted = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0]),
+            PlanSlice::new(QueryPlan::range(2.0, 8), vec![0]),
+        ]);
+        let normal = conflicted.normalized();
+        assert_eq!(
+            normal.validate(2).unwrap_err(),
+            PlanError::DuplicateQueryId {
+                slice: 1,
+                query_id: 0
+            }
+        );
+        // Same-params double claims are indistinguishable after merging and
+        // collapse to one.
+        let doubled = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0, 1]),
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![1, 2]),
+        ]);
+        let QueryPlan::Batch(slices) = doubled.normalized().into_owned() else {
+            panic!("stays a batch")
+        };
+        assert_eq!(slices[0].query_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn normalized_distinguishes_kinds_with_equal_numbers() {
+        // Knn{k, r} and Range{r, cap} with the same numbers are different
+        // params and must not merge.
+        let batch = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.0, 8), vec![0]),
+            PlanSlice::new(QueryPlan::range(1.0, 8), vec![1]),
+        ]);
+        let out = batch.normalized();
+        let QueryPlan::Batch(slices) = out.as_ref() else {
+            panic!("stays a batch")
+        };
+        assert_eq!(slices.len(), 2);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`par_map_slice`] — parallel map over a slice;
 //! * [`par_reduce`] — parallel map-reduce over index chunks;
 //! * [`par_sort_by_key`] — parallel merge of per-chunk sorts (used for the
-//!   Morton sorts in the LBVH builder and the query scheduler).
+//!   Morton sorts in the LBVH builder and the query scheduler);
+//! * [`par_for_each_mut`] — parallel mutable visit of a slice's elements
+//!   (used by `rtnn-serve` to fan one query tick out over its shard
+//!   indexes, each worker owning one shard exclusively).
 //!
 //! All functions fall back to sequential execution for small inputs so unit
 //! tests on tiny data never pay thread start-up costs.
@@ -95,6 +98,51 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map(items.len(), |i| f(&items[i]))
+}
+
+/// Visit every element of `items` exactly once with `&mut` access, in
+/// parallel: elements are claimed from a shared atomic counter by up to
+/// [`current_num_threads`] workers, so expensive elements load-balance
+/// across the pool. `f` receives `(index, &mut item)`.
+///
+/// Unlike the other helpers this one never batches: each claim is a single
+/// element, because the intended workload (one neighbor-search shard per
+/// element) is coarse. Small inputs still short-circuit to the sequential
+/// path.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if n == 0 {
+        return;
+    }
+    if n == 1 || threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let base = SendPtr(items.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let ptr = base;
+                // SAFETY: each index is claimed by exactly one worker, so
+                // no two threads alias the same element, and `items`
+                // outlives the scope.
+                f(i, unsafe { &mut *ptr.0.add(i) });
+            });
+        }
+    })
+    .expect("worker thread panicked");
 }
 
 /// Parallel map-reduce: `f` maps each index chunk to a partial accumulator,
@@ -285,6 +333,25 @@ mod tests {
         let mut v = vec![5u32, 1, 4, 2, 3];
         par_sort_by_key(&mut v, |&x| x);
         assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_once() {
+        let mut items: Vec<u64> = (0..500).collect();
+        par_for_each_mut(&mut items, |i, item| {
+            assert_eq!(*item, i as u64);
+            *item += 1_000;
+        });
+        assert!(items
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u64 + 1_000));
+        // Empty and single-element inputs take the sequential path.
+        let mut empty: Vec<u64> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| panic!("no elements expected"));
+        let mut one = vec![7u64];
+        par_for_each_mut(&mut one, |i, item| *item += i as u64 + 1);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Deterministic virtual-time load harness.
+//!
+//! The live [`QueryService`](crate::QueryService) coalesces on *wall*
+//! time, so its batch compositions depend on scheduler jitter — fine for
+//! serving, useless for a reproducible experiment. This module replays the
+//! same dispatcher policy on a virtual clock: request arrivals are drawn
+//! from a seeded exponential process, the coalescing window closes at
+//! exact virtual instants, and each tick's cost is the *simulated* device
+//! milliseconds the executor reports. Same seed, same executor → the same
+//! ticks, latencies and throughput, on any machine. `fig_serve` sweeps
+//! offered load through this harness.
+
+use crate::coalesce::{execute_tick, TickExecutor};
+use crate::config::ServeConfig;
+use crate::request::Request;
+use crate::stats::{percentile, ServiceStats};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The outcome of one virtual-time run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Tick/throughput accounting (latencies in virtual milliseconds).
+    pub stats: ServiceStats,
+    /// Virtual milliseconds from the first arrival to the last departure.
+    pub makespan_ms: f64,
+    /// Requests completed per virtual second.
+    pub achieved_qps: f64,
+    /// Offered request rate (requests per virtual second).
+    pub offered_qps: f64,
+}
+
+impl LoadReport {
+    /// Latency percentile in virtual milliseconds.
+    pub fn latency_ms(&self, q: f64) -> f64 {
+        percentile(&self.stats.latencies, q)
+    }
+}
+
+/// Poisson-process arrival times (virtual ms) for `n` requests at
+/// `offered_qps` requests per virtual second, deterministically from
+/// `seed`.
+pub fn poisson_arrivals(n: usize, offered_qps: f64, seed: u64) -> Vec<f64> {
+    assert!(offered_qps > 0.0, "offered load must be positive");
+    let mean_gap_ms = 1e3 / offered_qps;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            // Inverse-CDF exponential; 1-u in (0,1] keeps ln finite.
+            let u: f64 = rng.gen();
+            t += -mean_gap_ms * (1.0 - u).ln();
+            t
+        })
+        .collect()
+}
+
+/// Serve `requests` arriving at `arrivals_ms` (sorted, virtual ms) through
+/// `executor` under the dispatcher policy of `config`, on a virtual clock.
+///
+/// The policy mirrors [`QueryService::run`](crate::QueryService::run): a
+/// tick opens when the service is free and a request is waiting, stays
+/// open for the coalescing window (batching every request that has arrived
+/// by its close, up to `max_batch`) — closing early the moment the batch
+/// is full, exactly like the live dispatcher — then executes; the next
+/// tick cannot start before the previous one's simulated execution
+/// finished. With coalescing off every tick serves exactly one request.
+pub fn run_virtual<E: TickExecutor>(
+    executor: &mut E,
+    requests: &[Request],
+    arrivals_ms: &[f64],
+    config: &ServeConfig,
+) -> LoadReport {
+    assert_eq!(requests.len(), arrivals_ms.len());
+    assert!(
+        arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let window_ms = if config.coalescing {
+        config.window_us as f64 / 1e3
+    } else {
+        0.0
+    };
+
+    let mut stats = ServiceStats::default();
+    let mut free_at = 0.0f64;
+    let mut last_departure = 0.0f64;
+    let mut i = 0;
+    while i < requests.len() {
+        let open = free_at.max(arrivals_ms[i]);
+        let close = open + window_ms;
+        let mut j = i + 1;
+        if config.coalescing {
+            while j < requests.len() && arrivals_ms[j] <= close && j - i < config.max_batch {
+                j += 1;
+            }
+        }
+        // The window closes early once the batch is full (the live
+        // dispatcher stops draining at max_batch and executes right away);
+        // otherwise the tick waits the window out.
+        let exec_start = if j - i >= config.max_batch {
+            open.max(arrivals_ms[j - 1])
+        } else {
+            close
+        };
+        let tick: Vec<&Request> = requests[i..j].iter().collect();
+        let (_, outcome) = execute_tick(executor, &tick);
+        let departure = exec_start + outcome.sim_ms;
+        stats.record_tick(tick.len(), outcome.queries, outcome.sim_ms);
+        for &arrival in &arrivals_ms[i..j] {
+            stats.record_latency(departure - arrival);
+        }
+        free_at = departure;
+        last_departure = departure;
+        i = j;
+    }
+
+    let makespan_ms = (last_departure - arrivals_ms.first().copied().unwrap_or(0.0)).max(0.0);
+    let achieved_qps = if makespan_ms > 0.0 {
+        requests.len() as f64 / (makespan_ms / 1e3)
+    } else {
+        0.0
+    };
+    let offered_qps = if requests.len() > 1 {
+        let span_ms = arrivals_ms[requests.len() - 1] - arrivals_ms[0];
+        if span_ms > 0.0 {
+            (requests.len() - 1) as f64 / (span_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        0.0
+    };
+    LoadReport {
+        stats,
+        makespan_ms,
+        achieved_qps,
+        offered_qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn::engine::SearchError;
+    use rtnn::{QueryPlan, SearchResults, TimeBreakdown};
+    use rtnn_math::Vec3;
+
+    /// Costs a fixed 2 ms base per call plus 1 ms per query — a stand-in
+    /// with the amortisation profile coalescing exploits.
+    struct FixedCost;
+
+    impl TickExecutor for FixedCost {
+        fn execute(
+            &mut self,
+            queries: &[Vec3],
+            _plan: &QueryPlan,
+        ) -> Result<SearchResults, SearchError> {
+            Ok(SearchResults {
+                neighbors: vec![Vec::new(); queries.len()],
+                breakdown: TimeBreakdown {
+                    search_ms: 2.0 + queries.len() as f64,
+                    ..Default::default()
+                },
+                search_metrics: Default::default(),
+                fs_metrics: Default::default(),
+                num_partitions: 1,
+                num_bundles: 1,
+            })
+        }
+    }
+
+    fn req() -> Request {
+        Request::new(vec![Vec3::ZERO], QueryPlan::knn(1.0, 2))
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_sorted_and_rate_matched() {
+        let a = poisson_arrivals(2_000, 100.0, 7);
+        let b = poisson_arrivals(2_000, 100.0, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let rate = 1_999.0 / ((a[1_999] - a[0]) / 1e3);
+        assert!((rate - 100.0).abs() / 100.0 < 0.15, "rate {rate}");
+        assert_ne!(a, poisson_arrivals(2_000, 100.0, 8));
+    }
+
+    #[test]
+    fn saturated_coalescing_beats_one_per_call() {
+        let requests: Vec<Request> = (0..200).map(|_| req()).collect();
+        // Saturating: everything arrives almost immediately.
+        let arrivals: Vec<f64> = (0..200).map(|i| i as f64 * 1e-3).collect();
+        let coalesced = run_virtual(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &ServeConfig::default()
+                .with_window_us(1_000)
+                .with_max_batch(16),
+        );
+        let serial = run_virtual(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &ServeConfig::default().without_coalescing(),
+        );
+        // Serial pays 3 ms per request; 16-request ticks pay 18 ms for 16.
+        assert!(coalesced.stats.mean_tick_requests() > 4.0);
+        assert_eq!(serial.stats.mean_tick_requests(), 1.0);
+        assert!(
+            coalesced.achieved_qps > 1.3 * serial.achieved_qps,
+            "coalesced {} vs serial {}",
+            coalesced.achieved_qps,
+            serial.achieved_qps
+        );
+        assert!(coalesced.stats.sim_ms < serial.stats.sim_ms);
+    }
+
+    #[test]
+    fn full_batches_close_the_window_early() {
+        // Everything is waiting at t=0; with max_batch=4 and a huge window
+        // the service must not idle: ticks of 4 execute back to back.
+        let requests: Vec<Request> = (0..8).map(|_| req()).collect();
+        let arrivals = vec![0.0; 8];
+        let cfg = ServeConfig::default()
+            .with_window_us(1_000_000) // 1000 ms window
+            .with_max_batch(4);
+        let report = run_virtual(&mut FixedCost, &requests, &arrivals, &cfg);
+        assert_eq!(report.stats.ticks, 2);
+        // Each tick costs 2 + 4 = 6 ms; no window wait in between.
+        assert!(
+            (report.makespan_ms - 12.0).abs() < 1e-9,
+            "{}",
+            report.makespan_ms
+        );
+    }
+
+    #[test]
+    fn idle_load_pays_the_window_in_latency() {
+        let requests: Vec<Request> = (0..5).map(|_| req()).collect();
+        // Arrivals far apart: every tick serves one request.
+        let arrivals: Vec<f64> = (0..5).map(|i| i as f64 * 1_000.0).collect();
+        let cfg = ServeConfig::default().with_window_us(500);
+        let report = run_virtual(&mut FixedCost, &requests, &arrivals, &cfg);
+        assert_eq!(report.stats.ticks, 5);
+        // Latency = window (0.5 ms) + execution (3 ms).
+        assert!((report.latency_ms(0.5) - 3.5).abs() < 1e-9);
+        let no_window = run_virtual(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &ServeConfig::default().without_coalescing(),
+        );
+        assert!((no_window.latency_ms(0.5) - 3.0).abs() < 1e-9);
+    }
+}

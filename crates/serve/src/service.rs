@@ -1,0 +1,285 @@
+//! The live multi-threaded query service: a channel-based client handle,
+//! a dispatcher that coalesces whatever is in flight within a bounded
+//! window, and per-request / per-tick statistics.
+//!
+//! ## Threading model
+//!
+//! The dispatcher runs wherever [`QueryService::run`] is called and *owns*
+//! the executor (an `Index` or [`ShardedIndex`](crate::ShardedIndex)) for
+//! the duration of the run — clients never touch the index, they only talk
+//! to the [`ServiceClient`] over a channel, so any number of client
+//! threads can submit concurrently. A sharded executor additionally fans
+//! each tick out over the `rtnn-parallel` worker pool. The service drains
+//! and exits when every client handle has been dropped.
+//!
+//! ```
+//! use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
+//! use rtnn_gpusim::Device;
+//! use rtnn_math::Vec3;
+//! use rtnn_serve::{QueryService, Request, ServeConfig};
+//!
+//! let device = Device::rtx_2080();
+//! let backend = GpusimBackend::new(&device);
+//! let points: Vec<Vec3> = (0..500)
+//!     .map(|i| Vec3::new((i % 8) as f32, ((i / 8) % 8) as f32, (i / 64) as f32))
+//!     .collect();
+//! let queries = points[..16].to_vec();
+//! let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+//!
+//! let (service, client) = QueryService::new(ServeConfig::default());
+//! let stats = crossbeam::thread::scope(|s| {
+//!     s.spawn(move |_| {
+//!         let pending = client.submit(Request::new(queries, QueryPlan::knn(1.5, 4)));
+//!         let response = pending.wait();
+//!         assert_eq!(response.neighbors().len(), 16);
+//!         // client handle drops here -> the service drains and exits
+//!     });
+//!     service.run(&mut index)
+//! })
+//! .unwrap();
+//! assert_eq!(stats.requests, 1);
+//! ```
+
+use crate::coalesce::{execute_tick, TickExecutor};
+use crate::config::ServeConfig;
+use crate::request::{Request, RequestStats, Response};
+use crate::stats::ServiceStats;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One in-flight request plus its reply channel.
+struct Envelope {
+    request: Request,
+    submitted: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A cloneable client handle: submit requests, receive responses.
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: mpsc::Sender<Envelope>,
+}
+
+/// A response that has not arrived yet (returned by
+/// [`ServiceClient::submit`]).
+pub struct PendingResponse {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl PendingResponse {
+    /// Block until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service dropped the request without responding (it
+    /// stopped running before the request's tick).
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .expect("the query service stopped before responding")
+    }
+}
+
+impl ServiceClient {
+    /// Enqueue `request`; the returned handle yields the [`Response`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is no longer running.
+    pub fn submit(&self, request: Request) -> PendingResponse {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Envelope {
+                request,
+                submitted: Instant::now(),
+                reply,
+            })
+            .expect("the query service is no longer running");
+        PendingResponse { rx }
+    }
+
+    /// Submit and wait in one call.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+}
+
+/// The dispatcher half of the service (see module docs).
+pub struct QueryService {
+    rx: mpsc::Receiver<Envelope>,
+    config: ServeConfig,
+}
+
+impl QueryService {
+    /// A service with its first client handle (clone the handle for more
+    /// clients; the service exits once all handles are dropped).
+    pub fn new(config: ServeConfig) -> (QueryService, ServiceClient) {
+        let (tx, rx) = mpsc::channel();
+        (QueryService { rx, config }, ServiceClient { tx })
+    }
+
+    /// Run the dispatch loop on the current thread until every client
+    /// handle has been dropped and the queue is drained. Returns the run's
+    /// statistics (latencies in wall microseconds).
+    pub fn run<E: TickExecutor>(self, executor: &mut E) -> ServiceStats {
+        let mut stats = ServiceStats::default();
+        loop {
+            // Block for the first request of the tick; a disconnect with an
+            // empty queue ends the run.
+            let Ok(first) = self.rx.recv() else { break };
+            let mut tick: Vec<Envelope> = vec![first];
+
+            if self.config.coalescing {
+                // Keep draining whatever lands within the window.
+                let deadline = Instant::now() + self.config.window();
+                while tick.len() < self.config.max_batch {
+                    let now = Instant::now();
+                    let Some(remaining) = deadline
+                        .checked_duration_since(now)
+                        .filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    match self.rx.recv_timeout(remaining) {
+                        Ok(envelope) => tick.push(envelope),
+                        Err(_) => break, // window elapsed or all clients gone
+                    }
+                }
+            }
+
+            let requests: Vec<&Request> = tick.iter().map(|e| &e.request).collect();
+            let (outcomes, tick_outcome) = execute_tick(executor, &requests);
+            drop(requests);
+            let tick_requests = tick.len();
+            stats.record_tick(tick_requests, tick_outcome.queries, tick_outcome.sim_ms);
+
+            for (envelope, outcome) in tick.into_iter().zip(outcomes) {
+                let latency_us = envelope.submitted.elapsed().as_secs_f64() * 1e6;
+                stats.record_latency(latency_us);
+                // A client that gave up on its response is not an error.
+                let _ = envelope.reply.send(Response {
+                    outcome,
+                    stats: RequestStats {
+                        latency_us,
+                        tick_requests,
+                        tick_sim_ms: tick_outcome.sim_ms,
+                    },
+                });
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
+    use rtnn_gpusim::Device;
+    use rtnn_math::Vec3;
+
+    fn cloud(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| {
+                let f = i as f32;
+                Vec3::new((f * 0.713) % 9.0, (f * 0.391) % 9.0, (f * 0.267) % 9.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_clients_get_their_own_bit_equal_responses() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(400);
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+
+        // Direct (unserved) reference results per request.
+        let requests: Vec<Request> = (0..8)
+            .map(|i| {
+                let queries: Vec<Vec3> = points
+                    .iter()
+                    .skip(i)
+                    .step_by(17)
+                    .take(12)
+                    .copied()
+                    .collect();
+                let plan = if i % 2 == 0 {
+                    QueryPlan::knn(1.2, 5)
+                } else {
+                    QueryPlan::range(0.9, 100_000)
+                };
+                Request::new(queries, plan)
+            })
+            .collect();
+        let mut direct = Index::build(&backend, &points[..], EngineConfig::default());
+        let expected: Vec<Vec<Vec<u32>>> = requests
+            .iter()
+            .map(|r| direct.query(&r.queries, &r.plan).unwrap().neighbors)
+            .collect();
+
+        let (service, client) = QueryService::new(ServeConfig::default().with_window_us(2_000));
+        let stats = crossbeam::thread::scope(|s| {
+            for (req, exp) in requests.iter().zip(&expected) {
+                let client = client.clone();
+                s.spawn(move |_| {
+                    let response = client.call(req.clone());
+                    assert_eq!(response.neighbors(), exp);
+                    assert!(response.stats.tick_requests >= 1);
+                });
+            }
+            drop(client);
+            service.run(&mut index)
+        })
+        .unwrap();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.latencies.len(), 8);
+        assert!(stats.sim_ms > 0.0);
+        assert!(stats.latency_percentile(0.99) >= stats.latency_percentile(0.5));
+    }
+
+    #[test]
+    fn coalescing_off_serves_one_request_per_tick() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(200);
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let queries = points[..8].to_vec();
+        let (service, client) = QueryService::new(ServeConfig::default().without_coalescing());
+        let stats = crossbeam::thread::scope(|s| {
+            s.spawn(move |_| {
+                for _ in 0..5 {
+                    let r = client.call(Request::new(queries.clone(), QueryPlan::knn(1.0, 3)));
+                    assert!(r.outcome.is_ok());
+                    assert_eq!(r.stats.tick_requests, 1);
+                }
+            });
+            service.run(&mut index)
+        })
+        .unwrap();
+        assert_eq!(stats.ticks, 5);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.coalesced_requests, 0);
+        assert_eq!(stats.max_tick_requests, 1);
+    }
+
+    #[test]
+    fn invalid_request_fails_without_stopping_the_service() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(100);
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let queries = points[..4].to_vec();
+        let (service, client) = QueryService::new(ServeConfig::default());
+        crossbeam::thread::scope(|s| {
+            s.spawn(move |_| {
+                let bad = client.call(Request::new(queries.clone(), QueryPlan::knn(-1.0, 3)));
+                assert!(bad.outcome.is_err());
+                let good = client.call(Request::new(queries.clone(), QueryPlan::knn(1.0, 3)));
+                assert!(good.outcome.is_ok());
+            });
+            service.run(&mut index)
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,488 @@
+//! Spatial sharding: one logical index served by N sub-indexes over a
+//! Morton-range split of the points, with a deterministic merge that
+//! reassembles the exact single-index results.
+//!
+//! ## Why the merge is exact
+//!
+//! The engine's traversal visits primitives in a canonical order — the
+//! LBVH's `(Morton code over the point bounds, id)` sort — for every AABB
+//! width, so [`rtnn::ShardMerge`] can sort the union of per-shard range
+//! hits back into single-index hit order, and KNN output is already
+//! canonical (sorted by `(distance², id)`), so merging per-shard top-`k`
+//! lists by the same key reproduces it. See [`rtnn::ShardMerge`] for the
+//! precise conditions (non-truncating range caps; no exact distance ties
+//! at the `k`-th neighbor).
+//!
+//! ## Routing
+//!
+//! Shards are contiguous chunks of the canonical traversal order, so each
+//! is a compact run of the Morton curve. A query is fanned out only to
+//! shards whose point bounds intersect its search sphere
+//! (`distance²(bounds, q) < r²`); shards that provably cannot contribute a
+//! neighbor are skipped, which is where the throughput scaling comes from.
+//! Overlapping shards execute concurrently on the `rtnn-parallel` worker
+//! pool, each worker owning one shard's `Index` exclusively.
+
+use crate::coalesce::TickExecutor;
+use rtnn::engine::SearchError;
+use rtnn::{
+    Backend, EngineConfig, Index, LaunchMetrics, PlanSlice, QueryPlan, SearchMode, SearchParams,
+    SearchResults, ShardMerge, TimeBreakdown,
+};
+use rtnn_math::{Aabb, Vec3};
+use rtnn_parallel::par_for_each_mut;
+
+/// One shard: a full `Index` over a contiguous Morton range of the points.
+struct Shard<'a> {
+    index: Index<'a>,
+    /// Local point id → global point id.
+    global_ids: Vec<u32>,
+    /// Bounds of the shard's points (routing pruner).
+    bounds: Aabb,
+}
+
+/// Per-tick shard timing, for scaling analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTiming {
+    /// Simulated milliseconds each shard spent on the last query call
+    /// (zero for shards the routing skipped).
+    pub per_shard_ms: Vec<f64>,
+}
+
+impl ShardTiming {
+    /// The parallel-execution critical path: the slowest shard.
+    pub fn critical_path_ms(&self) -> f64 {
+        self.per_shard_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total simulated work across all shards.
+    pub fn total_ms(&self) -> f64 {
+        self.per_shard_ms.iter().sum()
+    }
+
+    /// Shards that actually executed work.
+    pub fn active_shards(&self) -> usize {
+        self.per_shard_ms.iter().filter(|&&ms| ms > 0.0).count()
+    }
+}
+
+/// The work routed to one shard for one query call.
+struct ShardJob {
+    /// Query positions, in shard launch order.
+    queries: Vec<Vec3>,
+    /// Per plan slice: the *global* query ids routed to this shard, in the
+    /// order they were appended to `queries` (slice-major, so the local
+    /// index of `routed_ids[sl][i]` is the prefix count).
+    routed_ids: Vec<Vec<u32>>,
+}
+
+/// A spatially sharded index: behaves like one big [`Index`] — same
+/// [`query`](Self::query) contract, bit-equal results — but executes each
+/// plan as a fan-out over N sub-indexes plus a deterministic merge.
+pub struct ShardedIndex<'a> {
+    shards: Vec<Shard<'a>>,
+    merge: ShardMerge,
+    /// The full cloud, in original id order (the merge recomputes exact
+    /// shader distances against it).
+    points: Vec<Vec3>,
+    last_timing: ShardTiming,
+}
+
+impl<'a> ShardedIndex<'a> {
+    /// Split `points` into `num_shards` contiguous Morton ranges and build
+    /// one sub-index per shard on `backend`. `num_shards` is clamped to
+    /// `[1, points.len()]` (an empty cloud gets a single empty shard).
+    pub fn build(
+        backend: &'a dyn Backend,
+        points: &[Vec3],
+        config: EngineConfig,
+        num_shards: usize,
+    ) -> Self {
+        let merge = ShardMerge::new(points);
+        let order = merge.traversal_order();
+        let shards_wanted = num_shards.clamp(1, points.len().max(1));
+        let chunk = order.len().div_ceil(shards_wanted).max(1);
+        let mut shards = Vec::with_capacity(shards_wanted);
+        let mut emit = |global_ids: Vec<u32>| {
+            let shard_points: Vec<Vec3> =
+                global_ids.iter().map(|&id| points[id as usize]).collect();
+            let bounds = Aabb::from_points(&shard_points);
+            shards.push(Shard {
+                index: Index::build(backend, shard_points, config),
+                global_ids,
+                bounds,
+            });
+        };
+        if order.is_empty() {
+            emit(Vec::new());
+        } else {
+            for ids in order.chunks(chunk) {
+                emit(ids.to_vec());
+            }
+        }
+        ShardedIndex {
+            shards,
+            merge,
+            points: points.to_vec(),
+            last_timing: ShardTiming::default(),
+        }
+    }
+
+    /// Number of shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Points per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global_ids.len()).collect()
+    }
+
+    /// Total number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Per-shard timing of the most recent [`query`](Self::query) call.
+    pub fn last_timing(&self) -> &ShardTiming {
+        &self.last_timing
+    }
+
+    /// Answer `plan` for `queries` — the [`Index::query`] contract, with
+    /// the execution fanned out over the shards and the per-shard results
+    /// merged deterministically back into single-index form.
+    pub fn query(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+    ) -> Result<SearchResults, SearchError> {
+        let plan = plan.normalized();
+        plan.validate(queries.len())
+            .map_err(SearchError::InvalidPlan)?;
+
+        // Uniform slice view: a single plan is one slice over every query.
+        let all_ids: Vec<u32>;
+        let slices: Vec<(SearchParams, &[u32])> = match plan.as_ref() {
+            QueryPlan::Batch(slices) => slices
+                .iter()
+                .map(|s| {
+                    (
+                        s.plan.params().expect("validated non-batch slice"),
+                        s.query_ids.as_slice(),
+                    )
+                })
+                .collect(),
+            single => {
+                all_ids = (0..queries.len() as u32).collect();
+                vec![(
+                    single.params().expect("non-batch plan has params"),
+                    all_ids.as_slice(),
+                )]
+            }
+        };
+
+        // Route every covered query to the shards its search sphere
+        // overlaps.
+        let mut jobs: Vec<ShardJob> = (0..self.shards.len())
+            .map(|_| ShardJob {
+                queries: Vec::new(),
+                routed_ids: vec![Vec::new(); slices.len()],
+            })
+            .collect();
+        for (sl, (params, ids)) in slices.iter().enumerate() {
+            let r2 = params.radius * params.radius;
+            for &qid in ids.iter() {
+                let q = queries[qid as usize];
+                for (si, shard) in self.shards.iter().enumerate() {
+                    if shard.global_ids.is_empty()
+                        || shard.bounds.distance_squared_to_point(q) >= r2
+                    {
+                        continue;
+                    }
+                    jobs[si].queries.push(q);
+                    jobs[si].routed_ids[sl].push(qid);
+                }
+            }
+        }
+
+        // Fan out: every overlapped shard executes its sub-plan in
+        // parallel on the workspace pool.
+        struct ShardRun<'s, 'a> {
+            shard: &'s mut Shard<'a>,
+            job: ShardJob,
+            result: Option<Result<SearchResults, SearchError>>,
+        }
+        let slice_params: Vec<SearchParams> = slices.iter().map(|(p, _)| *p).collect();
+        let mut runs: Vec<ShardRun<'_, 'a>> = self
+            .shards
+            .iter_mut()
+            .zip(jobs)
+            .map(|(shard, job)| ShardRun {
+                shard,
+                job,
+                result: None,
+            })
+            .collect();
+        par_for_each_mut(&mut runs, |_, run| {
+            if run.job.queries.is_empty() {
+                return;
+            }
+            // Rebuild the shard-local plan: slice sl covers the local
+            // launch indices of its routed queries (slice-major order).
+            let mut local_slices: Vec<PlanSlice> = Vec::new();
+            let mut next = 0u32;
+            for (sl, routed) in run.job.routed_ids.iter().enumerate() {
+                if routed.is_empty() {
+                    continue;
+                }
+                let ids: Vec<u32> = (next..next + routed.len() as u32).collect();
+                next += routed.len() as u32;
+                local_slices.push(PlanSlice::new(
+                    QueryPlan::from_params(slice_params[sl]),
+                    ids,
+                ));
+            }
+            let local_plan = if local_slices.len() == 1 {
+                let only = local_slices.pop().expect("one slice");
+                only.plan
+            } else {
+                QueryPlan::Batch(local_slices)
+            };
+            run.result = Some(run.shard.index.query(&run.job.queries, &local_plan));
+        });
+
+        // Collect per-shard results (propagating the first error), the
+        // timing, and a (query id → local launch index) map per shard.
+        let mut shard_results: Vec<Option<(SearchResults, ShardJob)>> =
+            Vec::with_capacity(runs.len());
+        let mut timing = ShardTiming {
+            per_shard_ms: vec![0.0; runs.len()],
+        };
+        for (si, run) in runs.into_iter().enumerate() {
+            match run.result {
+                Some(Ok(results)) => {
+                    timing.per_shard_ms[si] = results.total_time_ms();
+                    shard_results.push(Some((results, run.job)));
+                }
+                Some(Err(e)) => return Err(e),
+                None => shard_results.push(None),
+            }
+        }
+        let lookup: Vec<std::collections::HashMap<u32, u32>> = shard_results
+            .iter()
+            .map(|entry| {
+                let mut map = std::collections::HashMap::new();
+                if let Some((_, job)) = entry {
+                    let mut next = 0u32;
+                    for routed in &job.routed_ids {
+                        for &qid in routed {
+                            map.insert(qid, next);
+                            next += 1;
+                        }
+                    }
+                }
+                map
+            })
+            .collect();
+
+        // Merge: per covered query, reassemble the single-index result
+        // from the per-shard lists (mapped to global point ids).
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        for (params, ids) in &slices {
+            for &qid in ids.iter() {
+                let q = queries[qid as usize];
+                let mut lists: Vec<Vec<u32>> = Vec::new();
+                for (si, entry) in shard_results.iter().enumerate() {
+                    let Some((results, _)) = entry else { continue };
+                    let Some(&local) = lookup[si].get(&qid) else {
+                        continue;
+                    };
+                    lists.push(
+                        results.neighbors[local as usize]
+                            .iter()
+                            .map(|&l| self.shards[si].global_ids[l as usize])
+                            .collect(),
+                    );
+                }
+                neighbors[qid as usize] = match params.mode {
+                    SearchMode::Knn => ShardMerge::merge_knn(q, &self.points, &lists, params.k),
+                    SearchMode::Range => self.merge.merge_range(&lists, params.k),
+                };
+            }
+        }
+
+        // Aggregate the bookkeeping: work is summed across shards (the
+        // timing view exposes the parallel critical path separately).
+        let mut breakdown = TimeBreakdown::default();
+        let mut search_metrics = LaunchMetrics::default();
+        let mut fs_metrics = LaunchMetrics::default();
+        let mut num_partitions = 0;
+        let mut num_bundles = 0;
+        for (results, _) in shard_results.iter().flatten() {
+            let b = &results.breakdown;
+            breakdown.data_ms += b.data_ms;
+            breakdown.opt_ms += b.opt_ms;
+            breakdown.bvh_ms += b.bvh_ms;
+            breakdown.fs_ms += b.fs_ms;
+            breakdown.search_ms += b.search_ms;
+            search_metrics.merge_sequential(&results.search_metrics);
+            fs_metrics.merge_sequential(&results.fs_metrics);
+            num_partitions += results.num_partitions;
+            num_bundles += results.num_bundles;
+        }
+        self.last_timing = timing;
+
+        Ok(SearchResults {
+            neighbors,
+            breakdown,
+            search_metrics,
+            fs_metrics,
+            num_partitions,
+            num_bundles,
+        })
+    }
+}
+
+impl TickExecutor for ShardedIndex<'_> {
+    fn execute(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+    ) -> Result<SearchResults, SearchError> {
+        self.query(queries, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn::GpusimBackend;
+    use rtnn_gpusim::Device;
+
+    /// A hashed pseudo-random cloud: full-mantissa coordinates, so exact
+    /// distance ties (the one case the KNN merge contract excludes) do
+    /// not occur — unlike a modulo-lattice cloud, which has equidistant
+    /// pairs.
+    fn cloud(n: usize) -> Vec<Vec3> {
+        let coord = |i: u64, axis: u64| {
+            let mut h = i
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(axis.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            (h >> 40) as f32 / (1u64 << 24) as f32 * 9.0
+        };
+        (0..n as u64)
+            .map(|i| Vec3::new(coord(i, 1), coord(i, 2), coord(i, 3)))
+            .collect()
+    }
+
+    #[test]
+    fn shards_partition_the_cloud() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(500);
+        let sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 4);
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.len(), 500);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 500);
+        // Morton-range shards are balanced to within one chunk.
+        let sizes = sharded.shard_sizes();
+        assert!(sizes.iter().all(|&s| s == 125), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn sharded_results_match_the_unsharded_index() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(600);
+        let queries: Vec<Vec3> = points.iter().step_by(7).copied().collect();
+        let mut reference = Index::build(&backend, &points[..], EngineConfig::default());
+        for shards in [1, 2, 5] {
+            let mut sharded =
+                ShardedIndex::build(&backend, &points, EngineConfig::default(), shards);
+            for plan in [
+                QueryPlan::knn(1.4, 6),
+                QueryPlan::range(1.1, 100_000),
+                QueryPlan::Batch(vec![
+                    PlanSlice::new(
+                        QueryPlan::knn(1.0, 4),
+                        (0..queries.len() as u32 / 2).collect(),
+                    ),
+                    PlanSlice::new(
+                        QueryPlan::range(1.6, 100_000),
+                        (queries.len() as u32 / 2..queries.len() as u32).collect(),
+                    ),
+                ]),
+            ] {
+                let expected = reference.query(&queries, &plan).unwrap();
+                let got = sharded.query(&queries, &plan).unwrap();
+                assert_eq!(
+                    got.neighbors, expected.neighbors,
+                    "{shards} shards, plan {plan:?}"
+                );
+            }
+            let timing = sharded.last_timing();
+            assert_eq!(timing.per_shard_ms.len(), sharded.num_shards());
+            assert!(timing.critical_path_ms() > 0.0);
+            assert!(timing.total_ms() >= timing.critical_path_ms());
+        }
+    }
+
+    #[test]
+    fn routing_skips_shards_outside_the_search_sphere() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(600);
+        let mut sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 6);
+        // A tight query in one corner of the cloud cannot touch every
+        // Morton-range shard.
+        let queries = vec![points[0]];
+        sharded.query(&queries, &QueryPlan::knn(0.5, 4)).unwrap();
+        let timing = sharded.last_timing();
+        assert!(
+            timing.active_shards() < sharded.num_shards(),
+            "a local query must not fan out to all shards: {:?}",
+            timing.per_shard_ms
+        );
+    }
+
+    #[test]
+    fn invalid_plans_and_empty_inputs() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(100);
+        let mut sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 3);
+        assert!(matches!(
+            sharded.query(&[Vec3::ZERO], &QueryPlan::knn(-1.0, 4)),
+            Err(SearchError::InvalidPlan(_))
+        ));
+        let empty = sharded.query(&[], &QueryPlan::knn(1.0, 4)).unwrap();
+        assert!(empty.neighbors.is_empty());
+
+        let mut none = ShardedIndex::build(&backend, &[], EngineConfig::default(), 3);
+        assert!(none.is_empty());
+        assert_eq!(none.num_shards(), 1);
+        let results = none
+            .query(&[Vec3::ZERO], &QueryPlan::range(1.0, 8))
+            .unwrap();
+        assert_eq!(results.neighbors, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(3);
+        let sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 64);
+        assert_eq!(sharded.num_shards(), 3);
+        let zero = ShardedIndex::build(&backend, &points, EngineConfig::default(), 0);
+        assert_eq!(zero.num_shards(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Serving statistics: per-request latency distribution and per-tick
+//! throughput accounting, shared by the live service and the virtual-time
+//! load harness.
+
+/// Nearest-rank percentile of a sample set (`q` in `[0, 1]`); 0 for an
+/// empty set. Sorts a copy, so callers can pass raw observation vectors.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Aggregate statistics of a service run (live or virtual-time).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Execution ticks dispatched.
+    pub ticks: usize,
+    /// Requests served (including failed ones).
+    pub requests: usize,
+    /// Requests that shared a tick with at least one other request.
+    pub coalesced_requests: usize,
+    /// Largest number of requests fused into one tick.
+    pub max_tick_requests: usize,
+    /// Total queries launched.
+    pub queries: usize,
+    /// Total simulated milliseconds of tick execution.
+    pub sim_ms: f64,
+    /// Per-request latencies. Microseconds of wall time for the live
+    /// service; virtual milliseconds for the load harness.
+    pub latencies: Vec<f64>,
+}
+
+impl ServiceStats {
+    /// Record one tick of `requests` requests / `queries` queries costing
+    /// `sim_ms` simulated milliseconds.
+    pub fn record_tick(&mut self, requests: usize, queries: usize, sim_ms: f64) {
+        self.ticks += 1;
+        self.requests += requests;
+        if requests > 1 {
+            self.coalesced_requests += requests;
+        }
+        self.max_tick_requests = self.max_tick_requests.max(requests);
+        self.queries += queries;
+        self.sim_ms += sim_ms;
+    }
+
+    /// Record one request's latency (same unit across the run).
+    pub fn record_latency(&mut self, latency: f64) {
+        self.latencies.push(latency);
+    }
+
+    /// Mean requests per tick.
+    pub fn mean_tick_requests(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.ticks as f64
+        }
+    }
+
+    /// Latency percentile (unit matches [`Self::latencies`]).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        percentile(&self.latencies, q)
+    }
+
+    /// Requests per *simulated* second — the device-side throughput the
+    /// coalescing comparison uses (wall time would measure the host).
+    pub fn sim_qps(&self) -> f64 {
+        if self.sim_ms <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / (self.sim_ms / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 0.5), 2.0);
+        assert_eq!(percentile(&samples, 0.75), 3.0);
+        assert_eq!(percentile(&samples, 0.99), 4.0);
+        assert_eq!(percentile(&samples, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tick_accounting() {
+        let mut s = ServiceStats::default();
+        s.record_tick(1, 10, 2.0);
+        s.record_tick(3, 30, 4.0);
+        s.record_latency(5.0);
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.coalesced_requests, 3);
+        assert_eq!(s.max_tick_requests, 3);
+        assert_eq!(s.queries, 40);
+        assert!((s.mean_tick_requests() - 2.0).abs() < 1e-12);
+        assert!((s.sim_qps() - 4.0 / 6e-3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! A concurrent query server over one shared scene: many client threads
+//! submit small KNN/range requests through a channel-based handle, the
+//! dispatcher coalesces whatever is in flight into one fused batch per
+//! tick, and a spatially sharded index fans each tick out over the worker
+//! pool — with every response bit-equal to a direct `Index::query` call.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example query_server
+//! # knobs: RTNN_SERVE_THREADS=4 RTNN_SERVE_WINDOW_US=500
+//! ```
+
+use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
+use rtnn_data::uniform::{self, UniformParams};
+use rtnn_gpusim::Device;
+use rtnn_math::Vec3;
+use rtnn_serve::{QueryService, Request, ServeConfig, ShardedIndex};
+
+fn main() {
+    // 1. Serving configuration from the environment (validated: garbage in
+    //    RTNN_SERVE_THREADS / RTNN_SERVE_WINDOW_US is a startup error).
+    let config = ServeConfig::from_env();
+    config.apply_thread_limit();
+    println!(
+        "serve config: window {} µs, max batch {}, coalescing {}",
+        config.window_us, config.max_batch, config.coalescing
+    );
+
+    // 2. One shared scene: a 30k-point cloud served by 4 Morton-range
+    //    shards on the simulated RTX 2080.
+    let cloud = uniform::generate(&UniformParams {
+        num_points: 30_000,
+        seed: 11,
+        ..Default::default()
+    });
+    let points = cloud.points.clone();
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let mut sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 4);
+    println!(
+        "scene: {} points in {} shards of {:?}",
+        sharded.len(),
+        sharded.num_shards(),
+        sharded.shard_sizes()
+    );
+
+    // 3. Client traffic: 6 threads, each submitting 8 requests with its own
+    //    parameters (mixed KNN/range), all against the same service.
+    let num_clients = 6;
+    let per_client = 8;
+    let requests_of = |client: usize| -> Vec<Request> {
+        (0..per_client)
+            .map(|i| {
+                let stride = 29 + client * 7 + i;
+                let queries: Vec<Vec3> = points
+                    .iter()
+                    .skip(client * 501 + i * 97)
+                    .step_by(stride)
+                    .take(16)
+                    .copied()
+                    .collect();
+                let plan = match (client + i) % 3 {
+                    0 => QueryPlan::knn(2.0, 8),
+                    1 => QueryPlan::range(1.6, 100_000),
+                    _ => QueryPlan::knn(2.8, 4),
+                };
+                Request::new(queries, plan)
+            })
+            .collect()
+    };
+
+    // Reference results from a direct (unserved) index — the bit-equality
+    // oracle for every response.
+    let mut reference = Index::build(&backend, &points[..], EngineConfig::default());
+    let expected: Vec<Vec<Vec<Vec<u32>>>> = (0..num_clients)
+        .map(|c| {
+            requests_of(c)
+                .iter()
+                .map(|r| reference.query(&r.queries, &r.plan).unwrap().neighbors)
+                .collect()
+        })
+        .collect();
+
+    // 4. Serve: the dispatcher owns the sharded index; clients only hold
+    //    channel handles. The service drains and exits once every client
+    //    handle is dropped.
+    let (service, client) = QueryService::new(config);
+    let stats = crossbeam::thread::scope(|s| {
+        for c in 0..num_clients {
+            let client = client.clone();
+            let requests = requests_of(c);
+            let expected = &expected[c];
+            s.spawn(move |_| {
+                for (ri, request) in requests.into_iter().enumerate() {
+                    let response = client.call(request);
+                    assert_eq!(
+                        response.neighbors(),
+                        &expected[ri],
+                        "client {c} request {ri}: served response must be bit-equal \
+                         to a direct Index::query"
+                    );
+                }
+            });
+        }
+        drop(client);
+        service.run(&mut sharded)
+    })
+    .expect("client thread panicked");
+
+    // 5. What the service saw.
+    println!(
+        "served {} requests in {} ticks (mean batch {:.1}, largest {}), {} queries total",
+        stats.requests,
+        stats.ticks,
+        stats.mean_tick_requests(),
+        stats.max_tick_requests,
+        stats.queries
+    );
+    println!(
+        "latency: p50 {:.0} µs, p99 {:.0} µs (wall); simulated device time {:.2} ms",
+        stats.latency_percentile(0.5),
+        stats.latency_percentile(0.99),
+        stats.sim_ms
+    );
+    let timing = sharded.last_timing();
+    println!(
+        "last tick critical path {:.3} ms across {} active shards",
+        timing.critical_path_ms(),
+        timing.active_shards()
+    );
+    println!(
+        "all {} responses verified bit-equal to direct Index::query ✓",
+        stats.requests
+    );
+}

@@ -58,6 +58,11 @@ fn sph_fluid_runs_and_verifies() {
 }
 
 #[test]
+fn query_server_runs_and_verifies() {
+    run_example("query_server");
+}
+
+#[test]
 fn nbody_clustering_runs_and_verifies() {
     run_example("nbody_clustering");
 }
