@@ -1,0 +1,12 @@
+//! Extension figure: per-stage time shares of the staged execution
+//! pipeline, plus single-stage toggles through `StageOverrides`.
+
+use rtnn_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let report = experiments::stages::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -7,7 +7,7 @@
 //! bundling, partitioning with bundling} after the fact (the paper's Oracle
 //! has a-priori knowledge of whether to partition and of the best bundling).
 
-use crate::report::{fmt_ms, FigureReport, Table};
+use crate::report::{fmt_ms, headline_slug, FigureReport, Table};
 use crate::scale::ExperimentScale;
 use crate::workloads::{Workload, DEFAULT_K};
 use rtnn::{EngineConfig, GpusimBackend, Index, OptLevel, QueryPlan, SearchMode, SearchParams};
@@ -85,17 +85,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
                 "{}: fully-optimised RTNN is within {:.1}% of the Oracle for KNN (paper: within 3% on KITTI-12M; on NBody the Oracle disables partitioning)",
                 workload.name, full_gap
             ));
-            let slug: String = workload
-                .name
-                .chars()
-                .map(|c| {
-                    if c.is_alphanumeric() {
-                        c.to_ascii_lowercase()
-                    } else {
-                        '_'
-                    }
-                })
-                .collect();
+            let slug = headline_slug(&workload.name);
             report.headline_metric(
                 format!("{slug}_knn_full_speedup_vs_noopt"),
                 knn_times[0] / knn_times[3].max(1e-12),

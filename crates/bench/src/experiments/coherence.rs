@@ -79,7 +79,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     for f in fractions {
         let n = ((workload.queries.len() as f64 * f) as usize).max(64);
         let queries: Vec<Vec3> = workload.queries.iter().take(n).copied().collect();
-        let raster = raster_order(&queries, 64);
+        let raster = raster_order(&queries, 64).expect("non-zero raster grid");
         let random = scramble(&raster);
         let ordered_queries: Vec<Vec3> = raster.iter().map(|&i| queries[i as usize]).collect();
         let random_queries: Vec<Vec3> = random.iter().map(|&i| queries[i as usize]).collect();

@@ -12,4 +12,5 @@ pub mod partition_dist;
 pub mod sensitivity;
 pub mod serve;
 pub mod speedups;
+pub mod stages;
 pub mod step_costs;

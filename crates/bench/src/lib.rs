@@ -25,6 +25,7 @@
 //! | `fig_dynamic` | extension — refit vs rebuild vs policy on streaming scenes |
 //! | `fig_mixed` | extension — heterogeneous plans on one `Index` vs per-plan engines |
 //! | `fig_serve` | extension — request coalescing + spatial sharding under offered load |
+//! | `fig_stages` | extension — per-stage pipeline time shares + single-stage toggles |
 //! | `reproduce_all` | everything above, written to `results/` |
 //!
 //! Scale is controlled by the `RTNN_SCALE` environment variable: the point

@@ -147,12 +147,7 @@ impl FigureReport {
     pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let slug: String = self
-            .figure
-            .to_lowercase()
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
+        let slug = headline_slug(&self.figure);
         let md_path = dir.join(format!("{slug}.md"));
         std::fs::write(&md_path, self.render_markdown())?;
         let json_path = dir.join(format!("{slug}.json"));
@@ -191,6 +186,21 @@ pub fn render_summary_json(entries: &[(&str, &[(String, f64)])]) -> String {
     }
     out.push_str("}\n");
     out
+}
+
+/// Lowercased `[a-z0-9_]` slug of a figure or dataset name — the one
+/// sanitizer behind report file names and `summary.json` headline-metric
+/// keys, so the key format cannot drift between figures.
+pub fn headline_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Geometric mean of a set of ratios (ignores non-positive entries, returns

@@ -11,9 +11,10 @@
 
 use crate::approx::ApproxMode;
 use crate::backend::GpusimBackend;
-use crate::index::{run_params, AccelStore, EngineConfig, SceneRefs};
+use crate::index::{AccelStore, EngineConfig, SceneRefs};
 use crate::megacell::MegacellGrid;
 use crate::partition::{KnnAabbRule, MegacellCache};
+use crate::pipeline::ExecutionPipeline;
 use crate::plan::{PlanError, QueryPlan};
 use crate::result::{SearchParams, SearchResults};
 use rtnn_bvh::BuildParams;
@@ -278,9 +279,8 @@ impl<'d> Rtnn<'d> {
     )]
     pub fn search(&self, points: &[Vec3], queries: &[Vec3]) -> Result<SearchResults, SearchError> {
         let mut store = AccelStore::new();
-        run_params(
-            &self.backend,
-            &self.config.engine(),
+        let config = self.config.engine();
+        ExecutionPipeline::new(&self.backend, &config).execute(
             self.config.params,
             points,
             queries,
@@ -317,9 +317,8 @@ impl<'d> Rtnn<'d> {
             Some(pm) => (Some(pm.grid), pm.dirty_region, Some(pm.cache)),
             None => (None, Aabb::EMPTY, None),
         };
-        run_params(
-            &self.backend,
-            &self.config.engine(),
+        let config = self.config.engine();
+        ExecutionPipeline::new(&self.backend, &config).execute(
             self.config.params,
             points,
             queries,

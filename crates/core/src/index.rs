@@ -39,24 +39,22 @@
 //! ```
 
 use crate::approx::ApproxMode;
-use crate::backend::{Accel, AccelRef, Backend, TraversalJob, TraversalKind};
-use crate::bundling::{apply_bundles, plan_bundles};
-use crate::cost_model::CostCoefficients;
+use crate::backend::{Accel, AccelRef, Backend};
 use crate::engine::{OptLevel, SearchError};
 use crate::megacell::MegacellGrid;
-use crate::partition::{
-    partition_queries, partition_queries_cached, partition_queries_on_grid, KnnAabbRule,
-    MegacellCache, Partition, PartitionSet,
+use crate::partition::{KnnAabbRule, MegacellCache};
+use crate::pipeline::{
+    host_ms_since, ExecutionPipeline, GatheredHits, PipelineTrace, ScheduleCx, StageKind,
+    StageOverrides,
 };
 use crate::plan::{PlanError, PlanSlice, QueryPlan};
-use crate::result::{SearchMode, SearchParams, SearchResults, TimeBreakdown};
-use crate::scheduling::{anchor_keys, charge_sort_kernel, schedule_queries_on, QuerySchedule};
+use crate::result::{SearchParams, SearchResults, TimeBreakdown};
 use rtnn_bvh::BuildParams;
 use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::{Gas, LaunchMetrics};
-use rtnn_parallel::par_sort_by_key;
 use std::borrow::Cow;
+use std::time::Instant;
 
 /// Engine-wide tuning, shared by every plan an [`Index`] serves. Per-query
 /// parameters (radius, K, variant) live in the [`QueryPlan`] instead.
@@ -236,7 +234,8 @@ impl<'a> AccelStore<'a> {
 }
 
 // ---------------------------------------------------------------------------
-// Shared execution core (used by Index::query and the legacy Rtnn shims)
+// Shared execution core (used by Index::query and the legacy Rtnn shims):
+// the staged pipeline in `crate::pipeline`, driven over this scene state.
 // ---------------------------------------------------------------------------
 
 /// Caller-maintained scene state handed to one execution.
@@ -271,6 +270,7 @@ fn empty_results(
     breakdown: TimeBreakdown,
     search_metrics: LaunchMetrics,
     fs_metrics: LaunchMetrics,
+    trace: PipelineTrace,
 ) -> SearchResults {
     SearchResults {
         neighbors: vec![Vec::new(); num_queries],
@@ -279,219 +279,8 @@ fn empty_results(
         fs_metrics,
         num_partitions: 0,
         num_bundles: 0,
+        trace,
     }
-}
-
-/// Execute one single-plan search — the pipeline the legacy engine ran,
-/// expressed over a backend and a structure store so both the deprecated
-/// `Rtnn` shims and [`Index::query`] produce bit-identical results.
-pub(crate) fn run_params(
-    backend: &dyn Backend,
-    cfg: &EngineConfig,
-    params: SearchParams,
-    points: &[Vec3],
-    queries: &[Vec3],
-    store: &mut AccelStore<'_>,
-    scene: SceneRefs<'_>,
-) -> Result<SearchResults, SearchError> {
-    params.validate()?;
-    cfg.validate()?;
-    let device = backend.device();
-
-    let mut breakdown = TimeBreakdown::default();
-    let mut search_metrics = LaunchMetrics::default();
-
-    // Data transfer (the `Data` component): points + queries in, result
-    // ids out.
-    let footprint = point_cloud_bytes(points.len(), queries.len(), params.k);
-    device.check_allocation(footprint)?;
-    breakdown.data_ms = device.transfer_h2d_ms((points.len() + queries.len()) as u64 * 12)
-        + device.transfer_d2h_ms(queries.len() as u64 * params.k as u64 * 4);
-
-    if queries.is_empty() {
-        return Ok(SearchResults {
-            neighbors: Vec::new(),
-            breakdown,
-            search_metrics,
-            fs_metrics: LaunchMetrics::default(),
-            num_partitions: 0,
-            num_bundles: 0,
-        });
-    }
-    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
-    if points.is_empty() {
-        return Ok(SearchResults {
-            neighbors,
-            breakdown,
-            search_metrics,
-            fs_metrics: LaunchMetrics::default(),
-            num_partitions: 0,
-            num_bundles: 0,
-        });
-    }
-
-    // Global structure: used directly by the NoOpt/Sched paths and by the
-    // first-hit scheduling pass; reused by any partition that falls back to
-    // the full AABB width. An index hits its width cache here (charging
-    // nothing); the legacy batch path builds it fresh every call.
-    let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
-    let (gid, built_ms) = store.ensure(backend, points, full_width, cfg.build)?;
-    debug_assert_eq!(store.accel_ref(gid).num_primitives(), points.len());
-    breakdown.bvh_ms += built_ms + scene.structure_ms;
-
-    // Query scheduling (Section 4).
-    let schedule = if cfg.opt.scheduling() {
-        let s = schedule_queries_on(backend, store.accel_ref(gid), points, queries);
-        breakdown.fs_ms += s.fs_metrics.time_ms();
-        breakdown.opt_ms += s.sort_metrics.time_ms;
-        s
-    } else {
-        QuerySchedule::identity(queries.len())
-    };
-    let fs_metrics = schedule.fs_metrics.clone();
-
-    let (num_partitions, num_bundles) = search_ordered(
-        backend,
-        cfg,
-        params,
-        points,
-        queries,
-        &schedule.order,
-        store,
-        gid,
-        scene.grid,
-        &scene.dirty_region,
-        scene.cache,
-        &mut neighbors,
-        &mut breakdown,
-        &mut search_metrics,
-    )?;
-
-    Ok(SearchResults {
-        neighbors,
-        breakdown,
-        search_metrics,
-        fs_metrics,
-        num_partitions,
-        num_bundles,
-    })
-}
-
-/// Partition (+ bundle) the ordered queries and run the per-partition
-/// search launches, scattering results into `neighbors`.
-#[allow(clippy::too_many_arguments)]
-fn search_ordered(
-    backend: &dyn Backend,
-    cfg: &EngineConfig,
-    params: SearchParams,
-    points: &[Vec3],
-    queries: &[Vec3],
-    order: &[u32],
-    store: &mut AccelStore<'_>,
-    gid: usize,
-    grid: Option<&MegacellGrid>,
-    dirty_region: &Aabb,
-    cache: Option<&mut MegacellCache>,
-    neighbors: &mut [Vec<u32>],
-    breakdown: &mut TimeBreakdown,
-    search_metrics: &mut LaunchMetrics,
-) -> Result<(usize, usize), SearchError> {
-    let device = backend.device();
-    let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
-
-    // Query partitioning (Section 5.1) and bundling (Section 5.2).
-    let (partitions, num_partitions, num_bundles) = if cfg.opt.partitioning() {
-        let set: PartitionSet = match (grid, cache) {
-            (Some(g), Some(c)) => partition_queries_cached(
-                device,
-                queries,
-                order,
-                &params,
-                cfg.knn_rule,
-                g,
-                dirty_region,
-                c,
-            ),
-            (Some(g), None) => {
-                partition_queries_on_grid(device, g, queries, order, &params, cfg.knn_rule)
-            }
-            (None, _) => partition_queries(
-                device,
-                points,
-                queries,
-                order,
-                &params,
-                cfg.knn_rule,
-                cfg.grid_max_cells,
-            ),
-        };
-        breakdown.opt_ms += set.opt_metrics.time_ms;
-        let raw_count = set.partitions.len();
-        let parts = if cfg.opt.bundling() {
-            let coeffs = CostCoefficients::calibrate(device);
-            let plan = plan_bundles(&set.partitions, points.len(), &params, &coeffs);
-            apply_bundles(&set.partitions, &plan, &params)
-        } else {
-            set.partitions
-        };
-        let bundles = parts.len();
-        (parts, raw_count, bundles)
-    } else {
-        let single = Partition {
-            aabb_width: full_width,
-            query_ids: order.to_vec(),
-            megacell_width: full_width,
-            sphere_test: !cfg.approx.skip_sphere_test(),
-            density: 0.0,
-        };
-        (vec![single], 1, 1)
-    };
-
-    // Search every partition with its own acceleration structure (cached by
-    // width in the store).
-    for part in &partitions {
-        if part.is_empty() {
-            continue;
-        }
-        let reuse_global = (part.aabb_width - full_width).abs() <= f32::EPSILON * full_width;
-        let aid = if reuse_global {
-            gid
-        } else {
-            let eff_width = part.aabb_width * cfg.approx.aabb_width_factor().min(1.0);
-            let (aid, built_ms) = store.ensure(backend, points, eff_width, cfg.build)?;
-            breakdown.bvh_ms += built_ms;
-            aid
-        };
-
-        let sphere_test = part.sphere_test && !cfg.approx.skip_sphere_test();
-        let kind = match params.mode {
-            SearchMode::Range => TraversalKind::Range {
-                radius: params.radius,
-                cap: params.k,
-                sphere_test,
-            },
-            SearchMode::Knn => TraversalKind::Knn {
-                radius: params.radius,
-                k: params.k,
-            },
-        };
-        let traversal = backend.traverse(
-            store.accel_ref(aid),
-            &TraversalJob {
-                points,
-                queries,
-                query_ids: &part.query_ids,
-                kind,
-            },
-        );
-        for (launch_idx, payload) in traversal.payloads.into_iter().enumerate() {
-            neighbors[part.query_ids[launch_idx] as usize] = payload;
-        }
-        breakdown.search_ms += traversal.metrics.time_ms();
-        search_metrics.merge_sequential(&traversal.metrics);
-    }
-
-    Ok((num_partitions, num_bundles))
 }
 
 // ---------------------------------------------------------------------------
@@ -654,15 +443,36 @@ impl<'a> Index<'a> {
         queries: &[Vec3],
         plan: &QueryPlan,
     ) -> Result<SearchResults, SearchError> {
+        self.query_with(queries, plan, StageOverrides::default())
+    }
+
+    /// [`query`](Self::query) with per-call [`StageOverrides`]: replace or
+    /// disable individual pipeline stages for this one call (e.g.
+    /// [`StageOverrides::without_reordering`] runs the plan without the
+    /// coherence schedule while every other stage keeps its default). See
+    /// the [`pipeline`](crate::pipeline) module docs.
+    pub fn query_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
+    ) -> Result<SearchResults, SearchError> {
         let plan = plan.normalized();
         plan.validate(queries.len())?;
         match plan.as_ref() {
-            QueryPlan::Batch(slices) => self.query_batch(queries, slices),
+            QueryPlan::Batch(slices) => self.query_batch(queries, slices, overrides),
             single => {
                 let params = single.params().expect("non-batch plan has params");
                 let backend = self.backend;
-                let grid = if self.config.opt.partitioning() {
-                    grid_for(&mut self.grid, &self.points, self.config.grid_max_cells)
+                let cfg = self.config;
+                let pipeline = ExecutionPipeline::with_overrides(backend, &cfg, overrides);
+                // The persistent grid is provisioned exactly when the
+                // *resolved* partition stage wants it — a per-call override
+                // can both skip the grid (partitioning disabled for this
+                // call) and hit the cached one (partitioning enabled on a
+                // no-partitioning engine).
+                let grid = if pipeline.partition_stage().wants_grid() {
+                    grid_for(&mut self.grid, &self.points, cfg.grid_max_cells)
                 } else {
                     None
                 };
@@ -686,23 +496,15 @@ impl<'a> Index<'a> {
                         None
                     },
                 };
-                run_params(
-                    backend,
-                    &self.config,
-                    params,
-                    &self.points,
-                    queries,
-                    &mut self.store,
-                    scene,
-                )
+                pipeline.execute(params, &self.points, queries, &mut self.store, scene)
             }
         }
     }
 
-    /// The heterogeneous-batch path: one shared first-hit scheduling pass
-    /// over every covered query (against the widest structure any slice
-    /// needs), then per-slice partitioned searches that all hit the same
-    /// structure store and grid.
+    /// The heterogeneous-batch path: one shared `Schedule` stage over every
+    /// covered query (against the widest structure any slice needs), then
+    /// the per-slice `Partition` → `Launch` → `Gather` stages, all hitting
+    /// the same structure store and grid.
     ///
     /// The per-query megacell *cache* is deliberately bypassed here: it is
     /// keyed to a single `(radius, k)` pair, and a batch's slices carry
@@ -714,11 +516,13 @@ impl<'a> Index<'a> {
         &mut self,
         queries: &[Vec3],
         slices: &[PlanSlice],
+        overrides: StageOverrides<'_>,
     ) -> Result<SearchResults, SearchError> {
         self.config.validate()?;
         let backend = self.backend;
         let cfg = self.config;
         let device = backend.device();
+        let pipeline = ExecutionPipeline::with_overrides(backend, &cfg, overrides);
         let slice_params: Vec<(SearchParams, &[u32])> = slices
             .iter()
             .map(|s| {
@@ -733,16 +537,20 @@ impl<'a> Index<'a> {
         let footprint = point_cloud_bytes(self.points.len(), queries.len(), max_k);
         device.check_allocation(footprint)?;
         let mut breakdown = TimeBreakdown::default();
+        let mut trace = PipelineTrace::default();
         let result_bytes: u64 = slice_params
             .iter()
             .map(|(p, ids)| ids.len() as u64 * p.k as u64 * 4)
             .sum();
         breakdown.data_ms = device.transfer_h2d_ms((self.points.len() + queries.len()) as u64 * 12)
             + device.transfer_d2h_ms(result_bytes);
-        breakdown.bvh_ms += std::mem::take(&mut self.pending_structure_ms);
+        let pending_structure_ms = std::mem::take(&mut self.pending_structure_ms);
+        breakdown.bvh_ms += pending_structure_ms;
+        if pending_structure_ms > 0.0 {
+            trace.charge(StageKind::Launch, pending_structure_ms, 0.0);
+        }
 
         let mut search_metrics = LaunchMetrics::default();
-        let mut fs_metrics = LaunchMetrics::default();
         let covered: Vec<u32> = slice_params
             .iter()
             .flat_map(|(_, ids)| ids.iter().copied())
@@ -752,65 +560,92 @@ impl<'a> Index<'a> {
                 queries.len(),
                 breakdown,
                 search_metrics,
-                fs_metrics,
+                LaunchMetrics::default(),
+                trace,
             ));
         }
 
-        // Shared scheduling pass (Section 4, once for the whole batch).
-        let mut orders: Vec<Vec<u32>> = slice_params.iter().map(|(_, ids)| ids.to_vec()).collect();
-        if cfg.opt.scheduling() {
+        // Shared `Schedule` stage (Section 4, once for the whole batch):
+        // one order over every covered query, split back into per-slice
+        // orders below (each slice's order is the scheduled order filtered
+        // to its ids — identical to sorting the slice by the shared keys).
+        // The widest shared structure is built only when the resolved
+        // stage actually traverses one (an identity schedule bills
+        // nothing, exactly like a scheduling-off optimisation level).
+        let schedule_stage = pipeline.schedule_stage();
+        let accel = if schedule_stage.needs_structure() {
             let max_r = slice_params
                 .iter()
                 .map(|(p, _)| p.radius)
                 .fold(0.0f32, f32::max);
             let shared_width = 2.0 * max_r * cfg.approx.aabb_width_factor();
+            let host = Instant::now();
             let (sid, built_ms) =
                 self.store
                     .ensure(backend, &self.points, shared_width, cfg.build)?;
             breakdown.bvh_ms += built_ms;
-            let fs = backend.traverse(
-                self.store.accel_ref(sid),
-                &TraversalJob {
-                    points: &self.points,
-                    queries,
-                    query_ids: &covered,
-                    kind: TraversalKind::FirstHit,
-                },
-            );
-            breakdown.fs_ms += fs.metrics.time_ms();
-            let keys = anchor_keys(&self.points, queries, &covered, &fs.payloads);
-            fs_metrics = fs.metrics;
-            let mut key_of: Vec<u64> = vec![0; queries.len()];
-            for (i, &qid) in covered.iter().enumerate() {
-                key_of[qid as usize] = keys[i];
-            }
-            breakdown.opt_ms += charge_sort_kernel(device, covered.len()).time_ms;
-            for order in orders.iter_mut() {
-                par_sort_by_key(order, |&q| (key_of[q as usize], q));
+            trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+            Some(sid)
+        } else {
+            None
+        };
+        let host = Instant::now();
+        let schedule = schedule_stage.schedule(&ScheduleCx {
+            backend,
+            accel: accel.map(|sid| self.store.accel_ref(sid)),
+            points: &self.points,
+            queries,
+            query_ids: &covered,
+        });
+        breakdown.fs_ms += schedule.fs_metrics.time_ms();
+        breakdown.opt_ms += schedule.sort_metrics.time_ms;
+        trace.charge(
+            StageKind::Schedule,
+            schedule.fs_metrics.time_ms() + schedule.sort_metrics.time_ms,
+            host_ms_since(host),
+        );
+        if overrides.schedule.is_some() {
+            crate::pipeline::assert_schedule_covers(&schedule.order, &covered, queries.len());
+        }
+        let fs_metrics = schedule.fs_metrics.clone();
+
+        // Split the shared order into per-slice orders.
+        let mut slice_of: Vec<usize> = vec![usize::MAX; queries.len()];
+        for (si, (_, ids)) in slice_params.iter().enumerate() {
+            for &qid in ids.iter() {
+                slice_of[qid as usize] = si;
             }
         }
+        let mut orders: Vec<Vec<u32>> = slice_params
+            .iter()
+            .map(|(_, ids)| Vec::with_capacity(ids.len()))
+            .collect();
+        for &qid in &schedule.order {
+            orders[slice_of[qid as usize]].push(qid);
+        }
 
-        // Per-slice partitioned searches over the shared store and grid.
-        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        // Per-slice `Partition` → `Launch` → `Gather` over the shared store
+        // and grid.
+        let mut gathered = GatheredHits::empty(queries.len());
         let mut num_partitions = 0;
         let mut num_bundles = 0;
         for ((params, _), order) in slice_params.iter().zip(&orders) {
             if order.is_empty() {
                 continue;
             }
+            let host = Instant::now();
             let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
             let (gid, built_ms) =
                 self.store
                     .ensure(backend, &self.points, full_width, cfg.build)?;
             breakdown.bvh_ms += built_ms;
-            let grid = if cfg.opt.partitioning() {
+            trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+            let grid = if pipeline.partition_stage().wants_grid() {
                 grid_for(&mut self.grid, &self.points, cfg.grid_max_cells)
             } else {
                 None
             };
-            let (p, b) = search_ordered(
-                backend,
-                &cfg,
+            let (p, b) = pipeline.execute_ordered(
                 *params,
                 &self.points,
                 queries,
@@ -820,21 +655,23 @@ impl<'a> Index<'a> {
                 grid,
                 &Aabb::EMPTY,
                 None,
-                &mut neighbors,
+                &mut gathered,
                 &mut breakdown,
                 &mut search_metrics,
+                &mut trace,
             )?;
             num_partitions += p;
             num_bundles += b;
         }
 
         Ok(SearchResults {
-            neighbors,
+            neighbors: gathered.neighbors,
             breakdown,
             search_metrics,
             fs_metrics,
             num_partitions,
             num_bundles,
+            trace,
         })
     }
 }

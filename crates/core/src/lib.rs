@@ -69,6 +69,7 @@ pub mod engine;
 pub mod index;
 pub mod megacell;
 pub mod partition;
+pub mod pipeline;
 pub mod plan;
 pub mod result;
 pub mod scheduling;
@@ -86,6 +87,7 @@ pub use engine::{OptLevel, PreparedMegacells, PreparedScene, Rtnn, RtnnConfig, S
 pub use index::{AdoptedScene, EngineConfig, Index};
 pub use megacell::{GridRefresh, MegacellGrid, MegacellResult};
 pub use partition::{KnnAabbRule, MegacellCache, Partition, PartitionSet};
+pub use pipeline::{ExecutionPipeline, PipelineTrace, StageKind, StageOverrides, StageTiming};
 pub use plan::{PlanError, PlanSlice, QueryPlan};
 pub use result::{SearchMode, SearchParams, SearchResults, ShardMerge, TimeBreakdown};
 pub use rtnn_gpusim::StructureTiming;

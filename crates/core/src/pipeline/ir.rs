@@ -1,0 +1,67 @@
+//! The small intermediate representations the pipeline stages hand to each
+//! other: `Partition` produces a [`PartitionedQueries`], `Schedule` a
+//! [`QuerySchedule`] (re-exported from [`crate::scheduling`]), `Launch` a
+//! [`LaunchSet`], and `Gather` fills a [`GatheredHits`].
+
+use crate::partition::Partition;
+use rtnn_gpusim::KernelMetrics;
+use rtnn_optix::LaunchMetrics;
+
+pub use crate::scheduling::QuerySchedule;
+
+/// The outcome of the `Partition` stage: the query set split into
+/// partitions (already bundled when bundling is enabled), plus the
+/// pre-bundling partition count and the simulated cost of the megacell
+/// kernel that derived them.
+#[derive(Debug, Clone)]
+pub struct PartitionedQueries {
+    /// The partitions the `Launch` stage traverses, in ascending AABB-width
+    /// order (one full-width partition when partitioning is disabled).
+    pub partitions: Vec<Partition>,
+    /// Partition count *before* bundling (what `SearchResults::num_partitions`
+    /// reports).
+    pub num_partitions: usize,
+    /// Partition count after bundling (`partitions.len()`).
+    pub num_bundles: usize,
+    /// Simulated cost of the megacell kernel (part of the `Opt` breakdown
+    /// component; zero when partitioning is disabled).
+    pub opt_metrics: KernelMetrics,
+}
+
+/// The payloads of one partition's search launch, aligned with the
+/// partition's `query_ids`.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Index of the partition (into [`PartitionedQueries::partitions`])
+    /// this launch served.
+    pub partition: usize,
+    /// Per-launch-index neighbor lists (`payloads[i]` answers
+    /// `partitions[partition].query_ids[i]`).
+    pub payloads: Vec<Vec<u32>>,
+    /// Simulated metrics of this launch.
+    pub metrics: LaunchMetrics,
+}
+
+/// The outcome of the `Launch` stage: one record per non-empty partition.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchSet {
+    /// The launches, in partition order.
+    pub launches: Vec<LaunchRecord>,
+}
+
+/// The final IR: per-query neighbor lists in original query order, filled
+/// by the `Gather` stage (queries no launch covered keep their empty list).
+#[derive(Debug, Clone, Default)]
+pub struct GatheredHits {
+    /// `neighbors[qid]` is query `qid`'s neighbor list.
+    pub neighbors: Vec<Vec<u32>>,
+}
+
+impl GatheredHits {
+    /// Empty lists for `num_queries` queries.
+    pub fn empty(num_queries: usize) -> Self {
+        GatheredHits {
+            neighbors: vec![Vec::new(); num_queries],
+        }
+    }
+}

@@ -319,6 +319,12 @@ pub enum PlanError {
     },
     /// `grid_max_cells` is zero — the megacell pass needs at least one cell.
     ZeroGridBudget,
+    /// A cells-per-axis grid resolution is zero (the raster-scan ordering
+    /// of the coherence experiments needs at least one cell per axis).
+    ZeroCellsPerAxis {
+        /// Which field (`"raster_order.cells_per_axis"`...).
+        field: &'static str,
+    },
     /// The `ShrunkenAabb` approximation factor is outside `(0, 1]`.
     InvalidShrinkFactor {
         /// The rejected factor.
@@ -361,6 +367,10 @@ impl std::fmt::Display for PlanError {
             PlanError::ZeroGridBudget => write!(
                 f,
                 "grid_max_cells: the megacell grid budget must be at least 1 cell, got 0"
+            ),
+            PlanError::ZeroCellsPerAxis { field } => write!(
+                f,
+                "{field}: the grid resolution must be at least 1 cell per axis, got 0"
             ),
             PlanError::InvalidShrinkFactor { factor } => {
                 write!(f, "ShrunkenAabb.factor: must be in (0, 1], got {factor}")

@@ -1,6 +1,7 @@
 //! Search parameters, results, the per-phase time breakdown, and the
 //! deterministic merge of per-shard results ([`ShardMerge`]).
 
+use crate::pipeline::PipelineTrace;
 use crate::plan::PlanError;
 use rtnn_math::morton::MortonEncoder;
 use rtnn_math::{Aabb, Vec3};
@@ -132,6 +133,10 @@ pub struct SearchResults {
     /// Number of partitions after bundling (equals `num_partitions` when
     /// bundling is off or made no difference).
     pub num_bundles: usize,
+    /// Per-stage metering of the pipeline execution that produced these
+    /// results (see [`crate::pipeline`]): every simulated millisecond
+    /// outside the `Data` transfer slot is accounted to exactly one stage.
+    pub trace: PipelineTrace,
 }
 
 impl SearchResults {
@@ -240,6 +245,24 @@ impl ShardMerge {
         all
     }
 
+    /// The shared shard-`Gather`: reassemble one query's per-shard hit
+    /// lists into the result a single unsharded index would have produced,
+    /// dispatching on the plan's search mode. This is the one merge every
+    /// sharded execution (`rtnn-serve`'s `ShardedIndex`) runs after its
+    /// per-shard pipeline launches.
+    pub fn gather_query(
+        &self,
+        params: &SearchParams,
+        query: Vec3,
+        points: &[Vec3],
+        shard_hits: &[Vec<u32>],
+    ) -> Vec<u32> {
+        match params.mode {
+            SearchMode::Knn => Self::merge_knn(query, points, shard_hits, params.k),
+            SearchMode::Range => self.merge_range(shard_hits, params.k),
+        }
+    }
+
     /// Merge one query's per-shard KNN lists (lists of *global* point ids,
     /// disjoint across shards) into the `k` nearest, sorted by increasing
     /// `(distance², id)` — the KNN shader's output order. Distances are
@@ -312,6 +335,7 @@ mod tests {
             fs_metrics: LaunchMetrics::default(),
             num_partitions: 1,
             num_bundles: 1,
+            trace: PipelineTrace::default(),
         };
         assert_eq!(r.total_neighbors(), 3);
         assert_eq!(r.total_time_ms(), 5.0);

@@ -19,7 +19,9 @@
 //! first-hit data already resident in device memory); here it is charged to
 //! the simulated device as an SM kernel with `O(log n)` work per thread.
 
-use crate::backend::{Backend, TraversalJob, TraversalKind};
+use crate::backend::Backend;
+use crate::pipeline::{CoherenceSchedule, ScheduleCx, ScheduleStage};
+use crate::plan::PlanError;
 use crate::shaders::{FirstHitProgram, QueryIndexing, NO_HIT};
 use rtnn_gpusim::kernel::{point_address, run_sm_kernel, SmKernelConfig, ThreadWork};
 use rtnn_gpusim::{Device, IsShaderKind, KernelMetrics};
@@ -106,47 +108,22 @@ pub fn schedule_queries(
 }
 
 /// [`schedule_queries`] against an arbitrary backend and structure handle —
-/// the backend-agnostic scheduling pass the engine and [`crate::Index`]
-/// drive.
+/// a thin wrapper over the pipeline's [`CoherenceSchedule`] stage, which
+/// is what the engine, [`crate::Index`] and the batch path all drive.
 pub fn schedule_queries_on(
     backend: &dyn Backend,
     accel: AccelRef<'_>,
     points: &[Vec3],
     queries: &[Vec3],
 ) -> QuerySchedule {
-    if queries.is_empty() {
-        return QuerySchedule::identity(0);
-    }
-    // 1. First-hit launch: K = 1, terminate at the first IS call.
     let ids: Vec<u32> = (0..queries.len() as u32).collect();
-    let fs = backend.traverse(
-        accel,
-        &TraversalJob {
-            points,
-            queries,
-            query_ids: &ids,
-            kind: TraversalKind::FirstHit,
-        },
-    );
-
-    // 2. Morton keys of the first-hit AABB centres (i.e. of the points the
-    //    AABBs were generated from). Queries with no hit use their own
-    //    position, which keeps them spatially grouped among themselves.
-    let keys = anchor_keys(points, queries, &ids, &fs.payloads);
-
-    // 3. Sort query ids by key. Charged to the device as an SM kernel doing
-    //    O(log n) comparisons + one key read per thread (a GPU radix/merge
-    //    sort pass structure).
-    let sort_metrics = charge_sort_kernel(backend.device(), queries.len());
-
-    let mut order = ids;
-    par_sort_by_key(&mut order, |&q| (keys[q as usize], q));
-
-    QuerySchedule {
-        order,
-        fs_metrics: fs.metrics,
-        sort_metrics,
-    }
+    CoherenceSchedule.schedule(&ScheduleCx {
+        backend,
+        accel: Some(accel),
+        points,
+        queries,
+        query_ids: &ids,
+    })
 }
 
 /// Morton key of every covered query's first-hit anchor: the first-hit
@@ -196,20 +173,30 @@ fn scene_bounds_for(points: &[Vec3], queries: &[Vec3]) -> Aabb {
 /// "ordered" configuration of the Figure 5 / Figure 6 experiment. Returns a
 /// permutation of query ids such that consecutive ids fall in consecutive
 /// grid cells.
-pub fn raster_order(queries: &[Vec3], cells_per_axis: u32) -> Vec<u32> {
+///
+/// `cells_per_axis == 0` is rejected with a typed
+/// [`PlanError::ZeroCellsPerAxis`] (it used to degenerate silently: an
+/// infinite cell size that collapsed the raster to input order), matching
+/// the [`PlanError::ZeroGridBudget`]-style validation of the grid budget.
+pub fn raster_order(queries: &[Vec3], cells_per_axis: u32) -> Result<Vec<u32>, PlanError> {
+    if cells_per_axis == 0 {
+        return Err(PlanError::ZeroCellsPerAxis {
+            field: "raster_order.cells_per_axis",
+        });
+    }
     if queries.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let bounds = Aabb::from_points(queries);
     if bounds.is_empty() || bounds.longest_extent() <= 0.0 {
-        return (0..queries.len() as u32).collect();
+        return Ok((0..queries.len() as u32).collect());
     }
     let grid = rtnn_math::UniformGrid::new(bounds, bounds.longest_extent() / cells_per_axis as f32);
     let mut order: Vec<u32> = (0..queries.len() as u32).collect();
     par_sort_by_key(&mut order, |&q| {
         (grid.cell_index(grid.cell_of(queries[q as usize])), q)
     });
-    order
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -319,10 +306,30 @@ mod tests {
                 )
             })
             .collect();
-        let order = raster_order(&queries, 10);
+        let order = raster_order(&queries, 10).unwrap();
         assert!(is_permutation(&order, queries.len()));
         // Degenerate cases.
-        assert!(raster_order(&[], 8).is_empty());
-        assert_eq!(raster_order(&[Vec3::ZERO; 4], 8).len(), 4);
+        assert!(raster_order(&[], 8).unwrap().is_empty());
+        assert_eq!(raster_order(&[Vec3::ZERO; 4], 8).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn raster_order_rejects_a_zero_cell_grid_with_a_typed_error() {
+        let queries = vec![Vec3::ZERO, Vec3::ONE];
+        let err = raster_order(&queries, 0).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::ZeroCellsPerAxis {
+                field: "raster_order.cells_per_axis"
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("raster_order.cells_per_axis") && msg.contains("0"),
+            "error must name the field and the value: {msg}"
+        );
+        // An empty query set is still a configuration error at zero cells:
+        // validation precedes the fast path.
+        assert!(raster_order(&[], 0).is_err());
     }
 }

@@ -5,7 +5,7 @@
 use crate::policy::RebuildPolicy;
 use rtnn::{
     Accel, AdoptedScene, Backend, GpusimBackend, Index, MegacellCache, MegacellGrid, QueryPlan,
-    RtnnConfig, SearchError, SearchResults,
+    RtnnConfig, SearchError, SearchResults, StageOverrides,
 };
 use rtnn_bvh::SahMonitor;
 use rtnn_gpusim::{Device, FrameAccumulator};
@@ -70,7 +70,21 @@ impl FrameIndex<'_> {
         queries: &[Vec3],
         plan: &QueryPlan,
     ) -> Result<SearchResults, SearchError> {
-        let mut results = self.index.query(queries, plan)?;
+        self.query_with(queries, plan, StageOverrides::default())
+    }
+
+    /// [`query`](Self::query) with per-call
+    /// [`StageOverrides`]: the frame executes through
+    /// the same staged pipeline as every other entry point, so individual
+    /// stages (reordering, partitioning) can be replaced or disabled per
+    /// call even on a streaming scene.
+    pub fn query_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
+    ) -> Result<SearchResults, SearchError> {
+        let mut results = self.index.query_with(queries, plan, overrides)?;
         for neighbors in results.neighbors.iter_mut() {
             for id in neighbors.iter_mut() {
                 *id = self.handles[*id as usize];

@@ -166,6 +166,7 @@ mod tests {
                 fs_metrics: Default::default(),
                 num_partitions: 1,
                 num_bundles: 1,
+                trace: Default::default(),
             })
         }
     }

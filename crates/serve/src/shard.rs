@@ -26,8 +26,8 @@
 use crate::coalesce::TickExecutor;
 use rtnn::engine::SearchError;
 use rtnn::{
-    Backend, EngineConfig, Index, LaunchMetrics, PlanSlice, QueryPlan, SearchMode, SearchParams,
-    SearchResults, ShardMerge, TimeBreakdown,
+    Backend, EngineConfig, Index, LaunchMetrics, PipelineTrace, PlanSlice, QueryPlan, SearchParams,
+    SearchResults, ShardMerge, StageKind, TimeBreakdown,
 };
 use rtnn_math::{Aabb, Vec3};
 use rtnn_parallel::par_for_each_mut;
@@ -78,7 +78,12 @@ struct ShardJob {
 
 /// A spatially sharded index: behaves like one big [`Index`] — same
 /// [`query`](Self::query) contract, bit-equal results — but executes each
-/// plan as a fan-out over N sub-indexes plus a deterministic merge.
+/// plan as a fan-out over N sub-indexes plus a deterministic merge: every
+/// overlapped shard runs the full execution pipeline
+/// ([`rtnn::pipeline`]) over its sub-index, and the per-shard launches are
+/// reassembled by the shared [`ShardMerge`] gather
+/// ([`ShardMerge::gather_query`]). Per-stage pipeline traces are summed
+/// across shards into the result's `trace`.
 pub struct ShardedIndex<'a> {
     shards: Vec<Shard<'a>>,
     merge: ShardMerge,
@@ -290,8 +295,11 @@ impl<'a> ShardedIndex<'a> {
             })
             .collect();
 
-        // Merge: per covered query, reassemble the single-index result
-        // from the per-shard lists (mapped to global point ids).
+        // The shared `Gather`: per covered query, reassemble the
+        // single-index result from the per-shard pipeline launches (mapped
+        // to global point ids) through the canonical [`ShardMerge`]. Its
+        // host time is billed to the trace's Gather slot below.
+        let merge_start = std::time::Instant::now();
         let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
         for (params, ids) in &slices {
             for &qid in ids.iter() {
@@ -309,18 +317,18 @@ impl<'a> ShardedIndex<'a> {
                             .collect(),
                     );
                 }
-                neighbors[qid as usize] = match params.mode {
-                    SearchMode::Knn => ShardMerge::merge_knn(q, &self.points, &lists, params.k),
-                    SearchMode::Range => self.merge.merge_range(&lists, params.k),
-                };
+                neighbors[qid as usize] = self.merge.gather_query(params, q, &self.points, &lists);
             }
         }
+        let merge_host_ms = merge_start.elapsed().as_secs_f64() * 1e3;
 
-        // Aggregate the bookkeeping: work is summed across shards (the
-        // timing view exposes the parallel critical path separately).
+        // Aggregate the bookkeeping: work (including the per-stage pipeline
+        // trace) is summed across shards; the timing view exposes the
+        // parallel critical path separately.
         let mut breakdown = TimeBreakdown::default();
         let mut search_metrics = LaunchMetrics::default();
         let mut fs_metrics = LaunchMetrics::default();
+        let mut trace = PipelineTrace::default();
         let mut num_partitions = 0;
         let mut num_bundles = 0;
         for (results, _) in shard_results.iter().flatten() {
@@ -332,9 +340,11 @@ impl<'a> ShardedIndex<'a> {
             breakdown.search_ms += b.search_ms;
             search_metrics.merge_sequential(&results.search_metrics);
             fs_metrics.merge_sequential(&results.fs_metrics);
+            trace.merge(&results.trace);
             num_partitions += results.num_partitions;
             num_bundles += results.num_bundles;
         }
+        trace.charge_host_only(StageKind::Gather, merge_host_ms);
         self.last_timing = timing;
 
         Ok(SearchResults {
@@ -344,6 +354,7 @@ impl<'a> ShardedIndex<'a> {
             fs_metrics,
             num_partitions,
             num_bundles,
+            trace,
         })
     }
 }

@@ -8,7 +8,9 @@
 //! ```
 
 use rtnn::verify::{brute_force_knn, check_all};
-use rtnn::{EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan, SearchParams};
+use rtnn::{
+    EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan, SearchParams, StageOverrides,
+};
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 
@@ -98,5 +100,33 @@ fn main() {
     let expected = brute_force_knn(&points, queries[q], 2.5, 8);
     assert_eq!(knn.neighbors[q], expected);
     println!("query {q}: nearest neighbors {:?}", &knn.neighbors[q]);
+
+    // 7. Peek inside the execution pipeline: every result carries a
+    //    per-stage meter, and `StageOverrides` can disable or replace one
+    //    stage for a single call — here the coherence reordering is turned
+    //    off while partitioning, launching and gathering stay untouched.
+    println!("per-stage breakdown of the knn call:");
+    for stage in knn.trace.stages() {
+        println!(
+            "  {:<9} {:>9.3} ms simulated  ({} invocation(s))",
+            stage.kind.label(),
+            stage.device_ms,
+            stage.invocations
+        );
+    }
+    let unordered = index
+        .query_with(&queries, &knn_plan, StageOverrides::without_reordering())
+        .expect("knn search without reordering");
+    assert_eq!(
+        unordered.neighbors, knn.neighbors,
+        "stage toggles change performance, never results"
+    );
+    println!(
+        "reordering off: schedule stage {:.3} ms (was {:.3} ms), search {:.2} ms (was {:.2} ms)",
+        unordered.trace.stage(rtnn::StageKind::Schedule).device_ms,
+        knn.trace.stage(rtnn::StageKind::Schedule).device_ms,
+        unordered.breakdown.search_ms,
+        knn.breakdown.search_ms,
+    );
     println!("all results verified against the brute-force oracle ✓");
 }

@@ -10,6 +10,7 @@
 
 use rtnn::{
     Backend, EngineConfig, GpusimBackend, Index, OptLevel, OptixBackend, PlanSlice, QueryPlan,
+    StageOverrides,
 };
 use rtnn_baselines::BruteForceBackend;
 use rtnn_data::uniform::{self, UniformParams};
@@ -154,6 +155,48 @@ fn boxed_backends_are_interchangeable_at_runtime() {
     }
     assert_eq!(all[0], all[1]);
     assert_eq!(all[0], all[2]);
+}
+
+#[test]
+fn stage_overrides_preserve_backend_equivalence() {
+    // Disabling a pipeline stage per call must not change *what* any
+    // backend computes — the staged execution only moves work around. Every
+    // backend (driven through a `Box<dyn Backend>`, including the oracle,
+    // which executes the same pipeline with exhaustive launches) must agree
+    // bit-for-bit on KNN under every single-stage toggle, and the toggles
+    // must match the untoggled results.
+    let device = Device::rtx_2080();
+    let points = seeded_cloud(1500, 0x0DDBA11);
+    let queries = queries_for(&points);
+    let plan = QueryPlan::knn(6.0, 8);
+    let backends: Vec<(&str, Box<dyn Backend + '_>)> = vec![
+        ("gpusim", Box::new(GpusimBackend::new(&device))),
+        ("optix-shim", Box::new(OptixBackend::new(&device))),
+        ("brute-force", Box::new(BruteForceBackend::new(&device))),
+    ];
+    let toggles = [
+        ("none", StageOverrides::none()),
+        ("no-reorder", StageOverrides::without_reordering()),
+        ("no-partition", StageOverrides::without_partitioning()),
+    ];
+
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for (backend_name, backend) in &backends {
+        for (toggle_name, overrides) in toggles {
+            let mut index = Index::build(backend.as_ref(), &points[..], EngineConfig::default());
+            let got = index
+                .query_with(&queries, &plan, overrides)
+                .expect("override workload fits the device")
+                .neighbors;
+            match &reference {
+                None => reference = Some(got),
+                Some(expected) => assert_eq!(
+                    &got, expected,
+                    "{backend_name}/{toggle_name}: stage toggles must not change KNN results"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

@@ -7,6 +7,8 @@
 //! they live in their own integration-test binary (own process) and
 //! serialise the mutation behind a lock.
 
+#![allow(deprecated)] // the legacy `Rtnn` shim is one of the engines under test
+
 use rtnn::{Rtnn, RtnnConfig, SearchParams};
 use rtnn_data::{Dataset, DatasetName};
 use rtnn_gpusim::Device;

@@ -10,9 +10,10 @@
 
 #![allow(deprecated)] // the legacy shim is one side of the equivalence
 
+use rtnn::pipeline::{IdentitySchedule, MegacellPartition, SinglePartition};
 use rtnn::{
     EngineConfig, GpusimBackend, Index, OptLevel, PlanError, PlanSlice, QueryPlan, Rtnn,
-    RtnnConfig, SearchError, SearchParams,
+    RtnnConfig, SearchError, SearchParams, StageKind, StageOverrides,
 };
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
@@ -145,6 +146,144 @@ fn batch_results_match_single_plan_results_on_the_same_index() {
     }
     // The batch shares one scheduling pass over all covered queries.
     assert_eq!(combined.fs_metrics.active_rays, n as u64);
+}
+
+/// The `StageOverrides` ladder must be bit-equal to the `OptLevel` ladder:
+/// disabling a stage per call on a fully-optimised engine produces exactly
+/// the results (and counters, and simulated breakdown) of the engine level
+/// that never had the stage — the overrides subsume the `OptLevel`
+/// plumbing.
+#[test]
+fn stage_overrides_are_bit_equal_to_the_opt_level_ladder() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(2500, 0x57A6E5);
+    let queries: Vec<Vec3> = points.iter().step_by(6).copied().collect();
+
+    let ladder: [(OptLevel, StageOverrides<'static>); 4] = [
+        (
+            OptLevel::NoOpt,
+            StageOverrides {
+                schedule: Some(&IdentitySchedule),
+                partition: Some(&SinglePartition),
+                ..StageOverrides::default()
+            },
+        ),
+        (OptLevel::Sched, StageOverrides::without_partitioning()),
+        (
+            OptLevel::SchedPartition,
+            StageOverrides {
+                partition: Some(&MegacellPartition { bundle: false }),
+                ..StageOverrides::default()
+            },
+        ),
+        (OptLevel::Full, StageOverrides::none()),
+    ];
+
+    for plan in [QueryPlan::knn(5.0, 8), QueryPlan::range(4.0, 64)] {
+        for (opt, overrides) in ladder {
+            let mut levelled =
+                Index::build(&backend, &points[..], EngineConfig::default().with_opt(opt));
+            let expected = levelled.query(&queries, &plan).unwrap();
+
+            let mut full = Index::build(&backend, &points[..], EngineConfig::default());
+            let got = full.query_with(&queries, &plan, overrides).unwrap();
+
+            assert_eq!(
+                got.neighbors, expected.neighbors,
+                "{plan:?} {opt:?}: override ladder must be bit-equal"
+            );
+            assert_eq!(
+                got.num_partitions, expected.num_partitions,
+                "{plan:?} {opt:?}"
+            );
+            assert_eq!(got.num_bundles, expected.num_bundles, "{plan:?} {opt:?}");
+            assert_eq!(
+                got.breakdown, expected.breakdown,
+                "{plan:?} {opt:?}: simulated breakdown must match exactly"
+            );
+        }
+    }
+
+    // And no overrides at all is literally `query`.
+    let plan = QueryPlan::knn(5.0, 8);
+    let mut a = Index::build(&backend, &points[..], EngineConfig::default());
+    let mut b = Index::build(&backend, &points[..], EngineConfig::default());
+    let via_query = a.query(&queries, &plan).unwrap();
+    let via_with = b
+        .query_with(&queries, &plan, StageOverrides::none())
+        .unwrap();
+    assert_eq!(via_query.neighbors, via_with.neighbors);
+    assert_eq!(via_query.breakdown, via_with.breakdown);
+}
+
+/// Satellite contract of the per-stage metering: the sum of the
+/// `StageTiming` entries equals the simulated non-transfer total of the
+/// existing breakdown — every millisecond lands in exactly one stage, and
+/// the sort kernel (charged inside the shared batch schedule) is never
+/// double-billed.
+#[test]
+fn stage_timings_sum_to_the_launch_metrics_totals() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(3000, 0x7141465);
+    let queries: Vec<Vec3> = points.iter().step_by(5).copied().collect();
+    let n = queries.len() as u32;
+    let plans = [
+        QueryPlan::knn(5.0, 8),
+        QueryPlan::range(4.0, 64),
+        QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(4.0, 6), (0..n / 2).collect()),
+            PlanSlice::new(QueryPlan::range(5.5, 64), (n / 2..n).collect()),
+        ]),
+    ];
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+
+    for opt in OptLevel::all() {
+        for plan in &plans {
+            let mut index =
+                Index::build(&backend, &points[..], EngineConfig::default().with_opt(opt));
+            let results = index.query(&queries, plan).unwrap();
+            let b = &results.breakdown;
+            let trace = &results.trace;
+
+            // Every simulated ms outside the Data slot is in exactly one
+            // stage.
+            assert!(
+                close(trace.device_total_ms(), b.total_ms() - b.data_ms),
+                "{opt:?} {plan:?}: stages account {} ms, breakdown has {} ms",
+                trace.device_total_ms(),
+                b.total_ms() - b.data_ms
+            );
+            // Schedule + Partition together are the Opt + FS components —
+            // the sort kernel is billed once (to Schedule), the megacell
+            // kernel once (to Partition).
+            let sched = trace.stage(StageKind::Schedule).device_ms;
+            let part = trace.stage(StageKind::Partition).device_ms;
+            assert!(
+                close(sched + part, b.opt_ms + b.fs_ms),
+                "{opt:?} {plan:?}: schedule {sched} + partition {part} vs opt {} + fs {}",
+                b.opt_ms,
+                b.fs_ms
+            );
+            // Launch owns structures + search traversals.
+            assert!(
+                close(
+                    trace.stage(StageKind::Launch).device_ms,
+                    b.bvh_ms + b.search_ms
+                ),
+                "{opt:?} {plan:?}: launch slot must equal BVH + Search"
+            );
+            // Gather is host-side only.
+            assert_eq!(trace.stage(StageKind::Gather).device_ms, 0.0);
+            if !queries.is_empty() {
+                assert!(
+                    trace.stage(StageKind::Gather).invocations > 0,
+                    "{opt:?} {plan:?}: gather must have run"
+                );
+            }
+        }
+    }
 }
 
 #[test]

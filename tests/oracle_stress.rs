@@ -6,6 +6,8 @@
 //! cargo test --release --test oracle_stress -- --ignored
 //! ```
 
+#![allow(deprecated)] // the stress sweep drives the legacy `Rtnn` shim on purpose
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rtnn::verify::check_all;

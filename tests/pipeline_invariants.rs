@@ -2,6 +2,8 @@
 //! time accounting, optimisation effects at realistic density, approximate
 //! modes, and simulator sanity properties from DESIGN.md.
 
+#![allow(deprecated)] // the legacy `Rtnn` shim is the single-plan engine under test
+
 use rtnn::{ApproxMode, OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_data::{Dataset, DatasetName};

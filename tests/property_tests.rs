@@ -10,6 +10,8 @@
 //!   and covers every partition exactly once;
 //! * BVHs built over arbitrary AABB sets validate structurally.
 
+#![allow(deprecated)] // the property suite drives the legacy `Rtnn` shim on purpose
+
 use proptest::prelude::*;
 use rtnn::verify::check_all;
 use rtnn::{

@@ -2,6 +2,8 @@
 //! dataset family must agree with the brute-force oracle, on both search
 //! modes and at every optimisation level.
 
+#![allow(deprecated)] // the baseline comparison drives the legacy `Rtnn` shim on purpose
+
 use rtnn::verify::check_all;
 use rtnn::{OptLevel, Rtnn, RtnnConfig, SearchMode, SearchParams};
 use rtnn_baselines::bruteforce::BruteForce;
