@@ -2,27 +2,90 @@
 //!
 //! The default is the LBVH-style builder: primitive centroids are encoded as
 //! 63-bit Morton keys, sorted (in parallel), and the hierarchy is emitted by
-//! recursively splitting each sorted range at the highest Morton bit that
-//! differs inside the range. Build time is `O(n log n)` dominated by the
-//! sort — in practice linear in the primitive count for the sizes the paper
-//! sweeps (Figure 15), which is the property the bundling cost model relies
-//! on (`T_build = k1 · M`, Equation 3).
+//! splitting each sorted range at the highest Morton bit that differs inside
+//! the range. Build time is `O(n log n)` dominated by the sort — in practice
+//! linear in the primitive count for the sizes the paper sweeps (Figure 15),
+//! which is the property the bundling cost model relies on
+//! (`T_build = k1 · M`, Equation 3).
+//!
+//! ## The staged parallel pipeline ([`BvhBuilder::Lbvh`])
+//!
+//! ```text
+//! centroid bounds (serial)            — the Morton grid must match the oracle
+//!   → Morton keys      (par_chunks_mut)
+//!   → (key, id) sort   (par_sort_by_key; unique compound keys)
+//!   → split discovery  (level-wise, parallel within a level)
+//!   → subtree sizes + AABBs (bottom-up over levels, parallel within a level)
+//!   → preorder index assignment (top-down over levels, parallel)
+//!   → node scatter (serial, trivial)
+//! ```
+//!
+//! The pipeline produces a tree **bit-identical** to the serial oracle
+//! ([`BvhBuilder::LbvhSerial`]) at every thread count: the sort permutation
+//! is fixed by the unique `(morton, id)` compound key, and componentwise
+//! `min`/`max` with a consistent tie rule is associative, so an internal
+//! node's AABB (`left ∪ right`) equals the oracle's sequential fold over the
+//! node's whole primitive range. The proptest suite pins this equality
+//! across thread counts and drift generators.
 
 use crate::node::{Bvh, BvhNode, NodeKind};
 use rtnn_math::morton::MortonEncoder;
 use rtnn_math::{Aabb, Vec3};
-use rtnn_parallel::{par_map, par_sort_by_key};
+use rtnn_parallel::{current_num_threads, par_chunks_mut, par_sort_by_key};
+use std::time::Instant;
 
 /// Which construction algorithm to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BvhBuilder {
-    /// Morton-code linear BVH (default; models the OptiX fast build path).
+    /// Morton-code linear BVH built by the staged parallel pipeline
+    /// (default; models the OptiX fast build path). Bit-identical to
+    /// [`BvhBuilder::LbvhSerial`] at every thread count.
     #[default]
     Lbvh,
+    /// The fully serial LBVH reference path: the oracle the parallel
+    /// pipeline is validated against, and a way to opt out of host
+    /// parallelism entirely.
+    LbvhSerial,
     /// Object-median split on the longest axis.
     MedianSplit,
     /// Binned surface-area heuristic (8 bins per axis).
     BinnedSah,
+}
+
+/// Host-side cost accounting of one build or refit: wall-clock time next to
+/// the aggregate busy time across workers, so a parallel build reports its
+/// speedup as *parallelism* instead of silently reporting less work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BuildProfile {
+    /// Wall-clock milliseconds of the whole operation on the host.
+    pub host_wall_ms: f64,
+    /// Aggregate busy milliseconds summed across all workers (serial stages
+    /// count their wall time). On one thread this matches `host_wall_ms`;
+    /// on `t` threads it can approach `t ×` the wall time.
+    pub work_ms: f64,
+    /// Worker threads configured when the operation ran.
+    pub threads: usize,
+}
+
+impl BuildProfile {
+    /// `work_ms / host_wall_ms` — the work/span ratio, a measured (not
+    /// modelled) lower bound on the parallel speedup over a serial run of
+    /// the same stages. `None` when either term was not measured.
+    pub fn work_span_ratio(&self) -> Option<f64> {
+        (self.host_wall_ms > 0.0 && self.work_ms > 0.0)
+            .then(|| (self.work_ms / self.host_wall_ms).max(1.0))
+    }
+
+    /// Merge two profiles of consecutive operations (e.g. a build and the
+    /// refits that followed): walls and work add, the thread count is the
+    /// wider of the two.
+    pub fn combine(&self, other: &BuildProfile) -> BuildProfile {
+        BuildProfile {
+            host_wall_ms: self.host_wall_ms + other.host_wall_ms,
+            work_ms: self.work_ms + other.work_ms,
+            threads: self.threads.max(other.threads),
+        }
+    }
 }
 
 /// Build-time parameters.
@@ -47,35 +110,87 @@ impl Default for BuildParams {
 ///
 /// An empty primitive list yields [`Bvh::empty`].
 pub fn build_bvh(prim_aabbs: &[Aabb], params: BuildParams) -> Bvh {
+    build_bvh_profiled(prim_aabbs, params).0
+}
+
+/// [`build_bvh`] plus the measured host-side [`BuildProfile`].
+pub fn build_bvh_profiled(prim_aabbs: &[Aabb], params: BuildParams) -> (Bvh, BuildProfile) {
+    let wall = Instant::now();
+    let threads = current_num_threads();
     if prim_aabbs.is_empty() {
-        return Bvh::empty();
+        return (
+            Bvh::empty(),
+            BuildProfile {
+                threads,
+                ..BuildProfile::default()
+            },
+        );
     }
     assert!(
         params.max_leaf_size >= 1,
         "max_leaf_size must be at least 1"
     );
-    match params.builder {
-        BvhBuilder::Lbvh => build_lbvh(prim_aabbs, params.max_leaf_size),
-        BvhBuilder::MedianSplit => {
-            build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Median)
+    let (bvh, work_ms) = match params.builder {
+        BvhBuilder::Lbvh => build_lbvh_parallel(prim_aabbs, params.max_leaf_size),
+        BvhBuilder::LbvhSerial => {
+            let t = Instant::now();
+            let bvh = build_lbvh_serial(prim_aabbs, params.max_leaf_size);
+            (bvh, t.elapsed().as_secs_f64() * 1e3)
         }
-        BvhBuilder::BinnedSah => build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Sah),
-    }
+        BvhBuilder::MedianSplit => {
+            let t = Instant::now();
+            let bvh = build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Median);
+            (bvh, t.elapsed().as_secs_f64() * 1e3)
+        }
+        BvhBuilder::BinnedSah => {
+            let t = Instant::now();
+            let bvh = build_recursive(prim_aabbs, params.max_leaf_size, SplitRule::Sah);
+            (bvh, t.elapsed().as_secs_f64() * 1e3)
+        }
+    };
+    let profile = BuildProfile {
+        host_wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        work_ms,
+        threads,
+    };
+    (bvh, profile)
 }
 
 /// Convenience: build a BVH where every primitive is the cube of width
 /// `2 * radius` centred at a point — exactly Listing 1's `buildBVH(points,
 /// radius)`.
 pub fn build_point_bvh(points: &[Vec3], radius: f32, params: BuildParams) -> Bvh {
-    let aabbs = par_map(points.len(), |i| Aabb::cube(points[i], 2.0 * radius));
-    build_bvh(&aabbs, params)
+    build_point_bvh_profiled(points, radius, params).0
+}
+
+/// [`build_point_bvh`] plus the measured host-side [`BuildProfile`] (the
+/// point-to-AABB expansion is included in the accounting).
+pub fn build_point_bvh_profiled(
+    points: &[Vec3],
+    radius: f32,
+    params: BuildParams,
+) -> (Bvh, BuildProfile) {
+    let wall = Instant::now();
+    let mut aabbs = vec![Aabb::EMPTY; points.len()];
+    let expand_work = par_chunks_mut(&mut aabbs, 256, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = Aabb::cube(points[start + off], 2.0 * radius);
+        }
+    });
+    let (bvh, mut profile) = build_bvh_profiled(&aabbs, params);
+    profile.host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    profile.work_ms += expand_work;
+    (bvh, profile)
 }
 
 // ---------------------------------------------------------------------------
-// LBVH
+// LBVH — serial oracle
 // ---------------------------------------------------------------------------
 
-fn build_lbvh(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
+/// The fully serial LBVH reference build: serial Morton map, serial stable
+/// sort, recursive preorder emission. The parallel pipeline below must
+/// produce a bit-identical tree at every thread count.
+fn build_lbvh_serial(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
     let n = prim_aabbs.len();
     // Scene bounds over centroids for Morton normalisation.
     let mut centroid_bounds = Aabb::EMPTY;
@@ -83,10 +198,13 @@ fn build_lbvh(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
         centroid_bounds.grow_point(a.center());
     }
     let encoder = MortonEncoder::new(&centroid_bounds);
-    // (morton, prim_id) pairs, sorted by morton.
-    let mut keyed: Vec<(u64, u32)> =
-        par_map(n, |i| (encoder.encode(prim_aabbs[i].center()), i as u32));
-    par_sort_by_key(&mut keyed, |&(k, id)| (k, id));
+    // (morton, prim_id) pairs, sorted by the unique compound key.
+    let mut keyed: Vec<(u64, u32)> = prim_aabbs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (encoder.encode(a.center()), i as u32))
+        .collect();
+    keyed.sort_by_key(|&(k, id)| (k, id));
 
     let mut nodes = Vec::with_capacity(2 * n);
     let prim_indices: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
@@ -142,6 +260,208 @@ fn build_lbvh(prim_aabbs: &[Aabb], max_leaf_size: u32) -> Bvh {
         prim_aabbs: prim_aabbs.to_vec(),
         max_leaf_size,
     }
+}
+
+// ---------------------------------------------------------------------------
+// LBVH — staged parallel pipeline
+// ---------------------------------------------------------------------------
+
+/// One range of the Morton-sorted primitive order at one level of the
+/// split recursion. The pipeline materialises the recursion tree level by
+/// level so every phase is a flat parallel pass over a `Vec<LevelTask>`.
+#[derive(Clone, Copy)]
+struct LevelTask {
+    /// Primitive range `[start, end)` in the sorted order.
+    start: u32,
+    end: u32,
+    /// Absolute split position; `u32::MAX` marks a leaf task.
+    split: u32,
+    /// Index of the left child task in the next level (right child is
+    /// `first_child + 1`); `u32::MAX` for leaves.
+    first_child: u32,
+    /// Index of the parent task in the previous level; `u32::MAX` at root.
+    parent: u32,
+    /// Number of BVH nodes in this task's subtree.
+    subtree: u32,
+    /// `subtree` of the left child — the preorder offset of the right child.
+    left_subtree: u32,
+    /// Preorder index of this task's node in the final node array.
+    node_index: u32,
+    aabb: Aabb,
+}
+
+impl LevelTask {
+    fn over(start: u32, end: u32, parent: u32) -> LevelTask {
+        LevelTask {
+            start,
+            end,
+            split: u32::MAX,
+            first_child: u32::MAX,
+            parent,
+            subtree: 0,
+            left_subtree: 0,
+            node_index: 0,
+            aabb: Aabb::EMPTY,
+        }
+    }
+}
+
+/// The staged parallel LBVH build (see the module docs for the pipeline
+/// diagram). Returns the tree and the aggregate busy milliseconds across
+/// workers. Bit-identical to [`build_lbvh_serial`] at every thread count.
+fn build_lbvh_parallel(prim_aabbs: &[Aabb], max_leaf_size: u32) -> (Bvh, f64) {
+    let n = prim_aabbs.len();
+    let mut work_ms = 0.0;
+
+    // Stage 1 — centroid bounds, kept serial: the fold must visit the
+    // primitives in exactly the oracle's order so the Morton grid (and with
+    // it every code, split and box) is bit-equal.
+    let t = Instant::now();
+    let mut centroid_bounds = Aabb::EMPTY;
+    for a in prim_aabbs {
+        centroid_bounds.grow_point(a.center());
+    }
+    let encoder = MortonEncoder::new(&centroid_bounds);
+    work_ms += t.elapsed().as_secs_f64() * 1e3;
+
+    // Stage 2 — Morton keys, parallel over primitives.
+    let mut keyed: Vec<(u64, u32)> = vec![(0, 0); n];
+    work_ms += par_chunks_mut(&mut keyed, 256, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let i = start + off;
+            *slot = (encoder.encode(prim_aabbs[i].center()), i as u32);
+        }
+    });
+
+    // Stage 3 — parallel sort. The `(morton, id)` compound key is unique,
+    // so the permutation does not depend on chunking or thread count.
+    work_ms += par_sort_by_key(&mut keyed, |&(k, id)| (k, id));
+
+    let t = Instant::now();
+    let prim_indices: Vec<u32> = keyed.iter().map(|&(_, id)| id).collect();
+    let codes: Vec<u64> = keyed.iter().map(|&(k, _)| k).collect();
+    work_ms += t.elapsed().as_secs_f64() * 1e3;
+
+    // Stage 4 — split discovery, level-synchronous: every task of a level
+    // finds its Morton split in parallel, then a serial prefix pass lays
+    // out the next level (deterministic child order).
+    let mut levels: Vec<Vec<LevelTask>> = Vec::new();
+    let mut current = vec![LevelTask::over(0, n as u32, u32::MAX)];
+    loop {
+        work_ms += par_chunks_mut(&mut current, 16, |_, chunk| {
+            for task in chunk.iter_mut() {
+                let count = task.end - task.start;
+                task.split = if count <= max_leaf_size {
+                    u32::MAX
+                } else {
+                    let range = &codes[task.start as usize..task.end as usize];
+                    (find_morton_split(range) + task.start as usize) as u32
+                };
+            }
+        });
+        let mut next = Vec::new();
+        for (ti, task) in current.iter_mut().enumerate() {
+            if task.split != u32::MAX {
+                task.first_child = next.len() as u32;
+                next.push(LevelTask::over(task.start, task.split, ti as u32));
+                next.push(LevelTask::over(task.split, task.end, ti as u32));
+            }
+        }
+        let done = next.is_empty();
+        levels.push(current);
+        if done {
+            break;
+        }
+        current = next;
+    }
+
+    // Stage 5 — bottom-up subtree sizes and AABBs, parallel within each
+    // level. Leaves fold their primitive subrange exactly like the oracle;
+    // internal boxes are `left ∪ right`, bit-equal to the oracle's full
+    // fold because componentwise min/max with a consistent tie rule is
+    // associative.
+    for li in (0..levels.len()).rev() {
+        let (head, tail) = levels.split_at_mut(li + 1);
+        let children: &[LevelTask] = tail.first().map(|v| v.as_slice()).unwrap_or(&[]);
+        work_ms += par_chunks_mut(&mut head[li], 16, |_, chunk| {
+            for task in chunk.iter_mut() {
+                if task.split == u32::MAX {
+                    task.subtree = 1;
+                    let mut aabb = Aabb::EMPTY;
+                    for &pid in &prim_indices[task.start as usize..task.end as usize] {
+                        aabb.grow_aabb(&prim_aabbs[pid as usize]);
+                    }
+                    task.aabb = aabb;
+                } else {
+                    let l = children[task.first_child as usize];
+                    let r = children[task.first_child as usize + 1];
+                    task.subtree = 1 + l.subtree + r.subtree;
+                    task.left_subtree = l.subtree;
+                    task.aabb = l.aabb.union(&r.aabb);
+                }
+            }
+        });
+    }
+
+    // Stage 6 — preorder index assignment, top-down: each child only reads
+    // its parent (previous level) and writes itself, so levels are data
+    // parallel. The serial emitter visits `parent, left subtree, right
+    // subtree`, so `left = parent + 1` and `right = parent + 1 + |left|`.
+    levels[0][0].node_index = 0;
+    for li in 0..levels.len().saturating_sub(1) {
+        let (head, tail) = levels.split_at_mut(li + 1);
+        let parents: &[LevelTask] = head[li].as_slice();
+        work_ms += par_chunks_mut(&mut tail[0], 16, |start, chunk| {
+            for (off, task) in chunk.iter_mut().enumerate() {
+                let j = (start + off) as u32;
+                let p = parents[task.parent as usize];
+                task.node_index = if j == p.first_child {
+                    p.node_index + 1
+                } else {
+                    p.node_index + 1 + p.left_subtree
+                };
+            }
+        });
+    }
+
+    // Stage 7 — scatter the finished tasks into their preorder slots. A
+    // trivial linear pass; kept serial and charged as such.
+    let t = Instant::now();
+    let total = levels[0][0].subtree as usize;
+    let mut nodes = vec![
+        BvhNode {
+            aabb: Aabb::EMPTY,
+            kind: NodeKind::Leaf { start: 0, count: 0 },
+        };
+        total
+    ];
+    for level in &levels {
+        for task in level {
+            nodes[task.node_index as usize] = BvhNode {
+                aabb: task.aabb,
+                kind: if task.split == u32::MAX {
+                    NodeKind::Leaf {
+                        start: task.start,
+                        count: task.end - task.start,
+                    }
+                } else {
+                    NodeKind::Internal {
+                        left: task.node_index + 1,
+                        right: task.node_index + 1 + task.left_subtree,
+                    }
+                },
+            };
+        }
+    }
+    work_ms += t.elapsed().as_secs_f64() * 1e3;
+
+    let bvh = Bvh {
+        nodes,
+        prim_indices,
+        prim_aabbs: prim_aabbs.to_vec(),
+        max_leaf_size,
+    };
+    (bvh, work_ms)
 }
 
 /// Position (relative to the slice start) at which to split a Morton-sorted
@@ -361,12 +681,23 @@ mod tests {
         pts
     }
 
-    fn all_builders() -> [BvhBuilder; 3] {
+    fn all_builders() -> [BvhBuilder; 4] {
         [
             BvhBuilder::Lbvh,
+            BvhBuilder::LbvhSerial,
             BvhBuilder::MedianSplit,
             BvhBuilder::BinnedSah,
         ]
+    }
+
+    fn assert_bit_identical(a: &Bvh, b: &Bvh, context: &str) {
+        assert_eq!(a.prim_indices, b.prim_indices, "{context}: prim order");
+        assert_eq!(a.prim_aabbs, b.prim_aabbs, "{context}: prim AABBs");
+        assert_eq!(a.nodes.len(), b.nodes.len(), "{context}: node count");
+        for (i, (x, y)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+            assert_eq!(x.kind, y.kind, "{context}: node {i} kind");
+            assert_eq!(x.aabb, y.aabb, "{context}: node {i} aabb");
+        }
     }
 
     #[test]
@@ -484,5 +815,66 @@ mod tests {
         let bvh = build_point_bvh(&points, 0.5, BuildParams::default());
         // A pathological chain would be ~250 deep; a healthy tree is O(log n).
         assert!(bvh.depth() <= 24, "depth {} too large", bvh.depth());
+    }
+
+    #[test]
+    fn parallel_lbvh_is_bit_identical_to_the_serial_oracle() {
+        // Mixed shapes: uniform grid, a thin slab, and heavy duplicates (the
+        // midpoint-split fallback), across leaf sizes and thread counts.
+        let mut slab = grid_points(7);
+        for p in &mut slab {
+            p.z *= 1e-3;
+        }
+        let mut dupes = grid_points(3);
+        dupes.extend(vec![Vec3::splat(1.0); 40]);
+        for (name, pts) in [
+            ("grid", grid_points(6)),
+            ("slab", slab),
+            ("dupes", dupes),
+            ("single", vec![Vec3::ZERO]),
+        ] {
+            for leaf in [1u32, 4] {
+                let serial = build_bvh(
+                    &pts.iter().map(|&p| Aabb::cube(p, 0.8)).collect::<Vec<_>>(),
+                    BuildParams {
+                        builder: BvhBuilder::LbvhSerial,
+                        max_leaf_size: leaf,
+                    },
+                );
+                for threads in [1usize, 2, 6] {
+                    let parallel = rtnn_parallel::with_thread_count(threads, || {
+                        build_bvh(
+                            &pts.iter().map(|&p| Aabb::cube(p, 0.8)).collect::<Vec<_>>(),
+                            BuildParams {
+                                builder: BvhBuilder::Lbvh,
+                                max_leaf_size: leaf,
+                            },
+                        )
+                    });
+                    assert_bit_identical(
+                        &serial,
+                        &parallel,
+                        &format!("{name} leaf={leaf} threads={threads}"),
+                    );
+                    validate_bvh(&parallel).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_profile_reports_wall_and_work() {
+        let points = grid_points(8);
+        let (bvh, profile) = build_point_bvh_profiled(&points, 0.5, BuildParams::default());
+        assert_eq!(bvh.num_primitives(), points.len());
+        assert!(profile.host_wall_ms > 0.0);
+        assert!(profile.work_ms > 0.0);
+        assert!(profile.threads >= 1);
+        assert!(profile.work_span_ratio().unwrap() >= 1.0);
+        let doubled = profile.combine(&profile);
+        assert!((doubled.work_ms - 2.0 * profile.work_ms).abs() < 1e-12);
+        assert_eq!(doubled.threads, profile.threads);
+        // Unmeasured profiles report no ratio.
+        assert_eq!(BuildProfile::default().work_span_ratio(), None);
     }
 }

@@ -11,8 +11,11 @@
 //! nodes. The [`crate::node::Bvh::sah_cost`] monitor quantifies that
 //! degradation; the `rtnn-dynamic` crate's rebuild policy acts on it.
 
+use crate::builder::BuildProfile;
 use crate::node::{Bvh, NodeKind};
 use rtnn_math::Aabb;
+use rtnn_parallel::{current_num_threads, par_map_collect};
+use std::time::Instant;
 
 /// Ways a refit request can be invalid.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,30 +59,54 @@ pub struct RefitStats {
 /// length as the one the tree was built over; primitive ids keep their
 /// meaning.
 ///
-/// Works for any structurally valid tree regardless of node layout (an
-/// explicit post-order traversal is used, so children need not follow their
-/// parent in the node array).
+/// Works for any structurally valid tree regardless of node layout (explicit
+/// traversals are used throughout, so children need not follow their parent
+/// in the node array).
+///
+/// Large trees are refitted in parallel over independent subtrees (see
+/// [`refit_bvh_with_cut`]); the result is bit-identical to the serial oracle
+/// ([`refit_bvh_serial`]) at every thread count, because every node box is
+/// computed from exactly the same operands either way.
 ///
 /// In debug and test builds the refitted tree is re-validated with
 /// [`crate::validate::validate_bvh`]; a violation is a bug in this function
 /// or in the input tree and panics.
 pub fn refit_bvh(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<RefitStats, RefitError> {
-    if new_prim_aabbs.len() != bvh.prim_aabbs.len() {
-        return Err(RefitError::PrimitiveCountChanged {
-            tree: bvh.prim_aabbs.len(),
-            supplied: new_prim_aabbs.len(),
-        });
+    refit_bvh_profiled(bvh, new_prim_aabbs).map(|(stats, _)| stats)
+}
+
+/// [`refit_bvh`] plus the measured host-side [`BuildProfile`].
+pub fn refit_bvh_profiled(
+    bvh: &mut Bvh,
+    new_prim_aabbs: &[Aabb],
+) -> Result<(RefitStats, BuildProfile), RefitError> {
+    let threads = current_num_threads();
+    // Cut deep enough to hand every worker several subtrees for load
+    // balancing; a serial run or a small tree dispatches to the oracle.
+    if threads <= 1 || bvh.nodes.len() < 4096 {
+        let wall = Instant::now();
+        let stats = refit_bvh_serial(bvh, new_prim_aabbs)?;
+        let ms = wall.elapsed().as_secs_f64() * 1e3;
+        return Ok((
+            stats,
+            BuildProfile {
+                host_wall_ms: ms,
+                work_ms: ms,
+                threads,
+            },
+        ));
     }
-    let sah_before = bvh.sah_cost();
-    if bvh.nodes.is_empty() {
-        return Ok(RefitStats {
-            nodes_updated: 0,
-            sah_before,
-            sah_after: sah_before,
-        });
-    }
-    bvh.prim_aabbs.clear();
-    bvh.prim_aabbs.extend_from_slice(new_prim_aabbs);
+    let cut_depth = (threads * 8).next_power_of_two().trailing_zeros();
+    refit_bvh_with_cut(bvh, new_prim_aabbs, cut_depth)
+}
+
+/// The serial refit oracle: one explicit post-order traversal of the whole
+/// tree. The parallel path must match it bit for bit.
+pub fn refit_bvh_serial(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<RefitStats, RefitError> {
+    let sah_before = check_and_adopt(bvh, new_prim_aabbs)?;
+    let Some(sah_before) = sah_before else {
+        return Ok(empty_stats(bvh));
+    };
 
     // Iterative post-order: visit children before recomputing the parent.
     // `(node, expanded)` pairs; on the second visit both children are done.
@@ -88,11 +115,7 @@ pub fn refit_bvh(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<RefitStats, R
         let node = bvh.nodes[idx as usize];
         match node.kind {
             NodeKind::Leaf { start, count } => {
-                let mut aabb = Aabb::EMPTY;
-                for &pid in &bvh.prim_indices[start as usize..(start + count) as usize] {
-                    aabb.grow_aabb(&bvh.prim_aabbs[pid as usize]);
-                }
-                bvh.nodes[idx as usize].aabb = aabb;
+                bvh.nodes[idx as usize].aabb = leaf_aabb(bvh, start, count);
             }
             NodeKind::Internal { left, right } => {
                 if expanded {
@@ -109,6 +132,183 @@ pub fn refit_bvh(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<RefitStats, R
         }
     }
 
+    finish(bvh, sah_before)
+}
+
+/// Parallel refit with an explicit subtree cut: a breadth-first sweep from
+/// the root collects the frontier at `cut_depth` (plus any leaves above it),
+/// the frontier subtrees are refitted concurrently, and a serial top-up
+/// pass recomputes the internal nodes above the cut in reverse BFS order.
+/// `cut_depth = 0` degenerates to one job — the whole tree.
+///
+/// Bit-identical to [`refit_bvh_serial`] for every cut depth and thread
+/// count: each node's box is computed from the same operands in the same
+/// order; only the schedule differs.
+pub fn refit_bvh_with_cut(
+    bvh: &mut Bvh,
+    new_prim_aabbs: &[Aabb],
+    cut_depth: u32,
+) -> Result<(RefitStats, BuildProfile), RefitError> {
+    let wall = Instant::now();
+    let threads = current_num_threads();
+    let sah_before = check_and_adopt(bvh, new_prim_aabbs)?;
+    let Some(sah_before) = sah_before else {
+        return Ok((
+            empty_stats(bvh),
+            BuildProfile {
+                threads,
+                ..BuildProfile::default()
+            },
+        ));
+    };
+    let mut work_ms = 0.0;
+
+    // BFS from the root: nodes shallower than the cut stay in `upper`
+    // (recomputed serially afterwards); the frontier — subtree roots at the
+    // cut depth, plus leaves encountered above it — becomes the job list.
+    let t = Instant::now();
+    let mut upper: Vec<u32> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut queue: Vec<(u32, u32)> = vec![(0, 0)]; // (node, depth)
+    let mut head = 0;
+    while head < queue.len() {
+        let (idx, depth) = queue[head];
+        head += 1;
+        match bvh.nodes[idx as usize].kind {
+            NodeKind::Internal { left, right } if depth < cut_depth => {
+                upper.push(idx);
+                queue.push((left, depth + 1));
+                queue.push((right, depth + 1));
+            }
+            _ => frontier.push(idx),
+        }
+    }
+    work_ms += t.elapsed().as_secs_f64() * 1e3;
+
+    // Refit the frontier subtrees concurrently. Workers only read the tree
+    // and return (node, aabb) pairs; a serial pass applies them, so no two
+    // threads ever alias a node.
+    let busy_nanos = std::sync::atomic::AtomicU64::new(0);
+    let jobs: Vec<Vec<(u32, Aabb)>> = {
+        let bvh: &Bvh = bvh;
+        par_map_collect(frontier.len(), |i| {
+            let t = Instant::now();
+            let out = eval_subtree(bvh, frontier[i]);
+            busy_nanos.fetch_add(
+                t.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            out
+        })
+    };
+    work_ms += busy_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e6;
+
+    let t = Instant::now();
+    for job in jobs {
+        for (idx, aabb) in job {
+            bvh.nodes[idx as usize].aabb = aabb;
+        }
+    }
+    // Serial top-up: reverse BFS order guarantees both children of every
+    // upper node — frontier roots or deeper upper nodes — are final.
+    for &idx in upper.iter().rev() {
+        let NodeKind::Internal { left, right } = bvh.nodes[idx as usize].kind else {
+            unreachable!("upper nodes are internal by construction");
+        };
+        bvh.nodes[idx as usize].aabb = bvh.nodes[left as usize]
+            .aabb
+            .union(&bvh.nodes[right as usize].aabb);
+    }
+    work_ms += t.elapsed().as_secs_f64() * 1e3;
+
+    let stats = finish(bvh, sah_before)?;
+    Ok((
+        stats,
+        BuildProfile {
+            host_wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            work_ms,
+            threads,
+        },
+    ))
+}
+
+/// Post-order evaluation of one subtree's new AABBs against the (already
+/// adopted) primitive boxes. Returns `(node, aabb)` pairs in post-order; an
+/// explicit two-stack machine, so degenerate SAH chains cannot overflow the
+/// call stack.
+fn eval_subtree(bvh: &Bvh, root: u32) -> Vec<(u32, Aabb)> {
+    enum Visit {
+        Enter(u32),
+        Exit(u32),
+    }
+    let mut out: Vec<(u32, Aabb)> = Vec::new();
+    let mut values: Vec<Aabb> = Vec::new();
+    let mut stack = vec![Visit::Enter(root)];
+    while let Some(visit) = stack.pop() {
+        match visit {
+            Visit::Enter(idx) => match bvh.nodes[idx as usize].kind {
+                NodeKind::Leaf { start, count } => {
+                    let aabb = leaf_aabb(bvh, start, count);
+                    out.push((idx, aabb));
+                    values.push(aabb);
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(Visit::Exit(idx));
+                    // Enter right first so left's value lands below right's,
+                    // and the union below reads (left, right) in order.
+                    stack.push(Visit::Enter(right));
+                    stack.push(Visit::Enter(left));
+                }
+            },
+            Visit::Exit(idx) => {
+                let r = values.pop().expect("right child evaluated");
+                let l = values.pop().expect("left child evaluated");
+                let aabb = l.union(&r);
+                out.push((idx, aabb));
+                values.push(aabb);
+            }
+        }
+    }
+    out
+}
+
+/// Count-check `new_prim_aabbs` against the tree and adopt them. Returns
+/// `Ok(None)` for the empty tree (nothing to refit), otherwise the SAH cost
+/// before the refit.
+fn check_and_adopt(bvh: &mut Bvh, new_prim_aabbs: &[Aabb]) -> Result<Option<f64>, RefitError> {
+    if new_prim_aabbs.len() != bvh.prim_aabbs.len() {
+        return Err(RefitError::PrimitiveCountChanged {
+            tree: bvh.prim_aabbs.len(),
+            supplied: new_prim_aabbs.len(),
+        });
+    }
+    let sah_before = bvh.sah_cost();
+    if bvh.nodes.is_empty() {
+        return Ok(None);
+    }
+    bvh.prim_aabbs.clear();
+    bvh.prim_aabbs.extend_from_slice(new_prim_aabbs);
+    Ok(Some(sah_before))
+}
+
+fn empty_stats(bvh: &Bvh) -> RefitStats {
+    let sah = bvh.sah_cost();
+    RefitStats {
+        nodes_updated: 0,
+        sah_before: sah,
+        sah_after: sah,
+    }
+}
+
+fn leaf_aabb(bvh: &Bvh, start: u32, count: u32) -> Aabb {
+    let mut aabb = Aabb::EMPTY;
+    for &pid in &bvh.prim_indices[start as usize..(start + count) as usize] {
+        aabb.grow_aabb(&bvh.prim_aabbs[pid as usize]);
+    }
+    aabb
+}
+
+fn finish(bvh: &mut Bvh, sah_before: f64) -> Result<RefitStats, RefitError> {
     #[cfg(any(debug_assertions, test))]
     crate::validate::validate_bvh(bvh).expect("refit produced an invalid BVH");
 
@@ -278,6 +478,79 @@ mod tests {
         // A rebuild restores the baseline-level quality.
         let rebuilt = build_point_bvh(&pts, 0.4, BuildParams::default());
         assert!(rebuilt.sah_cost() < bvh.sah_cost());
+    }
+
+    #[test]
+    fn parallel_refit_matches_the_serial_oracle_at_every_cut_and_thread_count() {
+        let mut pts = grid_points(9); // 729 points
+        let bvh0 = build_point_bvh(&pts, 0.4, BuildParams::default());
+        // Drift the points so the refit actually changes every box.
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.x += 0.4 * ((i % 11) as f32 - 5.0) / 5.0;
+            p.y -= 0.2 * ((i % 5) as f32);
+            p.z *= 0.9;
+        }
+        let moved: Vec<Aabb> = pts.iter().map(|&p| Aabb::cube(p, 0.8)).collect();
+        let mut serial = bvh0.clone();
+        let serial_stats = refit_bvh_serial(&mut serial, &moved).unwrap();
+        for cut in [0u32, 1, 3, 6, 30] {
+            for threads in [1usize, 2, 5] {
+                let mut parallel = bvh0.clone();
+                let (stats, profile) = rtnn_parallel::with_thread_count(threads, || {
+                    refit_bvh_with_cut(&mut parallel, &moved, cut).unwrap()
+                });
+                assert_eq!(stats, serial_stats, "cut={cut} threads={threads}");
+                assert!(profile.host_wall_ms >= 0.0);
+                for (i, (a, b)) in parallel.nodes.iter().zip(&serial.nodes).enumerate() {
+                    assert_eq!(a.aabb, b.aabb, "cut={cut} threads={threads} node {i}");
+                    assert_eq!(a.kind, b.kind);
+                }
+                assert_eq!(parallel.prim_aabbs, serial.prim_aabbs);
+            }
+        }
+        // The public dispatcher agrees too.
+        let mut dispatched = bvh0.clone();
+        let dispatched_stats = refit_bvh(&mut dispatched, &moved).unwrap();
+        assert_eq!(dispatched_stats, serial_stats);
+    }
+
+    #[test]
+    fn parallel_refit_handles_hand_reordered_layouts() {
+        // Same hand-reordered layout as the serial test below: children do
+        // not follow their parent, so the BFS cut must still be correct.
+        let prim_aabbs = vec![
+            Aabb::cube(Vec3::ZERO, 1.0),
+            Aabb::cube(Vec3::new(4.0, 0.0, 0.0), 1.0),
+        ];
+        let mut bvh = build_bvh(
+            &prim_aabbs,
+            BuildParams {
+                builder: BvhBuilder::MedianSplit,
+                max_leaf_size: 1,
+            },
+        );
+        let NodeKind::Internal { left, right } = bvh.nodes[0].kind else {
+            panic!("expected internal root");
+        };
+        bvh.nodes.swap(left as usize, right as usize);
+        bvh.nodes[0].kind = NodeKind::Internal {
+            left: right,
+            right: left,
+        };
+        let moved = vec![
+            Aabb::cube(Vec3::new(0.0, 3.0, 0.0), 1.0),
+            Aabb::cube(Vec3::new(4.0, -3.0, 0.0), 1.0),
+        ];
+        let mut serial = bvh.clone();
+        refit_bvh_serial(&mut serial, &moved).unwrap();
+        for cut in [0u32, 1, 2] {
+            let mut parallel = bvh.clone();
+            refit_bvh_with_cut(&mut parallel, &moved, cut).unwrap();
+            validate_bvh(&parallel).unwrap();
+            for (a, b) in parallel.nodes.iter().zip(&serial.nodes) {
+                assert_eq!(a.aabb, b.aabb, "cut={cut}");
+            }
+        }
     }
 
     #[test]

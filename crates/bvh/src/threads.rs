@@ -1,0 +1,126 @@
+//! The `RTNN_BUILD_THREADS` knob: how many worker threads structure
+//! construction (build + refit) uses.
+//!
+//! Mirrors the `RTNN_SERVE_*` pattern of `rtnn-serve`: unset variables fall
+//! back to the default (machine parallelism), set-but-invalid variables are
+//! a configuration error reported with a clear message instead of silently
+//! building at the wrong width. The parsing core
+//! ([`BuildThreads::from_vars`]) takes an injectable variable source so it
+//! is unit-testable without touching the process environment.
+//!
+//! Thread count never changes *what* is built — the parallel builder is
+//! bit-identical to the serial oracle at every width — only how fast.
+
+/// Parsed `RTNN_BUILD_THREADS` setting. `0` means "machine default".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildThreads {
+    /// Worker threads for structure construction; `0` keeps the machine
+    /// default.
+    pub threads: usize,
+}
+
+impl BuildThreads {
+    /// Read `RTNN_BUILD_THREADS` from the environment. A value that is set
+    /// but not a positive integer exits the process with a clear message.
+    pub fn from_env() -> Self {
+        match Self::from_vars(|name| std::env::var(name).ok()) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Self::from_env`] with an injectable variable source (testable):
+    /// `Ok` with the default for unset/empty, a descriptive error for zero,
+    /// garbage, negative or overflowing values.
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
+        const NAME: &str = "RTNN_BUILD_THREADS";
+        let Some(raw) = get(NAME) else {
+            return Ok(Self::default());
+        };
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Ok(Self::default());
+        }
+        let threads: usize = trimmed.parse().map_err(|_| {
+            format!("{NAME}={raw:?} is not a positive integer (unset it to use the default)")
+        })?;
+        if threads == 0 {
+            return Err(format!(
+                "{NAME}=0 is not allowed: the value must be at least 1 (unset it to use the \
+                 machine default)"
+            ));
+        }
+        Ok(BuildThreads { threads })
+    }
+
+    /// Apply the setting to the process-global worker pool
+    /// (`rtnn_parallel::set_num_threads`). Explicitly opt-in because the
+    /// pool width is process-global; binaries call this once at startup.
+    pub fn apply_global(&self) {
+        if self.threads > 0 {
+            rtnn_parallel::set_num_threads(self.threads);
+        }
+    }
+
+    /// Run `f` with this thread count pinned on the calling thread only
+    /// (`rtnn_parallel::with_thread_count`) — safe under concurrency,
+    /// nothing global is touched. A default (`threads == 0`) setting runs
+    /// `f` unscoped.
+    pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.threads > 0 {
+            rtnn_parallel::with_thread_count(self.threads, f)
+        } else {
+            f()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_or_empty_falls_back_to_the_machine_default() {
+        assert_eq!(BuildThreads::from_vars(|_| None).unwrap().threads, 0);
+        let c = BuildThreads::from_vars(|_| Some("  ".to_string())).unwrap();
+        assert_eq!(c, BuildThreads::default());
+    }
+
+    #[test]
+    fn valid_values_override() {
+        let c = BuildThreads::from_vars(|n| {
+            assert_eq!(n, "RTNN_BUILD_THREADS");
+            Some("6".to_string())
+        })
+        .unwrap();
+        assert_eq!(c.threads, 6);
+        assert_eq!(c.scoped(rtnn_parallel::current_num_threads), 6);
+    }
+
+    #[test]
+    fn zero_and_garbage_are_rejected_with_clear_errors() {
+        for bad in ["0", "many", "-2", "1.5"] {
+            let err = BuildThreads::from_vars(|_| Some(bad.to_string())).unwrap_err();
+            assert!(
+                err.contains("RTNN_BUILD_THREADS"),
+                "error for {bad} must name the variable: {err}"
+            );
+            assert!(
+                err.contains("default"),
+                "error must mention the fallback: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_setting_scopes_nothing() {
+        let outside = rtnn_parallel::current_num_threads();
+        assert_eq!(
+            BuildThreads::default().scoped(rtnn_parallel::current_num_threads),
+            outside
+        );
+    }
+}

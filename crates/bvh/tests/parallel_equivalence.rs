@@ -1,0 +1,149 @@
+//! Property tests pinning the parallel construction path to the serial
+//! oracle: for arbitrary clouds, at every tested thread count, the staged
+//! parallel LBVH pipeline must produce a **bit-identical** tree to
+//! `BvhBuilder::LbvhSerial`, and the subtree-parallel refit must leave the
+//! tree in exactly the state the serial refit produces — across all three
+//! drift generators (`rtnn_data::dynamics`), over several motion frames.
+//!
+//! "Bit-identical" is byte-for-byte: same primitive order, same node
+//! layout, same AABB bit patterns. Thread count may change only how fast
+//! the structure is built, never a single bit of it.
+
+use proptest::prelude::*;
+use rtnn_bvh::{
+    build_bvh_profiled, refit_bvh_serial, refit_bvh_with_cut, validate_bvh, BuildParams, Bvh,
+    BvhBuilder,
+};
+use rtnn_data::dynamics::{DriftModel, DriftScene};
+use rtnn_data::PointCloud;
+use rtnn_math::{Aabb, Vec3};
+use rtnn_parallel::with_thread_count;
+
+fn point_in(half: f32) -> impl Strategy<Value = Vec3> {
+    (-half..half, -half..half, -half..half).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn cloud_strategy() -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(point_in(8.0), 1..120)
+}
+
+fn drift_model(idx: usize) -> DriftModel {
+    match idx % 3 {
+        0 => DriftModel::SphSettle {
+            compression: 0.9,
+            jitter: 0.05,
+        },
+        1 => DriftModel::NBodyOrbit { angular_step: 0.2 },
+        _ => DriftModel::LidarSweep {
+            velocity: Vec3::new(0.4, 0.1, 0.0),
+            // No churn: refit requires a fixed primitive count.
+            churn_fraction: 0.0,
+        },
+    }
+}
+
+fn aabbs_for(points: &[Vec3], width: f32) -> Vec<Aabb> {
+    points.iter().map(|&p| Aabb::cube(p, width)).collect()
+}
+
+fn assert_trees_bit_identical(got: &Bvh, want: &Bvh, context: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.prim_indices == want.prim_indices,
+        "{context}: primitive order diverged"
+    );
+    prop_assert!(
+        got.nodes.len() == want.nodes.len(),
+        "{context}: node count {} vs {}",
+        got.nodes.len(),
+        want.nodes.len()
+    );
+    for (i, (g, w)) in got.nodes.iter().zip(&want.nodes).enumerate() {
+        prop_assert!(g.kind == w.kind, "{context}: node {i} kind differs");
+        prop_assert!(
+            g.aabb.min.to_array().map(f32::to_bits) == w.aabb.min.to_array().map(f32::to_bits)
+                && g.aabb.max.to_array().map(f32::to_bits)
+                    == w.aabb.max.to_array().map(f32::to_bits),
+            "{context}: node {i} bounds differ in bits: {:?} vs {:?}",
+            g.aabb,
+            w.aabb
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_build_is_bit_identical_at_every_thread_count(
+        points in cloud_strategy(),
+        width in 0.1f32..2.0,
+        max_leaf in 1u32..5,
+    ) {
+        let aabbs = aabbs_for(&points, width);
+        let serial_params = BuildParams {
+            builder: BvhBuilder::LbvhSerial,
+            max_leaf_size: max_leaf,
+        };
+        let parallel_params = BuildParams {
+            builder: BvhBuilder::Lbvh,
+            max_leaf_size: max_leaf,
+        };
+        let (oracle, _) = build_bvh_profiled(&aabbs, serial_params);
+        validate_bvh(&oracle).unwrap();
+        for threads in [1usize, 2, 6] {
+            let (tree, profile) =
+                with_thread_count(threads, || build_bvh_profiled(&aabbs, parallel_params));
+            assert_trees_bit_identical(&tree, &oracle, &format!("{threads} threads"))?;
+            prop_assert!(profile.host_wall_ms > 0.0);
+            prop_assert!(profile.work_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_refit_matches_the_serial_oracle_across_drift_generators(
+        points in cloud_strategy(),
+        width in 0.2f32..1.5,
+        model_idx in 0usize..3,
+        seed in any::<u64>(),
+        frames in 1usize..4,
+    ) {
+        let params = BuildParams {
+            builder: BvhBuilder::Lbvh,
+            max_leaf_size: 4,
+        };
+        let built = build_bvh_profiled(&aabbs_for(&points, width), params).0;
+        let mut scene = DriftScene::new(
+            &PointCloud::new("prop", points),
+            drift_model(model_idx),
+            seed,
+        );
+        let mut serial_tree = built.clone();
+        for frame in 0..frames {
+            scene.step();
+            let moved = aabbs_for(&scene.live_points(), width);
+            refit_bvh_serial(&mut serial_tree, &moved).unwrap();
+            for threads in [1usize, 2, 5] {
+                for cut in [0u32, 2, 8] {
+                    let mut tree = built.clone();
+                    // Catch up to the serial tree's frame, then refit the
+                    // final frame through the parallel path under test.
+                    let (stats, profile) = with_thread_count(threads, || {
+                        refit_bvh_with_cut(&mut tree, &moved, cut)
+                    })
+                    .unwrap();
+                    let context =
+                        format!("model {model_idx} frame {frame} threads {threads} cut {cut}");
+                    assert_trees_bit_identical(&tree, &serial_tree, &context)?;
+                    prop_assert!(
+                        tree.prim_aabbs == serial_tree.prim_aabbs,
+                        "{context}: adopted primitive boxes differ"
+                    );
+                    prop_assert_eq!(stats.nodes_updated, tree.nodes.len());
+                    prop_assert!(profile.host_wall_ms >= 0.0);
+                    validate_bvh(&tree).unwrap();
+                }
+            }
+        }
+    }
+}

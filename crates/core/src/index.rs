@@ -53,6 +53,7 @@ use rtnn_bvh::BuildParams;
 use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::{Gas, LaunchMetrics};
+use rtnn_parallel::par_map_collect;
 use std::borrow::Cow;
 use std::time::Instant;
 
@@ -230,6 +231,41 @@ impl<'a> AccelStore<'a> {
         let build_ms = accel.build_time_ms();
         self.entries.push(StoreEntry::Owned(accel));
         Ok((self.entries.len() - 1, build_ms))
+    }
+
+    /// Build every missing width in `aabb_widths` *concurrently* on the
+    /// worker pool (a `Backend` is `Sync`, so independent widths build in
+    /// parallel) and cache the results. Returns the total simulated build
+    /// cost incurred — 0 when every width was already cached. Duplicate
+    /// widths are deduplicated by bit pattern; entry order matches the
+    /// first occurrence of each missing width, so cache ids stay
+    /// deterministic regardless of thread count.
+    pub(crate) fn ensure_many(
+        &mut self,
+        backend: &dyn Backend,
+        points: &[Vec3],
+        aabb_widths: &[f32],
+        build: BuildParams,
+    ) -> Result<f64, SearchError> {
+        let mut missing: Vec<f32> = Vec::new();
+        for &w in aabb_widths {
+            let key = w.to_bits();
+            let cached = self.entries.iter().any(|e| e.aabb_width_bits() == key);
+            if !cached && !missing.iter().any(|m| m.to_bits() == key) {
+                missing.push(w);
+            }
+        }
+        if missing.is_empty() {
+            return Ok(0.0);
+        }
+        let built = par_map_collect(missing.len(), |i| backend.build(points, missing[i], build));
+        let mut total_ms = 0.0;
+        for accel in built {
+            let accel = accel.map_err(SearchError::OutOfDeviceMemory)?;
+            total_ms += accel.build_time_ms();
+            self.entries.push(StoreEntry::Owned(accel));
+        }
+        Ok(total_ms)
     }
 }
 
@@ -430,6 +466,65 @@ impl<'a> Index<'a> {
         self.pending_structure_ms += ms;
     }
 
+    /// Pre-build every structure (and the megacell grid) that `plan` would
+    /// demand, without running any queries — the cold-start path a serving
+    /// layer runs before the first request lands. Distinct AABB widths
+    /// build *concurrently* on the worker pool.
+    ///
+    /// Returns the simulated build cost incurred by this call (0 when
+    /// everything was already cached). The cost is also carried forward
+    /// into the next query's `BVH` breakdown slot — warming is part of the
+    /// scene's structure cost, not free work.
+    pub fn warm(&mut self, plan: &QueryPlan) -> Result<f64, SearchError> {
+        self.config.validate()?;
+        let backend = self.backend;
+        let cfg = self.config;
+        let plan = plan.normalized();
+        let pipeline = ExecutionPipeline::with_overrides(backend, &cfg, StageOverrides::default());
+        let mut widths: Vec<f32> = Vec::new();
+        match plan.as_ref() {
+            QueryPlan::Batch(slices) => {
+                if slices.is_empty() {
+                    return Err(SearchError::InvalidPlan(PlanError::EmptyBatch));
+                }
+                // Validate each slice's parameters; id-coverage checks are
+                // deferred to query time (warm has no query array).
+                for slice in slices {
+                    slice.plan.validate(0)?;
+                }
+                if pipeline.schedule_stage().needs_structure() {
+                    let max_r = slices
+                        .iter()
+                        .filter_map(|s| s.plan.params())
+                        .map(|p| p.radius)
+                        .fold(0.0f32, f32::max);
+                    widths.push(2.0 * max_r * cfg.approx.aabb_width_factor());
+                }
+                for slice in slices {
+                    if let Some(params) = slice.plan.params() {
+                        widths.push(2.0 * params.radius * cfg.approx.aabb_width_factor());
+                    }
+                }
+            }
+            single => {
+                single.validate(0)?;
+                let params = single.params().expect("non-batch plan has params");
+                widths.push(2.0 * params.radius * cfg.approx.aabb_width_factor());
+            }
+        }
+        if self.points.is_empty() {
+            return Ok(0.0);
+        }
+        let built_ms = self
+            .store
+            .ensure_many(backend, &self.points, &widths, cfg.build)?;
+        if pipeline.partition_stage().wants_grid() {
+            grid_for(&mut self.grid, &self.points, cfg.grid_max_cells);
+        }
+        self.pending_structure_ms += built_ms;
+        Ok(built_ms)
+    }
+
     /// Answer `plan` for `queries` against the indexed points.
     ///
     /// The plan is normalized ([`QueryPlan::normalized`]: nested batches
@@ -565,14 +660,42 @@ impl<'a> Index<'a> {
             ));
         }
 
+        // Every structure the batch will traverse is known up front: the
+        // widest shared scheduling structure (when the resolved stage
+        // actually traverses one — an identity schedule bills nothing,
+        // exactly like a scheduling-off optimisation level) plus one width
+        // per populated slice. Build all missing widths *concurrently* on
+        // the worker pool in one shot; the per-stage `ensure` calls below
+        // then hit the warm cache and bill nothing.
+        let schedule_stage = pipeline.schedule_stage();
+        {
+            let mut widths: Vec<f32> = Vec::new();
+            if schedule_stage.needs_structure() {
+                let max_r = slice_params
+                    .iter()
+                    .map(|(p, _)| p.radius)
+                    .fold(0.0f32, f32::max);
+                widths.push(2.0 * max_r * cfg.approx.aabb_width_factor());
+            }
+            for (params, ids) in &slice_params {
+                if !ids.is_empty() {
+                    widths.push(2.0 * params.radius * cfg.approx.aabb_width_factor());
+                }
+            }
+            let host = Instant::now();
+            let built_ms = self
+                .store
+                .ensure_many(backend, &self.points, &widths, cfg.build)?;
+            if built_ms > 0.0 {
+                breakdown.bvh_ms += built_ms;
+                trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+            }
+        }
+
         // Shared `Schedule` stage (Section 4, once for the whole batch):
         // one order over every covered query, split back into per-slice
         // orders below (each slice's order is the scheduled order filtered
         // to its ids — identical to sorting the slice by the shared keys).
-        // The widest shared structure is built only when the resolved
-        // stage actually traverses one (an identity schedule bills
-        // nothing, exactly like a scheduling-off optimisation level).
-        let schedule_stage = pipeline.schedule_stage();
         let accel = if schedule_stage.needs_structure() {
             let max_r = slice_params
                 .iter()
@@ -767,6 +890,49 @@ mod tests {
         }
         // One shared scheduling pass covers all launched queries.
         assert_eq!(combined.fs_metrics.active_rays, n as u64);
+    }
+
+    #[test]
+    fn warm_prebuilds_every_width_and_charges_the_next_query() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = jittered(6, 0.6);
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+        let n = queries.len() as u32;
+        let batch = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(1.2, 6), (0..n / 2).collect()),
+            PlanSlice::new(QueryPlan::range(0.8, 64), (n / 2..n).collect()),
+        ]);
+
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let built = index.warm(&batch).unwrap();
+        assert!(built > 0.0, "cold warm-up builds structures");
+        assert!(
+            index.cached_structures() >= 2,
+            "both slice widths (and the shared scheduling width) are cached"
+        );
+        // Warming the same plan again is free.
+        assert_eq!(index.warm(&batch).unwrap(), 0.0);
+
+        // The warm-up cost is carried into the next query's BVH slot; the
+        // plan-level structures themselves are all cache hits there.
+        let first = index.query(&queries, &batch).unwrap();
+        assert!(first.breakdown.bvh_ms >= built);
+        let second = index.query(&queries, &batch).unwrap();
+        assert_eq!(
+            second.breakdown.bvh_ms, 0.0,
+            "a warmed index amortises every structure build"
+        );
+        assert_eq!(second.neighbors, first.neighbors);
+
+        // Invalid plans are rejected with the same typed errors as query.
+        assert_eq!(
+            index.warm(&QueryPlan::knn(-1.0, 4)).unwrap_err(),
+            SearchError::InvalidPlan(PlanError::InvalidRadius {
+                field: "Knn.r",
+                value: -1.0
+            })
+        );
     }
 
     #[test]

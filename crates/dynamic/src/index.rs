@@ -457,7 +457,23 @@ impl<'d> DynamicIndex<'d> {
                         }
                         _ => 1.0,
                     };
-                    let timing = self.backend.as_dyn().timing(n);
+                    // Attach the measured host-side construction profile so
+                    // the policy's `(q − 1)·S > B − R` coefficients reflect
+                    // *parallel* build/refit costs: the build profile of the
+                    // structure we would be replacing, combined with the
+                    // refit we just ran.
+                    let host = {
+                        let accel = self.accel.as_ref().expect("checked above");
+                        match accel.host_build_profile() {
+                            Some(build) => build.combine(&refit.host),
+                            None => refit.host,
+                        }
+                    };
+                    let timing = self
+                        .backend
+                        .as_dyn()
+                        .timing(n)
+                        .with_host_profile(host.host_wall_ms, host.work_ms);
                     if self
                         .policy
                         .should_rebuild(quality_ratio, &timing, self.last_traversal_ms)

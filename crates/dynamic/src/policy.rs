@@ -111,7 +111,13 @@ impl RebuildPolicy {
                 let Some(s) = last_traversal_ms else {
                     return false;
                 };
-                (quality_ratio - 1.0) * s > timing.rebuild_premium_ms()
+                // `(q − 1)·S > B − R`, with the premium deflated by the
+                // measured host-side parallelism of the construction path:
+                // when the backend carries a host profile showing the build
+                // ran at a work/wall ratio of p, the effective rebuild cost
+                // drops by that factor and the break-even point moves with
+                // it ([`StructureTiming::parallel_premium_ms`]).
+                (quality_ratio - 1.0) * s > timing.parallel_premium_ms()
             }
         }
     }
@@ -166,6 +172,25 @@ mod tests {
     fn no_history_means_no_speculative_rebuild_below_the_cap() {
         let p = RebuildPolicy::adaptive();
         assert!(!p.should_rebuild(1.5, &timing(1_000_000), None));
+    }
+
+    #[test]
+    fn measured_parallelism_lowers_the_break_even_point() {
+        // A host profile showing the build ran 4 workers wide (work = 4×
+        // wall) quarters the effective rebuild premium, so a (q, S) pair
+        // the serial coefficients reject now justifies the rebuild.
+        let p = RebuildPolicy::adaptive();
+        let serial = timing(1_000_000);
+        let parallel = serial.with_host_profile(2.0, 8.0);
+        assert_eq!(parallel.rebuild_premium_ms(), serial.rebuild_premium_ms());
+        assert_eq!(parallel.host_speedup(), Some(4.0));
+
+        let q = 1.1;
+        // Sit between the two break-even points: above premium/4, below
+        // premium.
+        let s = serial.rebuild_premium_ms() / (q - 1.0) / 2.0;
+        assert!(!p.should_rebuild(q, &serial, Some(s)));
+        assert!(p.should_rebuild(q, &parallel, Some(s)));
     }
 
     #[test]

@@ -12,19 +12,31 @@
 //!   ranges over a fixed set of worker threads;
 //! * [`par_map`] — parallel map over `0..n` producing a `Vec<R>`;
 //! * [`par_map_slice`] — parallel map over a slice;
+//! * [`par_map_collect`] — parallel indexed map for coarse work items,
+//!   without the `Default + Clone` bound of [`par_map`] (used by the
+//!   parallel LBVH builder's level pipeline and the concurrent
+//!   structure-cache/shard builds);
 //! * [`par_reduce`] — parallel map-reduce over index chunks;
 //! * [`par_sort_by_key`] — parallel merge of per-chunk sorts (used for the
 //!   Morton sorts in the LBVH builder and the query scheduler);
 //! * [`par_for_each_mut`] — parallel mutable visit of a slice's elements
 //!   (used by `rtnn-serve` to fan one query tick out over its shard
-//!   indexes, each worker owning one shard exclusively).
+//!   indexes, each worker owning one shard exclusively);
+//! * [`par_map_collect_mut`] — [`par_for_each_mut`] that also collects one
+//!   result per element;
+//! * [`par_chunks_mut`] — disjoint mutable chunks of a slice with
+//!   aggregate busy-time metering (the builder's work/wall accounting).
+//!
+//! Every primitive has a *deterministic-ordering guarantee*: output element
+//! `i` is always `f(i, …)` regardless of the thread count or how chunks were
+//! claimed — parallelism changes wall-clock time, never results.
 //!
 //! All functions fall back to sequential execution for small inputs so unit
 //! tests on tiny data never pay thread start-up costs.
 
 pub mod pool;
 
-pub use pool::{current_num_threads, set_num_threads};
+pub use pool::{current_num_threads, set_num_threads, with_thread_count};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,6 +112,148 @@ where
     par_map(items.len(), |i| f(&items[i]))
 }
 
+/// Parallel indexed map over `0..n` with the same deterministic-ordering
+/// guarantee as [`par_for_each_mut`]: slot `i` of the result is always
+/// `f(i)`, regardless of thread count or claim order.
+///
+/// Unlike [`par_map`] the result type needs neither `Default` nor `Clone`
+/// (results are written exactly once into uninitialised slots), and the
+/// scheduler claims aggressively (chunks shrink to a single item), so it is
+/// the right primitive for *coarse* work items — one acceleration structure,
+/// one spatial shard, one BVH subtree per index. For large maps of cheap
+/// elements prefer [`par_map`].
+pub fn par_map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    use std::mem::{ManuallyDrop, MaybeUninit};
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` slots require no initialisation.
+    unsafe { out.set_len(n) };
+    {
+        let base = SendPtr(out.as_mut_ptr());
+        par_for_chunks(n, 1, |range| {
+            let ptr = base;
+            for i in range {
+                // SAFETY: each index is visited by exactly one chunk, so no
+                // two threads write the same slot, and `out` outlives the
+                // scope inside `par_for_chunks`.
+                unsafe { ptr.0.add(i).write(MaybeUninit::new(f(i))) };
+            }
+        });
+    }
+    // SAFETY: every slot in 0..n was written exactly once above, so the
+    // buffer is fully initialised; transfer ownership without dropping the
+    // `MaybeUninit` wrapper. (If a worker panicked we never get here — the
+    // elements leak, which is safe.)
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) }
+}
+
+/// [`par_for_each_mut`] that also collects one result per element:
+/// element `i` is visited exactly once with `&mut` access and slot `i` of
+/// the returned vector is `f(i, &mut items[i])`. Claims are single elements
+/// (the intended work items — shards, structure builds — are coarse).
+pub fn par_map_collect_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    use std::mem::{ManuallyDrop, MaybeUninit};
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if n <= 1 || threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` slots require no initialisation.
+    unsafe { out.set_len(n) };
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let out_base = SendPtr(out.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (ptr, out_ptr) = (base, out_base);
+                    // SAFETY: each index is claimed by exactly one worker,
+                    // so neither the element nor the output slot is aliased,
+                    // and both buffers outlive the scope.
+                    let r = f(i, unsafe { &mut *ptr.0.add(i) });
+                    unsafe { out_ptr.0.add(i).write(MaybeUninit::new(r)) };
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    // SAFETY: every slot was written exactly once (see loop above).
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) }
+}
+
+/// Visit disjoint chunks of `items` (at least `min_chunk` elements each,
+/// dynamically scheduled) with `&mut` access; `f` receives the chunk's
+/// start index and the chunk slice. Returns the *aggregate busy time* in
+/// milliseconds the workers spent inside `f` — the "work" term of a
+/// work/wall accounting: on one thread it matches the wall time of the
+/// region, on `t` threads it can approach `t ×` the wall time.
+pub fn par_chunks_mut<T, F>(items: &mut [T], min_chunk: usize, f: F) -> f64
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+    let n = items.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let threads = current_num_threads();
+    if n <= SEQUENTIAL_CUTOFF.min(min_chunk.max(1)) || threads <= 1 {
+        let t = Instant::now();
+        f(0, items);
+        return t.elapsed().as_secs_f64() * 1e3;
+    }
+    let chunk = (n / (threads * 4)).max(min_chunk.max(1));
+    let busy_nanos = AtomicU64::new(0);
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let ptr = base;
+                    // SAFETY: [start, end) ranges from the shared counter are
+                    // disjoint, so the chunk slices never alias, and `items`
+                    // outlives the scope.
+                    let slice =
+                        unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+                    let t = Instant::now();
+                    f(start, slice);
+                    busy_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    busy_nanos.load(Ordering::Relaxed) as f64 / 1e6
+}
+
 /// Visit every element of `items` exactly once with `&mut` access, in
 /// parallel: elements are claimed from a shared atomic counter by up to
 /// [`current_num_threads`] workers, so expensive elements load-balance
@@ -166,19 +320,28 @@ where
 
 /// Parallel stable sort of `items` by a key function: the slice is split
 /// into per-thread chunks, each chunk is sorted, and the chunks are merged.
-pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F)
+///
+/// Returns the aggregate busy time in milliseconds spent sorting and
+/// merging across all workers (see [`par_chunks_mut`] for the work/wall
+/// convention); callers that don't meter simply ignore it. The sorted order
+/// is deterministic for unique keys regardless of thread count.
+pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F) -> f64
 where
     T: Send + Clone,
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
     let n = items.len();
     let threads = current_num_threads();
     if n <= SEQUENTIAL_CUTOFF || threads <= 1 {
+        let t = Instant::now();
         items.sort_by_key(|t| key(t));
-        return;
+        return t.elapsed().as_secs_f64() * 1e3;
     }
     let chunk = n.div_ceil(threads);
+    let busy_nanos = AtomicU64::new(0);
     // Sort each chunk in parallel.
     {
         let base = SendPtr(items.as_mut_ptr());
@@ -195,13 +358,16 @@ where
                 // SAFETY: chunks are disjoint.
                 let slice =
                     unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+                let timer = Instant::now();
                 slice.sort_by_key(|t| key(t));
+                busy_nanos.fetch_add(timer.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         });
     }
     // Iteratively merge neighbouring sorted runs. The merge passes are
     // sequential (there are only log2(threads) of them and they are
     // memory-bandwidth bound); each pass copies the current contents once.
+    let merge_timer = Instant::now();
     let mut run = chunk;
     while run < n {
         let src = items.to_vec();
@@ -219,6 +385,7 @@ where
         }
         run *= 2;
     }
+    busy_nanos.load(Ordering::Relaxed) as f64 / 1e6 + merge_timer.elapsed().as_secs_f64() * 1e3
 }
 
 fn merge_by_key<T: Clone, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T], key: &F) {
@@ -352,6 +519,90 @@ mod tests {
         let mut one = vec![7u64];
         par_for_each_mut(&mut one, |i, item| *item += i as u64 + 1);
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn map_collect_matches_sequential_at_every_thread_count() {
+        // The element type is neither Default nor Clone — the bound par_map
+        // cannot satisfy.
+        struct Opaque(String);
+        for threads in [1, 2, 5] {
+            let out = with_thread_count(threads, || {
+                par_map_collect(1000, |i| Opaque(format!("item-{i}")))
+            });
+            assert_eq!(out.len(), 1000);
+            assert!(out
+                .iter()
+                .enumerate()
+                .all(|(i, o)| o.0 == format!("item-{i}")));
+        }
+        assert!(par_map_collect(0, |i| i).is_empty());
+        assert_eq!(par_map_collect(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn map_collect_mut_visits_once_and_collects_in_order() {
+        for threads in [1, 3] {
+            let mut items: Vec<u64> = (0..300).collect();
+            let out = with_thread_count(threads, || {
+                par_map_collect_mut(&mut items, |i, item| {
+                    assert_eq!(*item, i as u64);
+                    *item += 1_000;
+                    Box::new(i as u64) // non-Default, non-Clone result
+                })
+            });
+            assert!(items
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == i as u64 + 1_000));
+            assert!(out.iter().enumerate().all(|(i, b)| **b == i as u64));
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        let out = par_map_collect_mut(&mut empty, |_, _| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunks_mut_covers_the_slice_and_reports_busy_time() {
+        let n = 50_000;
+        let mut items: Vec<u64> = vec![0; n];
+        let busy_ms = par_chunks_mut(&mut items, 64, |start, chunk| {
+            for (off, item) in chunk.iter_mut().enumerate() {
+                *item = (start + off) as u64 * 3;
+            }
+        });
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+        assert!(busy_ms >= 0.0);
+        let mut empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            par_chunks_mut(&mut empty, 16, |_, _| panic!("no chunks")),
+            0.0
+        );
+    }
+
+    #[test]
+    fn sort_returns_busy_time_and_is_thread_count_invariant() {
+        let make = |n: usize| -> Vec<(u64, u32)> {
+            (0..n)
+                .map(|i| {
+                    (
+                        ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 40,
+                        i as u32,
+                    )
+                })
+                .collect()
+        };
+        // Keys collide heavily; the (key, id) compound key is unique, so the
+        // permutation must not depend on the thread count.
+        let mut reference = make(30_000);
+        reference.sort_by_key(|&(k, id)| (k, id));
+        for threads in [1, 2, 7] {
+            let mut data = make(30_000);
+            let busy =
+                with_thread_count(threads, || par_sort_by_key(&mut data, |&(k, id)| (k, id)));
+            assert_eq!(data, reference, "threads={threads}");
+            assert!(busy >= 0.0);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use rtnn::{
     SearchResults, ShardMerge, StageKind, TimeBreakdown,
 };
 use rtnn_math::{Aabb, Vec3};
-use rtnn_parallel::par_for_each_mut;
+use rtnn_parallel::{par_map_collect, par_map_collect_mut};
 
 /// One shard: a full `Index` over a contiguous Morton range of the points.
 struct Shard<'a> {
@@ -107,24 +107,27 @@ impl<'a> ShardedIndex<'a> {
         let order = merge.traversal_order();
         let shards_wanted = num_shards.clamp(1, points.len().max(1));
         let chunk = order.len().div_ceil(shards_wanted).max(1);
-        let mut shards = Vec::with_capacity(shards_wanted);
-        let mut emit = |global_ids: Vec<u32>| {
+        // Assemble the shards concurrently on the worker pool: each chunk
+        // of the Morton order gathers its points, takes its bounds and
+        // builds its sub-index independently of every other chunk, and
+        // `par_map_collect` keeps the deterministic (Morton-range) shard
+        // order regardless of which worker finishes first.
+        let chunks: Vec<&[u32]> = if order.is_empty() {
+            vec![&[]]
+        } else {
+            order.chunks(chunk).collect()
+        };
+        let shards = par_map_collect(chunks.len(), |ci| {
+            let global_ids = chunks[ci].to_vec();
             let shard_points: Vec<Vec3> =
                 global_ids.iter().map(|&id| points[id as usize]).collect();
             let bounds = Aabb::from_points(&shard_points);
-            shards.push(Shard {
+            Shard {
                 index: Index::build(backend, shard_points, config),
                 global_ids,
                 bounds,
-            });
-        };
-        if order.is_empty() {
-            emit(Vec::new());
-        } else {
-            for ids in order.chunks(chunk) {
-                emit(ids.to_vec());
             }
-        }
+        });
         ShardedIndex {
             shards,
             merge,
@@ -156,6 +159,19 @@ impl<'a> ShardedIndex<'a> {
     /// Per-shard timing of the most recent [`query`](Self::query) call.
     pub fn last_timing(&self) -> &ShardTiming {
         &self.last_timing
+    }
+
+    /// Pre-build every structure `plan` demands on *all* shards
+    /// concurrently ([`Index::warm`] fanned over the worker pool) — the
+    /// cold-start path a serving layer runs before the first tick lands.
+    /// Returns the total simulated build cost incurred across shards (0
+    /// when everything was already cached); as with [`Index::warm`], each
+    /// shard carries its share forward into its next query's breakdown.
+    pub fn warm(&mut self, plan: &QueryPlan) -> Result<f64, SearchError> {
+        let outcomes = par_map_collect_mut(&mut self.shards, |_, shard| shard.index.warm(plan));
+        outcomes
+            .into_iter()
+            .try_fold(0.0, |acc, r| r.map(|ms| acc + ms))
     }
 
     /// Answer `plan` for `queries` — the [`Index::query`] contract, with
@@ -216,32 +232,20 @@ impl<'a> ShardedIndex<'a> {
         }
 
         // Fan out: every overlapped shard executes its sub-plan in
-        // parallel on the workspace pool.
-        struct ShardRun<'s, 'a> {
-            shard: &'s mut Shard<'a>,
-            job: ShardJob,
-            result: Option<Result<SearchResults, SearchError>>,
-        }
+        // parallel on the worker pool; `par_map_collect_mut` returns the
+        // per-shard outcomes in shard order (its deterministic-ordering
+        // guarantee), so the merge below never depends on worker timing.
         let slice_params: Vec<SearchParams> = slices.iter().map(|(p, _)| *p).collect();
-        let mut runs: Vec<ShardRun<'_, 'a>> = self
-            .shards
-            .iter_mut()
-            .zip(jobs)
-            .map(|(shard, job)| ShardRun {
-                shard,
-                job,
-                result: None,
-            })
-            .collect();
-        par_for_each_mut(&mut runs, |_, run| {
-            if run.job.queries.is_empty() {
-                return;
+        let mut pairs: Vec<(&mut Shard<'a>, ShardJob)> = self.shards.iter_mut().zip(jobs).collect();
+        let outcomes = par_map_collect_mut(&mut pairs, |_, (shard, job)| {
+            if job.queries.is_empty() {
+                return None;
             }
             // Rebuild the shard-local plan: slice sl covers the local
             // launch indices of its routed queries (slice-major order).
             let mut local_slices: Vec<PlanSlice> = Vec::new();
             let mut next = 0u32;
-            for (sl, routed) in run.job.routed_ids.iter().enumerate() {
+            for (sl, routed) in job.routed_ids.iter().enumerate() {
                 if routed.is_empty() {
                     continue;
                 }
@@ -258,21 +262,21 @@ impl<'a> ShardedIndex<'a> {
             } else {
                 QueryPlan::Batch(local_slices)
             };
-            run.result = Some(run.shard.index.query(&run.job.queries, &local_plan));
+            Some(shard.index.query(&job.queries, &local_plan))
         });
 
         // Collect per-shard results (propagating the first error), the
         // timing, and a (query id → local launch index) map per shard.
         let mut shard_results: Vec<Option<(SearchResults, ShardJob)>> =
-            Vec::with_capacity(runs.len());
+            Vec::with_capacity(pairs.len());
         let mut timing = ShardTiming {
-            per_shard_ms: vec![0.0; runs.len()],
+            per_shard_ms: vec![0.0; pairs.len()],
         };
-        for (si, run) in runs.into_iter().enumerate() {
-            match run.result {
+        for (si, ((_, job), outcome)) in pairs.into_iter().zip(outcomes).enumerate() {
+            match outcome {
                 Some(Ok(results)) => {
                     timing.per_shard_ms[si] = results.total_time_ms();
-                    shard_results.push(Some((results, run.job)));
+                    shard_results.push(Some((results, job)));
                 }
                 Some(Err(e)) => return Err(e),
                 None => shard_results.push(None),
@@ -444,6 +448,30 @@ mod tests {
             assert!(timing.critical_path_ms() > 0.0);
             assert!(timing.total_ms() >= timing.critical_path_ms());
         }
+    }
+
+    #[test]
+    fn warm_prebuilds_every_shard_before_the_first_tick() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(600);
+        let queries: Vec<Vec3> = points.iter().step_by(11).copied().collect();
+        let plan = QueryPlan::knn(1.4, 6);
+
+        let mut cold = ShardedIndex::build(&backend, &points, EngineConfig::default(), 4);
+        let mut warmed = ShardedIndex::build(&backend, &points, EngineConfig::default(), 4);
+        let built = warmed.warm(&plan).unwrap();
+        assert!(built > 0.0, "cold-start warm-up builds on every shard");
+        assert_eq!(warmed.warm(&plan).unwrap(), 0.0, "second warm is free");
+
+        // Warming changes when structures are built, never what queries
+        // return.
+        let expected = cold.query(&queries, &plan).unwrap();
+        let got = warmed.query(&queries, &plan).unwrap();
+        assert_eq!(got.neighbors, expected.neighbors);
+        // The next round on the warmed index amortises every build.
+        let next = warmed.query(&queries, &plan).unwrap();
+        assert_eq!(next.breakdown.bvh_ms, 0.0);
     }
 
     #[test]
