@@ -1,0 +1,21 @@
+//! Extension figure: the telemetry layer's two contracts — bit-equality of
+//! results at every `RTNN_TELEMETRY` level, and the measured overhead of
+//! the disabled/basic/full recording paths on the warm query loop.
+
+use rtnn_bench::{experiments, ExperimentScale};
+use rtnn_telemetry::TelemetryLevel;
+
+fn main() {
+    // Validate the telemetry knob up front the same way the scale knobs are
+    // handled: garbage in RTNN_TELEMETRY is a startup error (exit 2), not a
+    // silently different experiment. The experiment itself scopes private
+    // sinks per level, so the ambient level only affects what the rest of
+    // the process records.
+    let ambient = TelemetryLevel::from_env();
+    eprintln!("ambient telemetry level: {ambient}");
+    let report = experiments::obs::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -9,6 +9,7 @@ pub mod bvh_build;
 pub mod coherence;
 pub mod dynamic;
 pub mod mixed;
+pub mod obs;
 pub mod partition_dist;
 pub mod sensitivity;
 pub mod serve;

@@ -153,6 +153,11 @@ pub fn build_bvh_profiled(prim_aabbs: &[Aabb], params: BuildParams) -> (Bvh, Bui
         work_ms,
         threads,
     };
+    if let Some(t) = rtnn_telemetry::Telemetry::current() {
+        t.counter_add("bvh.builds", 1);
+        t.counter_add("bvh.build_prims", prim_aabbs.len() as u64);
+        t.observe_wall("bvh.build.wall_ms", profile.host_wall_ms);
+    }
     (bvh, profile)
 }
 

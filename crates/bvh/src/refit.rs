@@ -83,21 +83,27 @@ pub fn refit_bvh_profiled(
     let threads = current_num_threads();
     // Cut deep enough to hand every worker several subtrees for load
     // balancing; a serial run or a small tree dispatches to the oracle.
-    if threads <= 1 || bvh.nodes.len() < 4096 {
+    let result = if threads <= 1 || bvh.nodes.len() < 4096 {
         let wall = Instant::now();
         let stats = refit_bvh_serial(bvh, new_prim_aabbs)?;
         let ms = wall.elapsed().as_secs_f64() * 1e3;
-        return Ok((
+        Ok((
             stats,
             BuildProfile {
                 host_wall_ms: ms,
                 work_ms: ms,
                 threads,
             },
-        ));
+        ))
+    } else {
+        let cut_depth = (threads * 8).next_power_of_two().trailing_zeros();
+        refit_bvh_with_cut(bvh, new_prim_aabbs, cut_depth)
+    };
+    if let (Ok((_, profile)), Some(t)) = (&result, rtnn_telemetry::Telemetry::current()) {
+        t.counter_add("bvh.refits", 1);
+        t.observe_wall("bvh.refit.wall_ms", profile.host_wall_ms);
     }
-    let cut_depth = (threads * 8).next_power_of_two().trailing_zeros();
-    refit_bvh_with_cut(bvh, new_prim_aabbs, cut_depth)
+    result
 }
 
 /// The serial refit oracle: one explicit post-order traversal of the whole

@@ -54,6 +54,7 @@ use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::{Gas, LaunchMetrics};
 use rtnn_parallel::par_map_collect;
+use rtnn_telemetry::Telemetry;
 use std::borrow::Cow;
 use std::time::Instant;
 
@@ -554,7 +555,19 @@ impl<'a> Index<'a> {
     ) -> Result<SearchResults, SearchError> {
         let plan = plan.normalized();
         plan.validate(queries.len())?;
-        match plan.as_ref() {
+        let tel = Telemetry::current();
+        let mut query_span = tel.as_ref().map(|t| {
+            t.span(match plan.as_ref().kind_label() {
+                "knn" => "index.query.knn",
+                "range" => "index.query.range",
+                _ => "index.query.batch",
+            })
+        });
+        if let Some(t) = &tel {
+            t.counter_add("index.queries", 1);
+            t.counter_add("index.query_points", queries.len() as u64);
+        }
+        let result = match plan.as_ref() {
             QueryPlan::Batch(slices) => self.query_batch(queries, slices, overrides),
             single => {
                 let params = single.params().expect("non-batch plan has params");
@@ -593,7 +606,14 @@ impl<'a> Index<'a> {
                 };
                 pipeline.execute(params, &self.points, queries, &mut self.store, scene)
             }
+        };
+        if let (Some(span), Ok(results)) = (query_span.as_mut(), result.as_ref()) {
+            span.attr("queries", queries.len() as f64)
+                .attr("points", self.points.len() as f64)
+                .attr("device_ms", results.trace.device_total_ms())
+                .attr("partitions", results.num_partitions as f64);
         }
+        result
     }
 
     /// The heterogeneous-batch path: one shared `Schedule` stage over every
@@ -639,10 +659,15 @@ impl<'a> Index<'a> {
             .sum();
         breakdown.data_ms = device.transfer_h2d_ms((self.points.len() + queries.len()) as u64 * 12)
             + device.transfer_d2h_ms(result_bytes);
+        let tel = Telemetry::current();
         let pending_structure_ms = std::mem::take(&mut self.pending_structure_ms);
         breakdown.bvh_ms += pending_structure_ms;
         if pending_structure_ms > 0.0 {
             trace.charge(StageKind::Launch, pending_structure_ms, 0.0);
+            if let Some(t) = &tel {
+                let mut span = t.span("accel.ensure");
+                span.attr("device_ms", pending_structure_ms);
+            }
         }
 
         let mut search_metrics = LaunchMetrics::default();
@@ -683,12 +708,19 @@ impl<'a> Index<'a> {
                 }
             }
             let host = Instant::now();
+            let mut ensure_span = tel.as_ref().map(|t| t.span("accel.ensure"));
             let built_ms = self
                 .store
                 .ensure_many(backend, &self.points, &widths, cfg.build)?;
+            let host_ms = host_ms_since(host);
             if built_ms > 0.0 {
                 breakdown.bvh_ms += built_ms;
-                trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+                trace.charge(StageKind::Launch, built_ms, host_ms);
+            }
+            if let Some(span) = ensure_span.as_mut() {
+                span.attr("device_ms", if built_ms > 0.0 { built_ms } else { 0.0 })
+                    .attr("widths", widths.len() as f64)
+                    .attr_wall("host_ms", host_ms);
             }
         }
 
@@ -703,16 +735,25 @@ impl<'a> Index<'a> {
                 .fold(0.0f32, f32::max);
             let shared_width = 2.0 * max_r * cfg.approx.aabb_width_factor();
             let host = Instant::now();
+            let mut ensure_span = tel.as_ref().map(|t| t.span("accel.ensure"));
             let (sid, built_ms) =
                 self.store
                     .ensure(backend, &self.points, shared_width, cfg.build)?;
             breakdown.bvh_ms += built_ms;
-            trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+            let host_ms = host_ms_since(host);
+            trace.charge(StageKind::Launch, built_ms, host_ms);
+            if let Some(span) = ensure_span.as_mut() {
+                span.attr("device_ms", built_ms)
+                    .attr_wall("host_ms", host_ms);
+            }
             Some(sid)
         } else {
             None
         };
         let host = Instant::now();
+        let mut stage_span = tel
+            .as_ref()
+            .map(|t| t.span(StageKind::Schedule.span_name()));
         let schedule = schedule_stage.schedule(&ScheduleCx {
             backend,
             accel: accel.map(|sid| self.store.accel_ref(sid)),
@@ -722,11 +763,19 @@ impl<'a> Index<'a> {
         });
         breakdown.fs_ms += schedule.fs_metrics.time_ms();
         breakdown.opt_ms += schedule.sort_metrics.time_ms;
-        trace.charge(
-            StageKind::Schedule,
-            schedule.fs_metrics.time_ms() + schedule.sort_metrics.time_ms,
-            host_ms_since(host),
-        );
+        let schedule_device_ms = schedule.fs_metrics.time_ms() + schedule.sort_metrics.time_ms;
+        let schedule_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Schedule, schedule_device_ms, schedule_host_ms);
+        if let Some(t) = &tel {
+            t.observe(StageKind::Schedule.device_histogram(), schedule_device_ms);
+        }
+        if let Some(span) = stage_span.as_mut() {
+            span.attr("device_ms", schedule_device_ms)
+                .attr("queries", covered.len() as f64)
+                .attr("invocations", 1.0)
+                .attr_wall("host_ms", schedule_host_ms);
+        }
+        drop(stage_span);
         if overrides.schedule.is_some() {
             crate::pipeline::assert_schedule_covers(&schedule.order, &covered, queries.len());
         }
@@ -757,12 +806,19 @@ impl<'a> Index<'a> {
                 continue;
             }
             let host = Instant::now();
+            let mut ensure_span = tel.as_ref().map(|t| t.span("accel.ensure"));
             let full_width = 2.0 * params.radius * cfg.approx.aabb_width_factor();
             let (gid, built_ms) =
                 self.store
                     .ensure(backend, &self.points, full_width, cfg.build)?;
             breakdown.bvh_ms += built_ms;
-            trace.charge(StageKind::Launch, built_ms, host_ms_since(host));
+            let host_ms = host_ms_since(host);
+            trace.charge(StageKind::Launch, built_ms, host_ms);
+            if let Some(span) = ensure_span.as_mut() {
+                span.attr("device_ms", built_ms)
+                    .attr_wall("host_ms", host_ms);
+            }
+            drop(ensure_span);
             let grid = if pipeline.partition_stage().wants_grid() {
                 grid_for(&mut self.grid, &self.points, cfg.grid_max_cells)
             } else {

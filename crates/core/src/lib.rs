@@ -92,4 +92,5 @@ pub use plan::{PlanError, PlanSlice, QueryPlan};
 pub use result::{SearchMode, SearchParams, SearchResults, ShardMerge, TimeBreakdown};
 pub use rtnn_gpusim::StructureTiming;
 pub use rtnn_optix::LaunchMetrics;
+pub use rtnn_telemetry as telemetry;
 pub use scheduling::{raster_order, schedule_queries, schedule_queries_on, QuerySchedule};

@@ -85,6 +85,7 @@ use crate::result::{SearchParams, SearchResults, TimeBreakdown};
 use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::LaunchMetrics;
+use rtnn_telemetry::Telemetry;
 use std::time::Instant;
 
 static COHERENCE_SCHEDULE: CoherenceSchedule = CoherenceSchedule;
@@ -278,22 +279,32 @@ impl<'r> ExecutionPipeline<'r> {
             });
         }
 
+        let tel = Telemetry::current();
+
         // Global structure: traversed by the coherence pass and by every
         // full-width partition. Structure availability (builds plus any
         // caller-side maintenance) is billed to the Launch stage.
         let host = Instant::now();
+        let mut ensure_span = tel.as_ref().map(|t| t.span("accel.ensure"));
         let full_width = 2.0 * params.radius * self.config.approx.aabb_width_factor();
         let (gid, built_ms) = store.ensure(self.backend, points, full_width, self.config.build)?;
         debug_assert_eq!(store.accel_ref(gid).num_primitives(), points.len());
         breakdown.bvh_ms += built_ms + scene.structure_ms;
-        trace.charge(
-            StageKind::Launch,
-            built_ms + scene.structure_ms,
-            host_ms_since(host),
-        );
+        let structure_device_ms = built_ms + scene.structure_ms;
+        let structure_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Launch, structure_device_ms, structure_host_ms);
+        if let Some(span) = ensure_span.as_mut() {
+            span.attr("device_ms", structure_device_ms)
+                .attr("primitives", points.len() as f64)
+                .attr_wall("host_ms", structure_host_ms);
+        }
+        drop(ensure_span);
 
         // Schedule stage.
         let host = Instant::now();
+        let mut stage_span = tel
+            .as_ref()
+            .map(|t| t.span(StageKind::Schedule.span_name()));
         let ids: Vec<u32> = (0..queries.len() as u32).collect();
         let schedule = self.schedule_stage().schedule(&ScheduleCx {
             backend: self.backend,
@@ -307,11 +318,19 @@ impl<'r> ExecutionPipeline<'r> {
         }
         breakdown.fs_ms += schedule.fs_metrics.time_ms();
         breakdown.opt_ms += schedule.sort_metrics.time_ms;
-        trace.charge(
-            StageKind::Schedule,
-            schedule.fs_metrics.time_ms() + schedule.sort_metrics.time_ms,
-            host_ms_since(host),
-        );
+        let schedule_device_ms = schedule.fs_metrics.time_ms() + schedule.sort_metrics.time_ms;
+        let schedule_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Schedule, schedule_device_ms, schedule_host_ms);
+        if let Some(t) = &tel {
+            t.observe(StageKind::Schedule.device_histogram(), schedule_device_ms);
+        }
+        if let Some(span) = stage_span.as_mut() {
+            span.attr("device_ms", schedule_device_ms)
+                .attr("queries", queries.len() as f64)
+                .attr("invocations", 1.0)
+                .attr_wall("host_ms", schedule_host_ms);
+        }
+        drop(stage_span);
         let fs_metrics = schedule.fs_metrics.clone();
 
         let (num_partitions, num_bundles) = self.execute_ordered(
@@ -361,8 +380,13 @@ impl<'r> ExecutionPipeline<'r> {
         search_metrics: &mut LaunchMetrics,
         trace: &mut PipelineTrace,
     ) -> Result<(usize, usize), SearchError> {
+        let tel = Telemetry::current();
+
         // Partition stage.
         let host = Instant::now();
+        let mut stage_span = tel
+            .as_ref()
+            .map(|t| t.span(StageKind::Partition.span_name()));
         let parts = self.partition_stage().partition(PartitionCx {
             backend: self.backend,
             config: self.config,
@@ -375,14 +399,24 @@ impl<'r> ExecutionPipeline<'r> {
             cache,
         });
         breakdown.opt_ms += parts.opt_metrics.time_ms;
-        trace.charge(
-            StageKind::Partition,
-            parts.opt_metrics.time_ms,
-            host_ms_since(host),
-        );
+        let partition_device_ms = parts.opt_metrics.time_ms;
+        let partition_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Partition, partition_device_ms, partition_host_ms);
+        if let Some(t) = &tel {
+            t.observe(StageKind::Partition.device_histogram(), partition_device_ms);
+        }
+        if let Some(span) = stage_span.as_mut() {
+            span.attr("device_ms", partition_device_ms)
+                .attr("partitions", parts.num_partitions as f64)
+                .attr("bundles", parts.num_bundles as f64)
+                .attr("invocations", 1.0)
+                .attr_wall("host_ms", partition_host_ms);
+        }
+        drop(stage_span);
 
         // Launch stage.
         let host = Instant::now();
+        let mut stage_span = tel.as_ref().map(|t| t.span(StageKind::Launch.span_name()));
         let bvh_before = breakdown.bvh_ms;
         let search_before = breakdown.search_ms;
         let launches = {
@@ -399,16 +433,35 @@ impl<'r> ExecutionPipeline<'r> {
             };
             self.launch_stage().launch(&mut cx, &parts)?
         };
-        trace.charge(
-            StageKind::Launch,
-            (breakdown.bvh_ms - bvh_before) + (breakdown.search_ms - search_before),
-            host_ms_since(host),
-        );
+        let launch_device_ms =
+            (breakdown.bvh_ms - bvh_before) + (breakdown.search_ms - search_before);
+        let launch_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Launch, launch_device_ms, launch_host_ms);
+        if let Some(t) = &tel {
+            t.observe(StageKind::Launch.device_histogram(), launch_device_ms);
+        }
+        if let Some(span) = stage_span.as_mut() {
+            span.attr("device_ms", launch_device_ms)
+                .attr("invocations", 1.0)
+                .attr_wall("host_ms", launch_host_ms);
+        }
+        drop(stage_span);
 
         // Gather stage.
         let host = Instant::now();
+        let mut stage_span = tel.as_ref().map(|t| t.span(StageKind::Gather.span_name()));
         self.gather_stage().gather(&parts, launches, out);
-        trace.charge(StageKind::Gather, 0.0, host_ms_since(host));
+        let gather_host_ms = host_ms_since(host);
+        trace.charge(StageKind::Gather, 0.0, gather_host_ms);
+        if let Some(t) = &tel {
+            t.observe(StageKind::Gather.device_histogram(), 0.0);
+        }
+        if let Some(span) = stage_span.as_mut() {
+            span.attr("device_ms", 0.0)
+                .attr("invocations", 1.0)
+                .attr_wall("host_ms", gather_host_ms);
+        }
+        drop(stage_span);
 
         Ok((parts.num_partitions, parts.num_bundles))
     }

@@ -52,6 +52,28 @@ impl StageKind {
         }
     }
 
+    /// Telemetry span name for one execution of this stage (the workspace
+    /// dotted schema — see the README's Observability section).
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            StageKind::Partition => "stage.partition",
+            StageKind::Schedule => "stage.schedule",
+            StageKind::Launch => "stage.launch",
+            StageKind::Gather => "stage.gather",
+        }
+    }
+
+    /// Telemetry histogram name for this stage's simulated device
+    /// milliseconds per invocation (recorded at level `basic` and up).
+    pub fn device_histogram(&self) -> &'static str {
+        match self {
+            StageKind::Partition => "stage.partition.device_ms",
+            StageKind::Schedule => "stage.schedule.device_ms",
+            StageKind::Launch => "stage.launch.device_ms",
+            StageKind::Gather => "stage.gather.device_ms",
+        }
+    }
+
     fn slot(self) -> usize {
         match self {
             StageKind::Partition => 0,

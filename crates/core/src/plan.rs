@@ -97,6 +97,17 @@ impl QueryPlan {
         }
     }
 
+    /// The plan kind as a static label (`"knn"` / `"range"` / `"batch"`) —
+    /// the suffix the telemetry naming schema uses for per-plan-kind span
+    /// names and latency histograms.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            QueryPlan::Knn { .. } => "knn",
+            QueryPlan::Range { .. } => "range",
+            QueryPlan::Batch(_) => "batch",
+        }
+    }
+
     /// The legacy parameter bundle for a non-batch plan (`None` for
     /// [`QueryPlan::Batch`]).
     pub fn params(&self) -> Option<SearchParams> {

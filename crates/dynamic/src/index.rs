@@ -315,6 +315,11 @@ impl<'d> DynamicIndex<'d> {
     /// through a per-frame [`Index`] view adopting them. Neighbor ids in
     /// the returned results are stable point handles.
     pub fn search(&mut self, queries: &[Vec3]) -> Result<FrameResult, SearchError> {
+        let tel = rtnn_telemetry::Telemetry::current();
+        let mut frame_span = tel.as_ref().map(|t| t.span("dynamic.frame"));
+        if let Some(t) = &tel {
+            t.counter_add("dynamic.frames", 1);
+        }
         let sync = self.sync_structures()?;
         // Drain *all* maintenance cost not yet reported — this frame's plus
         // anything charged by views that were dropped without a query — so
@@ -349,6 +354,22 @@ impl<'d> DynamicIndex<'d> {
             StructureAction::Refit => self.metrics.refits += 1,
             StructureAction::Reused => {}
         }
+        if let Some(t) = &tel {
+            let action = match sync.action {
+                StructureAction::Rebuilt => "dynamic.rebuilds",
+                StructureAction::Refit => "dynamic.refits",
+                StructureAction::Reused => "dynamic.reuses",
+            };
+            t.counter_add(action, 1);
+            t.observe("dynamic.structure_ms", structure_ms);
+        }
+        if let Some(span) = frame_span.as_mut() {
+            span.attr("queries", queries.len() as f64)
+                .attr("structure_ms", structure_ms)
+                .attr("device_ms", results.trace.device_total_ms())
+                .attr_wall("host_structure_ms", host_structure_ms);
+        }
+        drop(frame_span);
 
         Ok(FrameResult {
             results,

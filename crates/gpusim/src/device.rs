@@ -167,13 +167,23 @@ impl Device {
 
     /// Simulated milliseconds to copy `bytes` from host to device over PCIe.
     pub fn transfer_h2d_ms(&self, bytes: u64) -> f64 {
-        bytes as f64 / (self.config.cost.pcie_gbps * 1e9) * 1e3
+        if let Some(t) = rtnn_telemetry::Telemetry::current() {
+            t.counter_add("device.h2d_bytes", bytes);
+        }
+        self.h2d_cost_ms(bytes)
     }
 
     /// Simulated milliseconds of *visible* device-to-host copy time (most of
     /// it overlaps with compute, per the paper's footnote 4).
     pub fn transfer_d2h_ms(&self, bytes: u64) -> f64 {
-        self.transfer_h2d_ms(bytes) * self.config.cost.d2h_visible_fraction
+        if let Some(t) = rtnn_telemetry::Telemetry::current() {
+            t.counter_add("device.d2h_bytes", bytes);
+        }
+        self.h2d_cost_ms(bytes) * self.config.cost.d2h_visible_fraction
+    }
+
+    fn h2d_cost_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.config.cost.pcie_gbps * 1e9) * 1e3
     }
 
     /// Check whether an allocation of `bytes` fits in device memory.

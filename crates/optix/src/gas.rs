@@ -13,6 +13,7 @@ use rtnn_gpusim::device::OutOfDeviceMemory;
 use rtnn_gpusim::Device;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_parallel::par_map;
+use rtnn_telemetry::Telemetry;
 
 /// Simulated device-side size of one BVH node in bytes.
 pub const NODE_BYTES: u64 = 32;
@@ -50,11 +51,26 @@ impl Gas {
         prim_aabbs: &[Aabb],
         params: BuildParams,
     ) -> Result<Gas, OutOfDeviceMemory> {
+        let tel = Telemetry::current();
+        let mut span = tel.as_ref().map(|t| t.span("accel.build"));
         let (bvh, host_build) = build_bvh_profiled(prim_aabbs, params);
         let memory_bytes =
             bvh.num_nodes() as u64 * NODE_BYTES + bvh.num_primitives() as u64 * PRIM_BYTES;
         device.check_allocation(memory_bytes)?;
         let build_time_ms = device.accel_build_time_ms(prim_aabbs.len());
+        if let Some(t) = &tel {
+            t.counter_add("accel.builds", 1);
+            t.observe("accel.build.device_ms", build_time_ms);
+        }
+        if let Some(span) = span.as_mut() {
+            span.attr("device_ms", build_time_ms)
+                .attr("primitives", prim_aabbs.len() as f64)
+                .attr("memory_bytes", memory_bytes as f64)
+                .attr_wall("host_wall_ms", host_build.host_wall_ms)
+                .attr_wall("work_ms", host_build.work_ms)
+                .attr_wall("threads", host_build.threads as f64);
+        }
+        drop(span);
         Ok(Gas {
             bvh,
             build_time_ms,
@@ -83,10 +99,25 @@ impl Gas {
     /// the refit statistics; fails if the primitive count changed (a refit
     /// cannot re-topologize — rebuild instead).
     pub fn refit(&mut self, device: &Device, prim_aabbs: &[Aabb]) -> Result<GasRefit, RefitError> {
+        let tel = Telemetry::current();
+        let mut span = tel.as_ref().map(|t| t.span("accel.refit"));
         let (stats, host) = refit_bvh_profiled(&mut self.bvh, prim_aabbs)?;
         self.host_refit = Some(host);
+        let refit_time_ms = device.accel_refit_time_ms(prim_aabbs.len());
+        if let Some(t) = &tel {
+            t.counter_add("accel.refits", 1);
+            t.observe("accel.refit.device_ms", refit_time_ms);
+        }
+        if let Some(span) = span.as_mut() {
+            span.attr("device_ms", refit_time_ms)
+                .attr("primitives", prim_aabbs.len() as f64)
+                .attr("nodes_updated", stats.nodes_updated as f64)
+                .attr_wall("host_wall_ms", host.host_wall_ms)
+                .attr_wall("work_ms", host.work_ms);
+        }
+        drop(span);
         Ok(GasRefit {
-            refit_time_ms: device.accel_refit_time_ms(prim_aabbs.len()),
+            refit_time_ms,
             stats,
             host,
         })

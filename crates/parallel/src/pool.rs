@@ -40,6 +40,9 @@ pub fn current_num_threads() -> usize {
 /// restores the default (machine parallelism).
 pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
+    if let Some(t) = rtnn_telemetry::Telemetry::current() {
+        t.gauge_set("parallel.threads", current_num_threads() as f64);
+    }
 }
 
 /// Run `f` with the worker-thread count pinned to `n` on the *calling

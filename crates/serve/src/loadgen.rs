@@ -9,13 +9,22 @@
 //! milliseconds the executor reports. Same seed, same executor → the same
 //! ticks, latencies and throughput, on any machine. `fig_serve` sweeps
 //! offered load through this harness.
+//!
+//! [`run_virtual_observed`] additionally attaches a private
+//! [`Telemetry`] sink on the replay's [`VirtualClock`]: every span and
+//! metric is stamped from the replayed schedule (wall-measured values are
+//! dropped — see [`Telemetry::is_deterministic`]), so the returned
+//! [`TelemetrySnapshot`] is itself bit-reproducible across machines and
+//! thread counts.
 
-use crate::coalesce::{execute_tick, TickExecutor};
+use crate::coalesce::{execute_tick, TickExecutor, TickOutcome};
 use crate::config::ServeConfig;
 use crate::request::Request;
-use crate::stats::{percentile, ServiceStats};
+use crate::stats::ServiceStats;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rtnn_telemetry::{SpanRecord, Telemetry, TelemetryLevel, TelemetrySnapshot, VirtualClock};
+use std::sync::Arc;
 
 /// The outcome of one virtual-time run.
 #[derive(Debug, Clone, Default)]
@@ -33,7 +42,7 @@ pub struct LoadReport {
 impl LoadReport {
     /// Latency percentile in virtual milliseconds.
     pub fn latency_ms(&self, q: f64) -> f64 {
-        percentile(&self.stats.latencies, q)
+        self.stats.latencies.percentile(q)
     }
 }
 
@@ -71,6 +80,54 @@ pub fn run_virtual<E: TickExecutor>(
     arrivals_ms: &[f64],
     config: &ServeConfig,
 ) -> LoadReport {
+    replay(executor, requests, arrivals_ms, config, None)
+}
+
+/// [`run_virtual`] with a private telemetry sink on the replay's virtual
+/// clock, recording at `level`: per-request spans (`serve.request.*`,
+/// interval = arrival → departure), one `serve.tick` span per tick
+/// (parented under the request that opened it, enclosing the executor's
+/// own pipeline spans), per-plan-kind latency histograms
+/// (`serve.latency.*`, virtual milliseconds), and the queue-depth /
+/// coalescing-window gauges. Returns the report plus the frozen snapshot —
+/// bit-deterministic for a given (requests, arrivals, config, executor).
+pub fn run_virtual_observed<E: TickExecutor>(
+    executor: &mut E,
+    requests: &[Request],
+    arrivals_ms: &[f64],
+    config: &ServeConfig,
+    level: TelemetryLevel,
+) -> (LoadReport, TelemetrySnapshot) {
+    let clock = Arc::new(VirtualClock::new());
+    let telemetry = Telemetry::with_clock(level, clock.clone());
+    let report = replay(
+        executor,
+        requests,
+        arrivals_ms,
+        config,
+        Some(Observer {
+            telemetry: &telemetry,
+            clock: &clock,
+        }),
+    );
+    let snapshot = telemetry.snapshot();
+    (report, snapshot)
+}
+
+/// The observed replay's recording context: the sink plus the hand-advanced
+/// clock it stamps from.
+struct Observer<'a> {
+    telemetry: &'a Arc<Telemetry>,
+    clock: &'a Arc<VirtualClock>,
+}
+
+fn replay<E: TickExecutor>(
+    executor: &mut E,
+    requests: &[Request],
+    arrivals_ms: &[f64],
+    config: &ServeConfig,
+    observer: Option<Observer<'_>>,
+) -> LoadReport {
     assert_eq!(requests.len(), arrivals_ms.len());
     assert!(
         arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
@@ -81,6 +138,16 @@ pub fn run_virtual<E: TickExecutor>(
     } else {
         0.0
     };
+    if let Some(obs) = &observer {
+        obs.telemetry.gauge_set(
+            "serve.coalescing_window_us",
+            if config.coalescing {
+                config.window_us as f64
+            } else {
+                0.0
+            },
+        );
+    }
 
     let mut stats = ServiceStats::default();
     let mut free_at = 0.0f64;
@@ -104,7 +171,10 @@ pub fn run_virtual<E: TickExecutor>(
             close
         };
         let tick: Vec<&Request> = requests[i..j].iter().collect();
-        let (_, outcome) = execute_tick(executor, &tick);
+        let outcome = match &observer {
+            None => execute_tick(executor, &tick).1,
+            Some(obs) => observed_tick(obs, executor, &tick, arrivals_ms, i, j, exec_start),
+        };
         let departure = exec_start + outcome.sim_ms;
         stats.record_tick(tick.len(), outcome.queries, outcome.sim_ms);
         for &arrival in &arrivals_ms[i..j] {
@@ -137,6 +207,63 @@ pub fn run_virtual<E: TickExecutor>(
         achieved_qps,
         offered_qps,
     }
+}
+
+/// One tick of the observed replay: advance the virtual clock to the tick's
+/// exact schedule instants, run the executor inside a `serve.tick` span (so
+/// its pipeline spans nest under the tick on the replay sink), then record
+/// each request's span retrospectively over its arrival → departure
+/// sojourn.
+fn observed_tick<E: TickExecutor>(
+    obs: &Observer<'_>,
+    executor: &mut E,
+    tick: &[&Request],
+    arrivals_ms: &[f64],
+    i: usize,
+    j: usize,
+    exec_start: f64,
+) -> TickOutcome {
+    let tel = obs.telemetry;
+    obs.clock.set_ms(exec_start);
+    tel.gauge_set("serve.queue_depth", tick.len() as f64);
+    let request_ids: Vec<_> = (i..j)
+        .map(|_| tel.spans_enabled().then(|| tel.reserve_span_id()))
+        .collect();
+    let outcome = Telemetry::scoped(tel, || {
+        let mut tick_span = tel.span_with_parent("serve.tick", request_ids[0]);
+        let (_, outcome) = execute_tick(executor, tick);
+        obs.clock.set_ms(exec_start + outcome.sim_ms);
+        tick_span
+            .attr("requests", tick.len() as f64)
+            .attr("queries", outcome.queries as f64)
+            .attr("sim_ms", outcome.sim_ms);
+        outcome
+    });
+    tel.counter_add("serve.ticks", 1);
+    tel.counter_add("serve.requests", tick.len() as u64);
+    let departure = exec_start + outcome.sim_ms;
+    for (k, ridx) in (i..j).enumerate() {
+        let request = &tick[k];
+        let latency_ms = departure - arrivals_ms[ridx];
+        tel.observe(request.latency_histogram(), latency_ms);
+        if let Some(id) = request_ids[k] {
+            tel.record_span_with_id(
+                id,
+                SpanRecord {
+                    name: request.span_name().into(),
+                    parent: None,
+                    start_ms: arrivals_ms[ridx],
+                    end_ms: departure,
+                    attrs: vec![
+                        ("queries".into(), request.queries.len() as f64),
+                        ("latency_ms".into(), latency_ms),
+                        ("tick_requests".into(), tick.len() as f64),
+                    ],
+                },
+            );
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -253,5 +380,69 @@ mod tests {
             &ServeConfig::default().without_coalescing(),
         );
         assert!((no_window.latency_ms(0.5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_replay_matches_the_plain_one_and_snapshots_deterministically() {
+        let requests: Vec<Request> = (0..40).map(|_| req()).collect();
+        let arrivals = poisson_arrivals(40, 500.0, 11);
+        let cfg = ServeConfig::default()
+            .with_window_us(2_000)
+            .with_max_batch(8);
+        let plain = run_virtual(&mut FixedCost, &requests, &arrivals, &cfg);
+        let (observed, snap_a) = run_virtual_observed(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &cfg,
+            TelemetryLevel::Full,
+        );
+        let (_, snap_b) = run_virtual_observed(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &cfg,
+            TelemetryLevel::Full,
+        );
+
+        // Observation never changes the replay.
+        assert_eq!(observed.stats, plain.stats);
+        assert_eq!(observed.makespan_ms, plain.makespan_ms);
+
+        // Snapshots are bit-deterministic and structurally sound.
+        assert_eq!(snap_a, snap_b);
+        assert!(snap_a.deterministic);
+        snap_a.check_nesting(1e-9).unwrap();
+        assert_eq!(
+            snap_a.spans_named("serve.tick").count(),
+            plain.stats.ticks,
+            "one tick span per tick"
+        );
+        assert_eq!(
+            snap_a.spans_named("serve.request.knn").count(),
+            requests.len(),
+            "one request span per request"
+        );
+        assert_eq!(
+            snap_a.metrics.counter("serve.requests"),
+            Some(requests.len() as u64)
+        );
+        let lat = snap_a.metrics.histogram("serve.latency.knn").unwrap();
+        assert_eq!(lat.count, requests.len() as u64);
+        assert_eq!(lat.p999, plain.stats.latency_p999());
+
+        // Basic drops the spans but keeps the metrics.
+        let (_, basic) = run_virtual_observed(
+            &mut FixedCost,
+            &requests,
+            &arrivals,
+            &cfg,
+            TelemetryLevel::Basic,
+        );
+        assert!(basic.spans.is_empty());
+        assert_eq!(
+            basic.metrics.counter("serve.ticks"),
+            Some(plain.stats.ticks as u64)
+        );
     }
 }

@@ -20,6 +20,29 @@ impl Request {
     pub fn new(queries: Vec<Vec3>, plan: QueryPlan) -> Self {
         Request { queries, plan }
     }
+
+    /// Telemetry span name for this request, keyed by plan kind
+    /// (`serve.request.knn` / `.range` / `.batch`).
+    pub fn span_name(&self) -> &'static str {
+        match self.plan.kind_label() {
+            "knn" => "serve.request.knn",
+            "range" => "serve.request.range",
+            _ => "serve.request.batch",
+        }
+    }
+
+    /// Telemetry latency-histogram name for this request, keyed by plan
+    /// kind (`serve.latency.knn` / `.range` / `.batch`). Units follow
+    /// [`ServiceStats::latencies`](crate::ServiceStats::latencies): wall
+    /// microseconds on the live service, virtual milliseconds in the load
+    /// harness.
+    pub fn latency_histogram(&self) -> &'static str {
+        match self.plan.kind_label() {
+            "knn" => "serve.latency.knn",
+            "range" => "serve.latency.range",
+            _ => "serve.latency.batch",
+        }
+    }
 }
 
 /// Per-request serving statistics, reported with every [`Response`].

@@ -44,7 +44,9 @@ use crate::coalesce::{execute_tick, TickExecutor};
 use crate::config::ServeConfig;
 use crate::request::{Request, RequestStats, Response};
 use crate::stats::ServiceStats;
+use rtnn_telemetry::{SpanId, SpanRecord, Telemetry, TelemetrySnapshot};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One in-flight request plus its reply channel.
@@ -52,12 +54,18 @@ struct Envelope {
     request: Request,
     submitted: Instant,
     reply: mpsc::Sender<Response>,
+    /// Pre-reserved id of the request's telemetry span (`None` when spans
+    /// are disabled); the dispatcher records it once the reply is sent.
+    span_id: Option<SpanId>,
+    /// Submission instant on the telemetry clock, for the span interval.
+    submitted_ms: f64,
 }
 
 /// A cloneable client handle: submit requests, receive responses.
 #[derive(Clone)]
 pub struct ServiceClient {
     tx: mpsc::Sender<Envelope>,
+    telemetry: Arc<Telemetry>,
 }
 
 /// A response that has not arrived yet (returned by
@@ -88,11 +96,21 @@ impl ServiceClient {
     /// Panics if the service is no longer running.
     pub fn submit(&self, request: Request) -> PendingResponse {
         let (reply, rx) = mpsc::channel();
+        let (span_id, submitted_ms) = if self.telemetry.spans_enabled() {
+            (
+                Some(self.telemetry.reserve_span_id()),
+                self.telemetry.now_ms(),
+            )
+        } else {
+            (None, 0.0)
+        };
         self.tx
             .send(Envelope {
                 request,
                 submitted: Instant::now(),
                 reply,
+                span_id,
+                submitted_ms,
             })
             .expect("the query service is no longer running");
         PendingResponse { rx }
@@ -102,26 +120,71 @@ impl ServiceClient {
     pub fn call(&self, request: Request) -> Response {
         self.submit(request).wait()
     }
+
+    /// The telemetry sink the service records to.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Freeze the service's telemetry: serving metrics (queue-depth /
+    /// window gauges, per-plan-kind `serve.latency.*` histograms with
+    /// exact p50/p99/p999) plus, at level `full`, the completed span trees
+    /// — one `serve.request.*` root per request, its `serve.tick` child,
+    /// and the executor's pipeline spans beneath. Valid mid-run: clients
+    /// can snapshot while the dispatcher is serving.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
 }
 
 /// The dispatcher half of the service (see module docs).
 pub struct QueryService {
     rx: mpsc::Receiver<Envelope>,
     config: ServeConfig,
+    telemetry: Arc<Telemetry>,
 }
 
 impl QueryService {
     /// A service with its first client handle (clone the handle for more
-    /// clients; the service exits once all handles are dropped).
+    /// clients; the service exits once all handles are dropped). Records to
+    /// the process-wide [`Telemetry::global`] sink (the `RTNN_TELEMETRY`
+    /// knob); use [`QueryService::with_telemetry`] to capture a run on a
+    /// private sink instead.
     pub fn new(config: ServeConfig) -> (QueryService, ServiceClient) {
+        Self::with_telemetry(config, Telemetry::global().clone())
+    }
+
+    /// A service recording to an explicit telemetry sink — every request
+    /// span, tick span, gauge and latency histogram of this run lands
+    /// there, retrievable via [`ServiceClient::telemetry_snapshot`].
+    pub fn with_telemetry(
+        config: ServeConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> (QueryService, ServiceClient) {
         let (tx, rx) = mpsc::channel();
-        (QueryService { rx, config }, ServiceClient { tx })
+        (
+            QueryService {
+                rx,
+                config,
+                telemetry: telemetry.clone(),
+            },
+            ServiceClient { tx, telemetry },
+        )
     }
 
     /// Run the dispatch loop on the current thread until every client
     /// handle has been dropped and the queue is drained. Returns the run's
     /// statistics (latencies in wall microseconds).
     pub fn run<E: TickExecutor>(self, executor: &mut E) -> ServiceStats {
+        let tel = &self.telemetry;
+        tel.gauge_set(
+            "serve.coalescing_window_us",
+            if self.config.coalescing {
+                self.config.window_us as f64
+            } else {
+                0.0
+            },
+        );
         let mut stats = ServiceStats::default();
         loop {
             // Block for the first request of the tick; a disconnect with an
@@ -147,15 +210,51 @@ impl QueryService {
                 }
             }
 
-            let requests: Vec<&Request> = tick.iter().map(|e| &e.request).collect();
-            let (outcomes, tick_outcome) = execute_tick(executor, &requests);
-            drop(requests);
+            tel.gauge_set("serve.queue_depth", tick.len() as f64);
+            // Execute inside a `serve.tick` span scoped to this sink, so
+            // the executor's own pipeline spans nest under the tick. The
+            // tick span parents under the request that opened it; requests
+            // that merely joined carry the same tick via their attrs.
+            let (outcomes, tick_outcome) = Telemetry::scoped(tel, || {
+                let mut tick_span = tel.span_with_parent("serve.tick", tick[0].span_id);
+                let requests: Vec<&Request> = tick.iter().map(|e| &e.request).collect();
+                let result = execute_tick(executor, &requests);
+                tick_span
+                    .attr("requests", tick.len() as f64)
+                    .attr("queries", result.1.queries as f64)
+                    .attr("sim_ms", result.1.sim_ms);
+                result
+            });
             let tick_requests = tick.len();
+            tel.counter_add("serve.ticks", 1);
+            tel.counter_add("serve.requests", tick_requests as u64);
             stats.record_tick(tick_requests, tick_outcome.queries, tick_outcome.sim_ms);
 
             for (envelope, outcome) in tick.into_iter().zip(outcomes) {
                 let latency_us = envelope.submitted.elapsed().as_secs_f64() * 1e6;
                 stats.record_latency(latency_us);
+                tel.observe(envelope.request.latency_histogram(), latency_us);
+                if let Some(id) = envelope.span_id {
+                    // Recorded before the reply, so once a client's call
+                    // returns its own request span is already in any
+                    // snapshot it takes; the interval still covers the
+                    // full submit → respond sojourn on the telemetry
+                    // clock.
+                    tel.record_span_with_id(
+                        id,
+                        SpanRecord {
+                            name: envelope.request.span_name().into(),
+                            parent: None,
+                            start_ms: envelope.submitted_ms,
+                            end_ms: tel.now_ms(),
+                            attrs: vec![
+                                ("queries".into(), envelope.request.queries.len() as f64),
+                                ("latency_us".into(), latency_us),
+                                ("tick_requests".into(), tick_requests as f64),
+                            ],
+                        },
+                    );
+                }
                 // A client that gave up on its response is not an error.
                 let _ = envelope.reply.send(Response {
                     outcome,
@@ -261,6 +360,58 @@ mod tests {
         assert_eq!(stats.requests, 5);
         assert_eq!(stats.coalesced_requests, 0);
         assert_eq!(stats.max_tick_requests, 1);
+    }
+
+    #[test]
+    fn one_request_yields_a_connected_span_tree() {
+        use rtnn_telemetry::TelemetryLevel;
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(300);
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let queries = points[..8].to_vec();
+        let sink = Telemetry::new(TelemetryLevel::Full);
+        let (service, client) = QueryService::with_telemetry(ServeConfig::default(), sink);
+        let snapshot = crossbeam::thread::scope(|s| {
+            let handle = s.spawn(move |_| {
+                let r = client.call(Request::new(queries, QueryPlan::knn(1.2, 4)));
+                assert!(r.outcome.is_ok());
+                client.telemetry_snapshot()
+            });
+            service.run(&mut index);
+            handle.join().unwrap()
+        })
+        .unwrap();
+
+        // One connected tree: request → tick → the executor's query span
+        // → its pipeline stages.
+        let roots = snapshot.roots();
+        assert_eq!(roots.len(), 1, "roots: {roots:?}");
+        let request = roots[0];
+        assert_eq!(request.name, "serve.request.knn");
+        let ticks = snapshot.children_of(request.id);
+        assert_eq!(ticks.len(), 1);
+        assert_eq!(ticks[0].name, "serve.tick");
+        let queries_spans = snapshot.children_of(ticks[0].id);
+        assert!(
+            queries_spans.iter().any(|s| s.name == "index.query.knn"),
+            "tick children: {queries_spans:?}"
+        );
+        assert_eq!(
+            snapshot.subtree(request.id).len(),
+            snapshot.spans.len(),
+            "every span hangs off the one request"
+        );
+        snapshot.check_nesting(1e-6).unwrap();
+        assert_eq!(
+            snapshot
+                .metrics
+                .histogram("serve.latency.knn")
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(snapshot.metrics.counter("serve.ticks"), Some(1));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use rtnn::{
 };
 use rtnn_math::{Aabb, Vec3};
 use rtnn_parallel::{par_map_collect, par_map_collect_mut};
+use rtnn_telemetry::{SpanRecord, Telemetry};
 
 /// One shard: a full `Index` over a contiguous Morton range of the points.
 struct Shard<'a> {
@@ -47,6 +48,12 @@ pub struct ShardTiming {
     /// Simulated milliseconds each shard spent on the last query call
     /// (zero for shards the routing skipped).
     pub per_shard_ms: Vec<f64>,
+    /// Each shard's full per-stage pipeline trace for the last query call
+    /// (a default/zero trace for shards the routing skipped). The summed
+    /// trace on the returned `SearchResults` loses this breakdown; keeping
+    /// it here — and on the emitted `serve.shard` telemetry spans — makes
+    /// shard skew visible without re-running.
+    pub per_shard_traces: Vec<PipelineTrace>,
 }
 
 impl ShardTiming {
@@ -63,6 +70,16 @@ impl ShardTiming {
     /// Shards that actually executed work.
     pub fn active_shards(&self) -> usize {
         self.per_shard_ms.iter().filter(|&&ms| ms > 0.0).count()
+    }
+
+    /// Load skew of the last call: critical path over mean active-shard
+    /// time (1.0 = perfectly balanced; 0 when nothing ran).
+    pub fn skew(&self) -> f64 {
+        let active = self.active_shards();
+        if active == 0 {
+            return 0.0;
+        }
+        self.critical_path_ms() / (self.total_ms() / active as f64)
     }
 }
 
@@ -118,15 +135,19 @@ impl<'a> ShardedIndex<'a> {
             order.chunks(chunk).collect()
         };
         let shards = par_map_collect(chunks.len(), |ci| {
-            let global_ids = chunks[ci].to_vec();
-            let shard_points: Vec<Vec3> =
-                global_ids.iter().map(|&id| points[id as usize]).collect();
-            let bounds = Aabb::from_points(&shard_points);
-            Shard {
-                index: Index::build(backend, shard_points, config),
-                global_ids,
-                bounds,
-            }
+            // Suppressed: worker-thread telemetry would land in the global
+            // sink in scheduling order (see `query` for the rationale).
+            Telemetry::suppressed(|| {
+                let global_ids = chunks[ci].to_vec();
+                let shard_points: Vec<Vec3> =
+                    global_ids.iter().map(|&id| points[id as usize]).collect();
+                let bounds = Aabb::from_points(&shard_points);
+                Shard {
+                    index: Index::build(backend, shard_points, config),
+                    global_ids,
+                    bounds,
+                }
+            })
         });
         ShardedIndex {
             shards,
@@ -168,10 +189,19 @@ impl<'a> ShardedIndex<'a> {
     /// when everything was already cached); as with [`Index::warm`], each
     /// shard carries its share forward into its next query's breakdown.
     pub fn warm(&mut self, plan: &QueryPlan) -> Result<f64, SearchError> {
-        let outcomes = par_map_collect_mut(&mut self.shards, |_, shard| shard.index.warm(plan));
-        outcomes
+        let tel = Telemetry::current();
+        let mut span = tel.as_ref().map(|t| t.span("shard.warm"));
+        let outcomes = par_map_collect_mut(&mut self.shards, |_, shard| {
+            Telemetry::suppressed(|| shard.index.warm(plan))
+        });
+        let result = outcomes
             .into_iter()
-            .try_fold(0.0, |acc, r| r.map(|ms| acc + ms))
+            .try_fold(0.0, |acc, r| r.map(|ms| acc + ms));
+        if let (Ok(ms), Some(span)) = (&result, span.as_mut()) {
+            span.attr("device_ms", *ms)
+                .attr("shards", self.shards.len() as f64);
+        }
+        result
     }
 
     /// Answer `plan` for `queries` — the [`Index::query`] contract, with
@@ -185,6 +215,21 @@ impl<'a> ShardedIndex<'a> {
         let plan = plan.normalized();
         plan.validate(queries.len())
             .map_err(SearchError::InvalidPlan)?;
+
+        // One query span over the whole fan-out + merge; the per-shard
+        // spans synthesized below nest under it. Worker threads run
+        // suppressed (their ambient stacks are empty, so they would
+        // otherwise record straight into the *global* sink in
+        // pool-scheduling order — nondeterministic and double-counted).
+        let tel = Telemetry::current();
+        let mut query_span = tel.as_ref().map(|t| {
+            t.counter_add("shard.queries", 1);
+            t.span(match plan.as_ref().kind_label() {
+                "knn" => "shard.query.knn",
+                "range" => "shard.query.range",
+                _ => "shard.query.batch",
+            })
+        });
 
         // Uniform slice view: a single plan is one slice over every query.
         let all_ids: Vec<u32>;
@@ -237,33 +282,37 @@ impl<'a> ShardedIndex<'a> {
         // guarantee), so the merge below never depends on worker timing.
         let slice_params: Vec<SearchParams> = slices.iter().map(|(p, _)| *p).collect();
         let mut pairs: Vec<(&mut Shard<'a>, ShardJob)> = self.shards.iter_mut().zip(jobs).collect();
+        let fan_start_ms = tel.as_ref().map_or(0.0, |t| t.now_ms());
         let outcomes = par_map_collect_mut(&mut pairs, |_, (shard, job)| {
-            if job.queries.is_empty() {
-                return None;
-            }
-            // Rebuild the shard-local plan: slice sl covers the local
-            // launch indices of its routed queries (slice-major order).
-            let mut local_slices: Vec<PlanSlice> = Vec::new();
-            let mut next = 0u32;
-            for (sl, routed) in job.routed_ids.iter().enumerate() {
-                if routed.is_empty() {
-                    continue;
+            Telemetry::suppressed(|| {
+                if job.queries.is_empty() {
+                    return None;
                 }
-                let ids: Vec<u32> = (next..next + routed.len() as u32).collect();
-                next += routed.len() as u32;
-                local_slices.push(PlanSlice::new(
-                    QueryPlan::from_params(slice_params[sl]),
-                    ids,
-                ));
-            }
-            let local_plan = if local_slices.len() == 1 {
-                let only = local_slices.pop().expect("one slice");
-                only.plan
-            } else {
-                QueryPlan::Batch(local_slices)
-            };
-            Some(shard.index.query(&job.queries, &local_plan))
+                // Rebuild the shard-local plan: slice sl covers the local
+                // launch indices of its routed queries (slice-major order).
+                let mut local_slices: Vec<PlanSlice> = Vec::new();
+                let mut next = 0u32;
+                for (sl, routed) in job.routed_ids.iter().enumerate() {
+                    if routed.is_empty() {
+                        continue;
+                    }
+                    let ids: Vec<u32> = (next..next + routed.len() as u32).collect();
+                    next += routed.len() as u32;
+                    local_slices.push(PlanSlice::new(
+                        QueryPlan::from_params(slice_params[sl]),
+                        ids,
+                    ));
+                }
+                let local_plan = if local_slices.len() == 1 {
+                    let only = local_slices.pop().expect("one slice");
+                    only.plan
+                } else {
+                    QueryPlan::Batch(local_slices)
+                };
+                Some(shard.index.query(&job.queries, &local_plan))
+            })
         });
+        let fan_end_ms = tel.as_ref().map_or(0.0, |t| t.now_ms());
 
         // Collect per-shard results (propagating the first error), the
         // timing, and a (query id → local launch index) map per shard.
@@ -271,11 +320,13 @@ impl<'a> ShardedIndex<'a> {
             Vec::with_capacity(pairs.len());
         let mut timing = ShardTiming {
             per_shard_ms: vec![0.0; pairs.len()],
+            per_shard_traces: vec![PipelineTrace::default(); pairs.len()],
         };
         for (si, ((_, job), outcome)) in pairs.into_iter().zip(outcomes).enumerate() {
             match outcome {
                 Some(Ok(results)) => {
                     timing.per_shard_ms[si] = results.total_time_ms();
+                    timing.per_shard_traces[si] = results.trace.clone();
                     shard_results.push(Some((results, job)));
                 }
                 Some(Err(e)) => return Err(e),
@@ -349,6 +400,54 @@ impl<'a> ShardedIndex<'a> {
             num_bundles += results.num_bundles;
         }
         trace.charge_host_only(StageKind::Gather, merge_host_ms);
+
+        // Synthesize the per-shard spans on this thread, in shard order
+        // (deterministic regardless of worker scheduling), carrying each
+        // shard's full per-stage breakdown — the skew signal the summed
+        // `trace` above no longer has.
+        if let Some(t) = &tel {
+            t.counter_add("shard.fanout", timing.active_shards() as u64);
+            for (si, results) in shard_results
+                .iter()
+                .enumerate()
+                .filter_map(|(si, e)| e.as_ref().map(|(r, _)| (si, r)))
+            {
+                t.observe("shard.device_ms", results.trace.device_total_ms());
+                if !t.spans_enabled() {
+                    continue;
+                }
+                let mut attrs: Vec<(std::borrow::Cow<'static, str>, f64)> = vec![
+                    ("shard".into(), si as f64),
+                    ("points".into(), self.shards[si].global_ids.len() as f64),
+                    ("device_ms".into(), results.trace.device_total_ms()),
+                    ("total_ms".into(), results.total_time_ms()),
+                ];
+                for stage in results.trace.stages() {
+                    let key = match stage.kind {
+                        StageKind::Partition => "partition_device_ms",
+                        StageKind::Schedule => "schedule_device_ms",
+                        StageKind::Launch => "launch_device_ms",
+                        StageKind::Gather => "gather_device_ms",
+                    };
+                    attrs.push((key.into(), stage.device_ms));
+                }
+                t.record_span(SpanRecord {
+                    name: "serve.shard".into(),
+                    parent: query_span.as_ref().and_then(|s| s.id()),
+                    start_ms: fan_start_ms,
+                    end_ms: fan_end_ms,
+                    attrs,
+                });
+            }
+            if let Some(span) = query_span.as_mut() {
+                span.attr("queries", queries.len() as f64)
+                    .attr("shards_active", timing.active_shards() as f64)
+                    .attr("device_ms", trace.device_total_ms())
+                    .attr("critical_path_ms", timing.critical_path_ms())
+                    .attr_wall("merge_host_ms", merge_host_ms);
+            }
+        }
+        drop(query_span);
         self.last_timing = timing;
 
         Ok(SearchResults {
@@ -489,6 +588,51 @@ mod tests {
             timing.active_shards() < sharded.num_shards(),
             "a local query must not fan out to all shards: {:?}",
             timing.per_shard_ms
+        );
+    }
+
+    #[test]
+    fn per_shard_spans_carry_stage_timings() {
+        use rtnn_telemetry::TelemetryLevel;
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(600);
+        let queries: Vec<Vec3> = points.iter().step_by(9).copied().collect();
+        let mut sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), 4);
+        let sink = Telemetry::new(TelemetryLevel::Full);
+        Telemetry::scoped(&sink, || {
+            sharded.query(&queries, &QueryPlan::knn(1.4, 6)).unwrap();
+        });
+        let snap = sink.snapshot();
+        snap.check_nesting(1e-6).unwrap();
+
+        let timing = sharded.last_timing();
+        assert_eq!(timing.per_shard_traces.len(), sharded.num_shards());
+        assert!(timing.skew() >= 1.0 - 1e-9);
+
+        // One query root; one serve.shard child per active shard, each
+        // carrying the per-stage device breakdown the summed trace drops.
+        let root = snap.spans_named("shard.query.knn").next().unwrap();
+        let shard_spans: Vec<_> = snap.spans_named("serve.shard").collect();
+        assert_eq!(shard_spans.len(), timing.active_shards());
+        for s in &shard_spans {
+            assert_eq!(s.parent, Some(root.id));
+            let si = s.attr("shard").unwrap() as usize;
+            assert_eq!(
+                s.attr("device_ms"),
+                Some(timing.per_shard_traces[si].device_total_ms())
+            );
+            assert!(s.attr("launch_device_ms").is_some());
+            assert!(s.attr("schedule_device_ms").is_some());
+        }
+        assert_eq!(
+            snap.metrics.counter("shard.queries"),
+            Some(1),
+            "workers are suppressed: exactly one query recorded"
+        );
+        assert_eq!(
+            snap.metrics.histogram("shard.device_ms").unwrap().count,
+            timing.active_shards() as u64
         );
     }
 

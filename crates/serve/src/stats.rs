@@ -1,21 +1,18 @@
 //! Serving statistics: per-request latency distribution and per-tick
 //! throughput accounting, shared by the live service and the virtual-time
 //! load harness.
+//!
+//! Latencies are held in an [`rtnn_telemetry::Histogram`] — the same exact
+//! log-bucketed type the telemetry layer snapshots — so the workspace keeps
+//! one percentile implementation (nearest-rank, re-exported here as
+//! [`percentile`]) and the service's p50/p99/p999 agree with what
+//! `ServiceClient::telemetry_snapshot()` reports.
 
-/// Nearest-rank percentile of a sample set (`q` in `[0, 1]`); 0 for an
-/// empty set. Sorts a copy, so callers can pass raw observation vectors.
-pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
+pub use rtnn_telemetry::percentile;
+use rtnn_telemetry::{Histogram, HistogramSnapshot};
 
 /// Aggregate statistics of a service run (live or virtual-time).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
     /// Execution ticks dispatched.
     pub ticks: usize,
@@ -29,9 +26,9 @@ pub struct ServiceStats {
     pub queries: usize,
     /// Total simulated milliseconds of tick execution.
     pub sim_ms: f64,
-    /// Per-request latencies. Microseconds of wall time for the live
-    /// service; virtual milliseconds for the load harness.
-    pub latencies: Vec<f64>,
+    /// Per-request latency distribution. Microseconds of wall time for the
+    /// live service; virtual milliseconds for the load harness.
+    pub latencies: Histogram,
 }
 
 impl ServiceStats {
@@ -50,7 +47,7 @@ impl ServiceStats {
 
     /// Record one request's latency (same unit across the run).
     pub fn record_latency(&mut self, latency: f64) {
-        self.latencies.push(latency);
+        self.latencies.record(latency);
     }
 
     /// Mean requests per tick.
@@ -62,9 +59,21 @@ impl ServiceStats {
         }
     }
 
-    /// Latency percentile (unit matches [`Self::latencies`]).
+    /// Latency percentile (unit matches [`Self::latencies`]); exact
+    /// nearest-rank, so tail quantiles like `0.999` are real observations.
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        percentile(&self.latencies, q)
+        self.latencies.percentile(q)
+    }
+
+    /// The p999 tail latency (unit matches [`Self::latencies`]).
+    pub fn latency_p999(&self) -> f64 {
+        self.latencies.percentile(0.999)
+    }
+
+    /// Freeze the latency distribution: count/sum/min/max, exact
+    /// p50/p99/p999, and the non-empty log buckets.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latencies.snapshot()
     }
 
     /// Requests per *simulated* second — the device-side throughput the
@@ -106,5 +115,23 @@ mod tests {
         assert_eq!(s.queries, 40);
         assert!((s.mean_tick_requests() - 2.0).abs() < 1e-12);
         assert!((s.sim_qps() - 4.0 / 6e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_tail_goes_through_the_shared_histogram() {
+        let mut s = ServiceStats::default();
+        for i in 1..=1000 {
+            s.record_latency(i as f64);
+        }
+        assert_eq!(s.latency_percentile(0.5), 500.0);
+        assert_eq!(s.latency_percentile(0.99), 990.0);
+        assert_eq!(s.latency_p999(), 999.0);
+        let snap = s.latency_snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.p999, 999.0);
+        // Same distribution, same stats: Histogram is comparable, which the
+        // serve determinism suite relies on.
+        let again = s.clone();
+        assert_eq!(s, again);
     }
 }

@@ -1,0 +1,461 @@
+//! The lock-light metrics registry: counters, gauges and log-bucketed
+//! histograms with exact percentile snapshots.
+//!
+//! Counters and gauges are plain atomics behind `Arc` handles — recording
+//! never takes the registry lock; the registry's `Mutex` is touched only
+//! when a metric is first registered (or a handle re-resolved by name).
+//! Histograms keep both the exact observation list (for nearest-rank
+//! p50/p99/p999, the same rule `rtnn-serve` has always used) and a
+//! power-of-two bucket array (for the Prometheus-style cumulative export).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Nearest-rank percentile of a sample set (`q` in `[0, 1]`); 0 for an
+/// empty set. Sorts a copy, so callers can pass raw observation vectors.
+///
+/// This is *the* percentile implementation of the workspace —
+/// `rtnn-serve`'s latency accounting routes through it (via
+/// [`Histogram::percentile`]) rather than keeping a second copy.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Number of log buckets: powers of two from 2^-20 ms (≈ 1 ns) up to 2^42
+/// ms (≈ 139 years), plus an underflow slot at index 0.
+pub const NUM_BUCKETS: usize = 64;
+const BUCKET_EXP_OFFSET: i32 = 21; // bucket 0 holds v <= 2^-20
+
+/// Upper bound (inclusive, `le`) of bucket `i`; the last bucket is +inf.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i + 1 >= NUM_BUCKETS {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(i as i32 - BUCKET_EXP_OFFSET + 1)
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || v.is_nan() {
+        return 0;
+    }
+    let exp = v.log2().ceil() as i64 + BUCKET_EXP_OFFSET as i64 - 1;
+    exp.clamp(0, NUM_BUCKETS as i64 - 1) as usize
+}
+
+/// A log-bucketed histogram that also retains the exact observations, so
+/// percentile snapshots are nearest-rank-exact while the bucket view stays
+/// cheap to merge and export.
+///
+/// This is a plain value type (the unit of aggregation `ServiceStats`
+/// embeds); the registry wraps it in `Arc<Mutex<..>>` for shared recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    buckets: [u64; NUM_BUCKETS],
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            buckets: [0; NUM_BUCKETS],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.buckets[bucket_index(v)] += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The exact observations, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact nearest-rank percentile of the recorded observations.
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile(&self.samples, q)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A point-in-time summary: count/sum/min/max, the exact p50/p99/p999,
+    /// and the non-empty cumulative buckets (for the Prometheus export).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if count > 0 {
+                buckets.push((bucket_upper_bound(i), cumulative));
+            }
+        }
+        HistogramSnapshot {
+            count: self.len() as u64,
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            buckets,
+        }
+    }
+}
+
+/// Frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Exact nearest-rank median.
+    pub p50: f64,
+    /// Exact nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Exact nearest-rank 99.9th percentile.
+    pub p999: f64,
+    /// `(upper_bound, cumulative_count)` for every non-empty bucket, in
+    /// increasing bound order. The final implicit `+inf` bucket equals
+    /// `count`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// A shared counter handle: add with relaxed atomics, no lock.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared gauge handle: last-write-wins f64, stored as bits in an atomic.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A shared histogram handle (mutex around the value type; held only for
+/// the duration of one record or snapshot).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        self.0.lock().expect("histogram lock").record(v);
+    }
+
+    /// Snapshot the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.lock().expect("histogram lock").snapshot()
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+/// Name-keyed registry of counters, gauges and histograms. Registration
+/// (first use of a name) takes the map lock; recording through the returned
+/// handles never does.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// a naming-schema violation worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("telemetry metric {name:?} is already registered with another kind"),
+        }
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("telemetry metric {name:?} is already registered with another kind"),
+        }
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(HistogramHandle::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("telemetry metric {name:?} is already registered with another kind"),
+        }
+    }
+
+    /// Freeze every metric. Entries are in lexicographic name order (the
+    /// registry is a `BTreeMap`), so exports are deterministic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.lock().expect("registry lock");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Frozen view of a [`MetricsRegistry`], name-sorted within each kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 0.5), 2.0);
+        assert_eq!(percentile(&samples, 0.75), 3.0);
+        assert_eq!(percentile(&samples, 0.99), 4.0);
+        assert_eq!(percentile(&samples, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_shared_rule() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.percentile(0.5), percentile(h.samples(), 0.5));
+        assert_eq!(h.percentile(0.999), 9.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 9.0);
+        assert_eq!(h.sum(), 25.0);
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_cover_all_observations() {
+        let mut h = Histogram::new();
+        for v in [0.0, -1.0, 0.5, 1.0, 2.0, 1e12] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        let last = snap.buckets.last().unwrap();
+        assert_eq!(last.1, 6, "cumulative counts end at the total");
+        assert!(
+            snap.buckets
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "bounds and cumulative counts are increasing: {:?}",
+            snap.buckets
+        );
+        // Non-positive observations land in the underflow bucket.
+        assert!(snap.buckets[0].1 >= 2);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_observations() {
+        for v in [1e-7, 0.3, 1.0, 1.5, 1000.0, 1e13] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v {v} bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v {v} bucket {i}");
+            }
+        }
+        assert!(bucket_upper_bound(NUM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(10.0);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), 10.0);
+        assert_eq!(a.sum(), 16.0);
+        assert_eq!(a.snapshot().buckets.last().unwrap().1, 3);
+    }
+
+    #[test]
+    fn registry_handles_share_state_and_snapshot_deterministically() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("b.count");
+        let c2 = reg.counter("b.count");
+        c1.add(2);
+        c2.add(3);
+        reg.gauge("a.depth").set(4.5);
+        reg.histogram("c.lat").record(7.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("b.count"), Some(5));
+        assert_eq!(snap.gauge("a.depth"), Some(4.5));
+        assert_eq!(snap.histogram("c.lat").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_collisions_fail_loudly() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

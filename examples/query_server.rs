@@ -15,6 +15,7 @@ use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 use rtnn_serve::{QueryService, Request, ServeConfig, ShardedIndex};
+use rtnn_telemetry::{Telemetry, TelemetryLevel};
 
 fn main() {
     // 1. Serving configuration from the environment (validated: garbage in
@@ -84,7 +85,11 @@ fn main() {
     // 4. Serve: the dispatcher owns the sharded index; clients only hold
     //    channel handles. The service drains and exits once every client
     //    handle is dropped.
-    let (service, client) = QueryService::new(config);
+    //    The run records to a private telemetry sink (always-on here so the
+    //    example can print a snapshot; the global `RTNN_TELEMETRY` knob
+    //    gates the default sink instead).
+    let sink = Telemetry::new(TelemetryLevel::Full);
+    let (service, client) = QueryService::with_telemetry(config, sink.clone());
     let stats = crossbeam::thread::scope(|s| {
         for c in 0..num_clients {
             let client = client.clone();
@@ -117,19 +122,56 @@ fn main() {
         stats.queries
     );
     println!(
-        "latency: p50 {:.0} µs, p99 {:.0} µs (wall); simulated device time {:.2} ms",
+        "latency: p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs (wall); simulated device time {:.2} ms",
         stats.latency_percentile(0.5),
         stats.latency_percentile(0.99),
+        stats.latency_p999(),
         stats.sim_ms
     );
     let timing = sharded.last_timing();
     println!(
-        "last tick critical path {:.3} ms across {} active shards",
+        "last tick critical path {:.3} ms across {} active shards (skew {:.2}×)",
         timing.critical_path_ms(),
-        timing.active_shards()
+        timing.active_shards(),
+        timing.skew()
     );
+
+    // 6. The telemetry view of the same run: serving metrics plus one span
+    //    tree per request (request → tick → per-shard stages).
+    let snapshot = sink.snapshot();
+    println!("\ntelemetry snapshot ({} spans):", snapshot.spans.len());
+    for (name, value) in &snapshot.metrics.counters {
+        println!("  counter {name} = {value}");
+    }
+    for (name, hist) in &snapshot.metrics.histograms {
+        println!(
+            "  histogram {name}: n={} p50={:.1} p99={:.1} p999={:.1}",
+            hist.count, hist.p50, hist.p99, hist.p999
+        );
+    }
+    if let Some(request) = snapshot.roots().first() {
+        println!("  one request's span tree:");
+        for span in snapshot.subtree(request.id) {
+            let depth = {
+                let mut d = 0;
+                let mut cursor = span.parent;
+                while let Some(p) = cursor {
+                    d += 1;
+                    cursor = snapshot.span(p).and_then(|s| s.parent);
+                }
+                d
+            };
+            println!(
+                "  {:indent$}{} [{:.3} ms]",
+                "",
+                span.name,
+                span.duration_ms(),
+                indent = 4 + 2 * depth
+            );
+        }
+    }
     println!(
-        "all {} responses verified bit-equal to direct Index::query ✓",
+        "\nall {} responses verified bit-equal to direct Index::query ✓",
         stats.requests
     );
 }

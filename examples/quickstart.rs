@@ -128,5 +128,41 @@ fn main() {
         unordered.breakdown.search_ms,
         knn.breakdown.search_ms,
     );
+    // 8. The same call through the telemetry layer: scope a `full`-level
+    //    sink over one query and print the frozen snapshot (metrics +
+    //    span tree). `RTNN_TELEMETRY=off|basic|full` gates the global sink
+    //    the same way; recording never changes results.
+    use rtnn::telemetry::{Telemetry, TelemetryLevel};
+    let sink = Telemetry::new(TelemetryLevel::Full);
+    let observed = Telemetry::scoped(&sink, || {
+        index.query(&queries, &knn_plan).expect("observed knn")
+    });
+    assert_eq!(
+        observed.neighbors, knn.neighbors,
+        "telemetry never changes results"
+    );
+    let snapshot = sink.snapshot();
+    println!("telemetry snapshot of that call:");
+    for (name, value) in &snapshot.metrics.counters {
+        println!("  counter   {name} = {value}");
+    }
+    for (name, hist) in &snapshot.metrics.histograms {
+        println!(
+            "  histogram {name}: n={} p50={:.3} p99={:.3}",
+            hist.count, hist.p50, hist.p99
+        );
+    }
+    for span in &snapshot.spans {
+        println!(
+            "  span      {} [{:.3} ms]{}",
+            span.name,
+            span.duration_ms(),
+            if span.parent.is_some() {
+                " (nested)"
+            } else {
+                ""
+            }
+        );
+    }
     println!("all results verified against the brute-force oracle ✓");
 }

@@ -16,3 +16,4 @@ pub use rtnn_math as math;
 pub use rtnn_optix as optix;
 pub use rtnn_parallel as parallel;
 pub use rtnn_serve as serve;
+pub use rtnn_telemetry as telemetry;
