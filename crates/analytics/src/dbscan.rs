@@ -1,0 +1,353 @@
+//! DBSCAN density clustering driven by the pipeline's range queries.
+//!
+//! Following RT-DBSCAN, the expensive part of DBSCAN — the ε-neighborhood
+//! of every point — is exactly a fixed-radius neighbor search, so the
+//! driver issues batched [`QueryPlan::range_unbounded`] calls at the point
+//! positions (each batch shares one `Schedule` pass and every cached
+//! structure) and reduces the gathered hit lists on the host:
+//!
+//! 1. a point is **core** iff its neighborhood (self included, strict
+//!    `d² < eps²`) holds at least `min_pts` points;
+//! 2. core points within ε of each other are merged with a
+//!    [`UnionFind`];
+//! 3. a non-core point with a core neighbor (**border**) joins the cluster
+//!    of its *lowest-id* core neighbor; everything else is **noise**;
+//! 4. labels are canonicalized to the smallest member id of each cluster.
+//!
+//! Every reduction step is order-invariant (set sizes, union-find with
+//! min-member labels, minima over neighbor sets), so the labels do not
+//! depend on hit-list order, batch size, thread count, or whether the hit
+//! lists were merged from shards — which is what makes the single-index /
+//! sharded / streaming answers bit-equal.
+//!
+//! [`QueryPlan::range_unbounded`]: rtnn::QueryPlan::range_unbounded
+
+use rtnn::{QueryPlan, SearchError};
+use rtnn_math::Vec3;
+use rtnn_parallel::UnionFind;
+use rtnn_serve::TickExecutor;
+use rtnn_telemetry::Telemetry;
+
+/// Default number of queries per execute call: large enough to amortise
+/// the per-call schedule pass, small enough to bound the simulated result
+/// buffer (`batch × n × 4` bytes for an unbounded range).
+const DEFAULT_BATCH: usize = 2048;
+
+/// DBSCAN parameters plus the query batching knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Dbscan {
+    /// Neighborhood radius (strict: `d² < eps²`).
+    pub eps: f32,
+    /// Minimum neighborhood size (self included) for a core point.
+    /// Values below 1 are treated as 1.
+    pub min_pts: usize,
+    batch: usize,
+}
+
+impl Dbscan {
+    /// DBSCAN with the default query batch size.
+    pub fn new(eps: f32, min_pts: usize) -> Self {
+        Dbscan {
+            eps,
+            min_pts,
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// Override the number of neighborhood queries issued per pipeline
+    /// call (clamped to at least 1). Batching trades per-call scheduling
+    /// overhead against the simulated result-buffer footprint; it never
+    /// changes the labels.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The configured batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Cluster `points` using `exec` to answer the neighborhood queries.
+    ///
+    /// `points` must be the exact cloud `exec` indexes (hit ids index into
+    /// it); any [`TickExecutor`] works — a static
+    /// [`Index`](rtnn::Index), a
+    /// [`FrameIndex::index`](rtnn_dynamic::FrameIndex) view of a dynamic
+    /// scene, or a [`ShardedIndex`](rtnn_serve::ShardedIndex) (whose
+    /// per-shard partial hit lists are merged into canonical single-index
+    /// lists *before* they reach the union-find).
+    pub fn run<E: TickExecutor>(
+        &self,
+        points: &[Vec3],
+        exec: &mut E,
+    ) -> Result<Clustering, SearchError> {
+        let tel = Telemetry::current();
+        let mut span = tel.as_ref().map(|t| t.span("analytics.dbscan.run"));
+        let adjacency = self.neighborhoods(points, exec)?;
+        let clustering = cluster_adjacency(&adjacency, None, self.min_pts);
+        if let Some(t) = &tel {
+            t.counter_add("analytics.dbscan.runs", 1);
+            t.counter_add("analytics.dbscan.points", points.len() as u64);
+            t.counter_add(
+                "analytics.dbscan.edges",
+                adjacency.iter().map(|a| a.len() as u64).sum(),
+            );
+        }
+        if let Some(span) = span.as_mut() {
+            span.attr("points", points.len() as f64)
+                .attr("clusters", clustering.num_clusters as f64)
+                .attr("noise", clustering.num_noise as f64);
+        }
+        Ok(clustering)
+    }
+
+    /// The ε-neighborhood (hit list) of every position in `positions`,
+    /// gathered through `exec` in batches of [`batch`](Self::batch)
+    /// queries — one shared `Schedule` pass per batch. Also the streaming
+    /// relabel's partial re-query primitive.
+    pub(crate) fn neighborhoods<E: TickExecutor>(
+        &self,
+        positions: &[Vec3],
+        exec: &mut E,
+    ) -> Result<Vec<Vec<u32>>, SearchError> {
+        let plan = QueryPlan::range_unbounded(self.eps);
+        let tel = Telemetry::current();
+        let mut adjacency: Vec<Vec<u32>> = Vec::with_capacity(positions.len());
+        for chunk in positions.chunks(self.batch.max(1)) {
+            let results = exec.execute(chunk, &plan)?;
+            adjacency.extend(results.neighbors);
+            if let Some(t) = &tel {
+                t.counter_add("analytics.dbscan.batches", 1);
+            }
+        }
+        Ok(adjacency)
+    }
+}
+
+/// The outcome of a DBSCAN run: per-point labels plus summary counts.
+///
+/// Point "ids" are indices into whatever id space the adjacency was
+/// gathered in — compact positions for [`Dbscan::run`], stable handles for
+/// [`StreamingDbscan`](crate::StreamingDbscan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Per point: `Some(label)` with the cluster's smallest member id, or
+    /// `None` for noise (and, in handle space, for dead handles).
+    pub labels: Vec<Option<u32>>,
+    /// Per point: whether it is a core point.
+    pub core: Vec<bool>,
+    /// Number of distinct clusters.
+    pub num_clusters: usize,
+    /// Number of (live) noise points.
+    pub num_noise: usize,
+}
+
+impl Clustering {
+    /// Translate labels into another id space: point `i` of this
+    /// clustering corresponds to id `ids[i]`, and every cluster is
+    /// relabeled to the smallest *translated* member id. Used to compare
+    /// compact-space labels against handle-space ones when the two orders
+    /// agree on membership.
+    pub fn labels_as(&self, ids: &[u32]) -> Vec<Option<u32>> {
+        assert_eq!(ids.len(), self.labels.len());
+        let mut min_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (i, label) in self.labels.iter().enumerate() {
+            if let Some(l) = label {
+                let entry = min_of.entry(*l).or_insert(u32::MAX);
+                *entry = (*entry).min(ids[i]);
+            }
+        }
+        self.labels
+            .iter()
+            .map(|label| label.map(|l| min_of[&l]))
+            .collect()
+    }
+}
+
+/// Reduce gathered ε-adjacency to a [`Clustering`]. `alive` masks out ids
+/// that are not part of the scene (dead handles in streaming runs); masked
+/// ids get no label, are never core, and are not counted as noise.
+///
+/// Order-invariant by construction: only neighbor-set *sizes*, union-find
+/// membership, and minima over neighbor sets are consulted, so any
+/// permutation of the hit lists produces identical output.
+pub(crate) fn cluster_adjacency(
+    adjacency: &[Vec<u32>],
+    alive: Option<&[bool]>,
+    min_pts: usize,
+) -> Clustering {
+    let n = adjacency.len();
+    let is_alive = |i: usize| alive.is_none_or(|a| a[i]);
+    let min_pts = min_pts.max(1);
+    let core: Vec<bool> = (0..n)
+        .map(|i| is_alive(i) && adjacency[i].len() >= min_pts)
+        .collect();
+
+    let mut uf = UnionFind::new(n);
+    for p in 0..n {
+        if !core[p] {
+            continue;
+        }
+        for &q in &adjacency[p] {
+            if core[q as usize] {
+                uf.union(p as u32, q);
+            }
+        }
+    }
+    // Borders attach to their lowest-id core neighbor. Each border is
+    // unioned exactly once, so it can never bridge two core components.
+    let attach: Vec<Option<u32>> = (0..n)
+        .map(|p| {
+            if !is_alive(p) || core[p] {
+                return None;
+            }
+            adjacency[p]
+                .iter()
+                .copied()
+                .filter(|&q| core[q as usize])
+                .min()
+        })
+        .collect();
+    for (p, a) in attach.iter().enumerate() {
+        if let Some(c) = a {
+            uf.union(p as u32, *c);
+        }
+    }
+
+    let raw = uf.min_labels();
+    let mut labels: Vec<Option<u32>> = Vec::with_capacity(n);
+    let mut distinct = std::collections::HashSet::new();
+    let mut num_noise = 0;
+    for p in 0..n {
+        if core[p] || attach[p].is_some() {
+            labels.push(Some(raw[p]));
+            distinct.insert(raw[p]);
+        } else {
+            labels.push(None);
+            if is_alive(p) {
+                num_noise += 1;
+            }
+        }
+    }
+    Clustering {
+        labels,
+        core,
+        num_clusters: distinct.len(),
+        num_noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn::{EngineConfig, Index};
+    use rtnn_baselines::dbscan_oracle;
+    use rtnn_data::uniform::{self, UniformParams};
+    use rtnn_gpusim::Device;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        uniform::generate(&UniformParams {
+            num_points: n,
+            seed,
+            ..Default::default()
+        })
+        .points
+    }
+
+    #[test]
+    fn labels_match_the_oracle_on_a_seeded_cloud() {
+        let device = Device::rtx_2080();
+        let backend = rtnn::GpusimBackend::new(&device);
+        let points = cloud(600, 11);
+        let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+        for (eps, min_pts) in [(0.6, 4), (1.1, 8), (2.0, 2)] {
+            let got = Dbscan::new(eps, min_pts).run(&points, &mut index).unwrap();
+            assert_eq!(
+                got.labels,
+                dbscan_oracle(&points, eps, min_pts),
+                "eps={eps} min_pts={min_pts}"
+            );
+            assert_eq!(got.labels.len(), points.len());
+        }
+    }
+
+    #[test]
+    fn batch_size_never_changes_the_labels() {
+        let device = Device::rtx_2080();
+        let backend = rtnn::GpusimBackend::new(&device);
+        let points = cloud(400, 3);
+        let reference = {
+            let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+            Dbscan::new(0.9, 4).run(&points, &mut index).unwrap()
+        };
+        for batch in [1, 7, 64, 10_000] {
+            let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+            let got = Dbscan::new(0.9, 4)
+                .with_batch(batch)
+                .run(&points, &mut index)
+                .unwrap();
+            assert_eq!(got, reference, "batch={batch}");
+        }
+        assert_eq!(Dbscan::new(0.9, 4).with_batch(0).batch(), 1);
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let device = Device::rtx_2080();
+        let backend = rtnn::GpusimBackend::new(&device);
+        let points = cloud(300, 8);
+        let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+        let got = Dbscan::new(0.8, 5).run(&points, &mut index).unwrap();
+        let distinct: std::collections::HashSet<u32> =
+            got.labels.iter().flatten().copied().collect();
+        assert_eq!(distinct.len(), got.num_clusters);
+        assert_eq!(
+            got.labels.iter().filter(|l| l.is_none()).count(),
+            got.num_noise
+        );
+        // Every label is the smallest id in its cluster.
+        for (p, label) in got.labels.iter().enumerate() {
+            if let Some(l) = label {
+                assert!(*l <= p as u32);
+                assert_eq!(got.labels[*l as usize], Some(*l));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let device = Device::rtx_2080();
+        let backend = rtnn::GpusimBackend::new(&device);
+        let points: Vec<Vec3> = Vec::new();
+        let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+        let got = Dbscan::new(1.0, 2).run(&points, &mut index).unwrap();
+        assert!(got.labels.is_empty());
+        assert_eq!((got.num_clusters, got.num_noise), (0, 0));
+        // An invalid radius surfaces as the plan's typed error.
+        let one = vec![Vec3::new(0.0, 0.0, 0.0)];
+        let mut index = Index::build(&backend, one.as_slice(), EngineConfig::default());
+        let err = Dbscan::new(-1.0, 2).run(&one, &mut index).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::InvalidPlan(rtnn::PlanError::InvalidRadius { .. })
+        ));
+        // min_pts = 0 behaves as 1: a lone point is its own core cluster.
+        let got = Dbscan::new(1.0, 0).run(&one, &mut index).unwrap();
+        assert_eq!(got.labels, vec![Some(0)]);
+        assert_eq!(got.num_clusters, 1);
+    }
+
+    #[test]
+    fn labels_as_translates_to_minimum_translated_ids() {
+        let clustering = Clustering {
+            labels: vec![Some(0), Some(0), None, Some(3), Some(3)],
+            core: vec![true, true, false, true, true],
+            num_clusters: 2,
+            num_noise: 1,
+        };
+        // Translated ids reverse the order within each cluster.
+        let translated = clustering.labels_as(&[9, 4, 7, 2, 8]);
+        assert_eq!(translated, vec![Some(4), Some(4), None, Some(2), Some(2)]);
+    }
+}

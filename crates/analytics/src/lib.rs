@@ -1,0 +1,52 @@
+//! # rtnn-analytics
+//!
+//! Spatial analytics as first-class workloads on the RTNN pipeline:
+//! density clustering (DBSCAN, after RT-DBSCAN) and reverse k-NN (after
+//! RT-RkNN), both reduced to the [`QueryPlan`]s the staged execution
+//! pipeline already answers and a deterministic host-side reduce.
+//!
+//! * [`Dbscan`] — `Dbscan { eps, min_pts }` drives batched
+//!   [`QueryPlan::range_unbounded`] epsilon-neighborhood queries (each
+//!   batch shares one `Schedule` pass) and merges the gathered hit lists
+//!   with a [`UnionFind`], producing per-point cluster labels
+//!   canonicalized to the smallest member id.
+//! * [`ReverseKnn`] — `ReverseKnn { k, r_max }` finds, for each query
+//!   position, every indexed point that has the query among its `k`
+//!   nearest: a range pass collects candidates (RT-RkNN's half-space
+//!   pruning bound: members lie within `r_max`), then one batched KNN
+//!   pass over the *deduplicated* candidates — hitting the same
+//!   width-keyed `Accel` the range pass built — decides membership.
+//! * [`StreamingDbscan`] — cluster maintenance across
+//!   [`DynamicIndex`](rtnn_dynamic::DynamicIndex) frames: cached
+//!   eps-adjacency is spliced from the frame's moved/inserted/removed
+//!   handles, so only affected points are re-queried while the labels stay
+//!   bit-equal to clustering the frame from scratch.
+//!
+//! Every algorithm runs against any [`TickExecutor`] — a static
+//! [`Index`](rtnn::Index), the per-frame `Index` view of a `DynamicIndex`
+//! ([`FrameIndex::index`](rtnn_dynamic::FrameIndex)), or a
+//! [`ShardedIndex`](rtnn_serve::ShardedIndex), whose per-shard partial hit
+//! lists are merged deterministically *before* the union-find / membership
+//! filter — and the answers are bit-equal across all of them (the
+//! reductions only ever see canonical single-index hit lists).
+//!
+//! Telemetry: the drivers emit `analytics.dbscan.*` / `analytics.rknn.*`
+//! spans and counters through the ambient [`rtnn_telemetry`] sink; as
+//! everywhere else in the workspace, recording never changes results.
+//!
+//! [`QueryPlan`]: rtnn::QueryPlan
+//! [`QueryPlan::range_unbounded`]: rtnn::QueryPlan::range_unbounded
+//! [`UnionFind`]: rtnn_parallel::UnionFind
+//! [`TickExecutor`]: rtnn_serve::TickExecutor
+
+pub mod dbscan;
+pub mod rknn;
+pub mod stream;
+
+pub use dbscan::{Clustering, Dbscan};
+pub use rknn::{ReverseKnn, RknnResult};
+pub use stream::{FrameChange, FrameClustering, StreamingDbscan};
+
+// The executor seam every analytics driver runs behind: re-exported so
+// downstream code can name it without depending on `rtnn-serve` directly.
+pub use rtnn_serve::TickExecutor;

@@ -1,0 +1,254 @@
+//! Reverse k-NN on the pipeline, after RT-RkNN.
+//!
+//! `p` is a reverse-k-NN member of query `q` iff `d²(p, q) < r_max²` and
+//! fewer than `k` indexed points other than `p` lie strictly closer to `p`
+//! than `q` does — "does `p` have `q` among its `k` nearest?". The driver
+//! maps this onto two pipeline passes:
+//!
+//! 1. **Candidates**: one batched [`QueryPlan::range_unbounded`]`(r_max)`
+//!    call at the query positions. Membership requires `d < r_max`, so the
+//!    range pass is RT-RkNN's pruning bound: everything outside never
+//!    needs a k-NN test.
+//! 2. **Membership**: candidate ids are deduplicated across queries and a
+//!    single batched `Knn { k: k + 1, r: r_max }` call runs at their
+//!    positions — the *same* AABB width as pass 1, so it hits the
+//!    structure the width-keyed `Accel` cache already built. `k + 1`
+//!    because the candidate itself (distance 0) occupies one slot; the
+//!    returned list then provably contains every point that could beat
+//!    the query: if fewer than `k` points are strictly closer than `q`,
+//!    all of them (plus `p`) fit in `k + 1` slots; if `k` or more are,
+//!    at least `k` of them rank ahead of `q` and appear.
+//!
+//! The host-side filter recomputes exact `f32` distances against the point
+//! array (the same arithmetic the oracle uses), so the answer is
+//! independent of hit-list order — and therefore identical whether the
+//! executor is a single index or a sharded one.
+//!
+//! [`QueryPlan::range_unbounded`]: rtnn::QueryPlan::range_unbounded
+
+use rtnn::{QueryPlan, SearchError};
+use rtnn_math::Vec3;
+use rtnn_serve::TickExecutor;
+use rtnn_telemetry::Telemetry;
+
+/// Default queries per execute call (see [`Dbscan`](crate::Dbscan) for the
+/// trade-off).
+const DEFAULT_BATCH: usize = 2048;
+
+/// Reverse-k-NN parameters plus the query batching knob.
+#[derive(Debug, Clone, Copy)]
+pub struct ReverseKnn {
+    /// Neighbor rank bound: members have the query among their `k`
+    /// nearest (must be at least 1).
+    pub k: usize,
+    /// Membership radius (strict: members satisfy `d² < r_max²`). Also
+    /// the candidate-pruning radius of the range pass.
+    pub r_max: f32,
+    batch: usize,
+}
+
+/// The outcome of a reverse-k-NN run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RknnResult {
+    /// Per query: ascending ids of the member points.
+    pub members: Vec<Vec<u32>>,
+    /// Per query: how many candidates the range pass produced (the
+    /// pre-filter set the k-NN pass had to test).
+    pub candidates: Vec<usize>,
+    /// Number of distinct candidate points across all queries — the size
+    /// of the deduplicated k-NN launch. The pruning-effectiveness signal:
+    /// without the range bound this would be the full point count.
+    pub unique_candidates: usize,
+}
+
+impl ReverseKnn {
+    /// Reverse k-NN with the default query batch size.
+    pub fn new(k: usize, r_max: f32) -> Self {
+        ReverseKnn {
+            k,
+            r_max,
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// Override the number of queries issued per pipeline call (clamped to
+    /// at least 1); never changes the members.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Answer the reverse-k-NN of every query position against `points`,
+    /// using `exec` (any [`TickExecutor`] over exactly `points`) for both
+    /// pipeline passes.
+    pub fn run<E: TickExecutor>(
+        &self,
+        points: &[Vec3],
+        queries: &[Vec3],
+        exec: &mut E,
+    ) -> Result<RknnResult, SearchError> {
+        let tel = Telemetry::current();
+        let mut span = tel.as_ref().map(|t| t.span("analytics.rknn.run"));
+
+        // Pass 1: candidate sets within r_max.
+        let range_plan = QueryPlan::range_unbounded(self.r_max);
+        let mut candidate_lists: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(self.batch) {
+            let results = exec.execute(chunk, &range_plan)?;
+            candidate_lists.extend(results.neighbors);
+        }
+
+        // Dedup across queries; the sorted order doubles as the id → slot
+        // lookup for the k-NN lists below.
+        let mut unique: Vec<u32> = candidate_lists.iter().flatten().copied().collect();
+        unique.sort_unstable();
+        unique.dedup();
+
+        // Pass 2: k+1 nearest within r_max at every distinct candidate.
+        // Same radius as pass 1 → same AABB width → the width-keyed Accel
+        // cache serves this pass without building anything new.
+        let knn_plan = QueryPlan::knn(self.r_max, self.k.max(1) + 1);
+        let candidate_pos: Vec<Vec3> = unique.iter().map(|&id| points[id as usize]).collect();
+        let mut knn_lists: Vec<Vec<u32>> = Vec::with_capacity(unique.len());
+        for chunk in candidate_pos.chunks(self.batch) {
+            let results = exec.execute(chunk, &knn_plan)?;
+            knn_lists.extend(results.neighbors);
+        }
+
+        // Host-side membership filter, in exact f32 arithmetic.
+        let k = self.k.max(1);
+        let members: Vec<Vec<u32>> = candidate_lists
+            .iter()
+            .zip(queries)
+            .map(|(candidates, &q)| {
+                let mut m: Vec<u32> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&pid| {
+                        let p = points[pid as usize];
+                        let dq2 = p.distance_squared(q);
+                        let slot = unique.binary_search(&pid).expect("candidate was deduped");
+                        let closer = knn_lists[slot]
+                            .iter()
+                            .filter(|&&j| j != pid && p.distance_squared(points[j as usize]) < dq2)
+                            .count();
+                        closer < k
+                    })
+                    .collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+
+        let candidates: Vec<usize> = candidate_lists.iter().map(|c| c.len()).collect();
+        if let Some(t) = &tel {
+            t.counter_add("analytics.rknn.runs", 1);
+            t.counter_add("analytics.rknn.queries", queries.len() as u64);
+            t.counter_add(
+                "analytics.rknn.candidates",
+                candidates.iter().map(|&c| c as u64).sum(),
+            );
+            t.counter_add("analytics.rknn.knn_points", unique.len() as u64);
+            t.counter_add(
+                "analytics.rknn.members",
+                members.iter().map(|m| m.len() as u64).sum(),
+            );
+        }
+        if let Some(span) = span.as_mut() {
+            span.attr("queries", queries.len() as f64)
+                .attr("unique_candidates", unique.len() as f64)
+                .attr("points", points.len() as f64);
+        }
+        Ok(RknnResult {
+            members,
+            candidates,
+            unique_candidates: unique.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtnn::{EngineConfig, GpusimBackend, Index};
+    use rtnn_baselines::rknn_oracle;
+    use rtnn_data::uniform::{self, UniformParams};
+    use rtnn_gpusim::Device;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        uniform::generate(&UniformParams {
+            num_points: n,
+            seed,
+            ..Default::default()
+        })
+        .points
+    }
+
+    #[test]
+    fn members_match_the_oracle_across_parameters() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(500, 21);
+        let queries: Vec<Vec3> = points.iter().step_by(13).copied().collect();
+        let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+        for (k, r_max) in [(1, 0.8), (4, 1.2), (8, 2.5)] {
+            let got = ReverseKnn::new(k, r_max)
+                .run(&points, &queries, &mut index)
+                .unwrap();
+            assert_eq!(
+                got.members,
+                rknn_oracle(&points, &queries, k, r_max),
+                "k={k} r_max={r_max}"
+            );
+            assert!(got.unique_candidates <= points.len());
+            assert_eq!(got.candidates.len(), queries.len());
+        }
+    }
+
+    #[test]
+    fn off_cloud_queries_and_batch_sizes() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(300, 5);
+        let mut queries = vec![
+            Vec3::new(-50.0, 0.0, 0.0), // far outside: empty member set
+            points[17],
+        ];
+        queries.extend(points.iter().step_by(29).copied());
+        let oracle = rknn_oracle(&points, &queries, 3, 1.5);
+        assert!(oracle[0].is_empty());
+        for batch in [1, 5, 4096] {
+            let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+            let got = ReverseKnn::new(3, 1.5)
+                .with_batch(batch)
+                .run(&points, &queries, &mut index)
+                .unwrap();
+            assert_eq!(got.members, oracle, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn pruning_reports_and_errors() {
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(200, 2);
+        let queries = vec![points[0]];
+        let mut index = Index::build(&backend, points.as_slice(), EngineConfig::default());
+        let got = ReverseKnn::new(2, 0.7)
+            .run(&points, &queries, &mut index)
+            .unwrap();
+        // A single tight query must prune the k-NN launch far below n.
+        assert!(got.unique_candidates < points.len());
+        assert_eq!(got.candidates[0], got.unique_candidates);
+        let err = ReverseKnn::new(2, f32::NAN)
+            .run(&points, &queries, &mut index)
+            .unwrap_err();
+        assert!(matches!(err, SearchError::InvalidPlan(_)));
+        // No queries → no members, nothing launched.
+        let empty = ReverseKnn::new(2, 1.0)
+            .run(&points, &[], &mut index)
+            .unwrap();
+        assert!(empty.members.is_empty());
+        assert_eq!(empty.unique_candidates, 0);
+    }
+}

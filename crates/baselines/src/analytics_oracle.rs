@@ -1,0 +1,175 @@
+//! Exhaustive O(n²) oracles for the spatial-analytics workloads
+//! (`rtnn-analytics`): DBSCAN clustering and reverse k-NN.
+//!
+//! Both are written as directly as possible from the definitions — full
+//! pairwise distance scans, breadth-first component flooding — sharing no
+//! code with the engine-driven implementations they validate, so agreement
+//! is evidence rather than tautology.
+//!
+//! ## Semantics (shared contract with `rtnn-analytics`)
+//!
+//! * Neighborhoods use the engine's *strict* radius predicate
+//!   `d² < eps²` and include the point itself.
+//! * A point is **core** iff its neighborhood (self included) holds at
+//!   least `min_pts` points.
+//! * Clusters are the connected components of core points under
+//!   eps-adjacency; a non-core point with at least one core neighbor
+//!   (**border**) joins the cluster of its *lowest-id* core neighbor; the
+//!   rest is **noise** (`None`).
+//! * A cluster's label is the smallest member id over all of its assigned
+//!   members (cores and borders) — deterministic regardless of any
+//!   traversal or merge order.
+//! * `p` is a reverse-k-NN member of query `q` iff `d²(p, q) < r_max²`
+//!   and fewer than `k` indexed points other than `p` lie strictly closer
+//!   to `p` than `q` does. Member lists are ascending point ids.
+
+use rtnn_math::Vec3;
+
+/// Exhaustive DBSCAN: per-point cluster label (`None` = noise), labels
+/// canonicalized to the smallest member id of each cluster.
+pub fn dbscan_oracle(points: &[Vec3], eps: f32, min_pts: usize) -> Vec<Option<u32>> {
+    let n = points.len();
+    let eps2 = eps * eps;
+    let adjacency: Vec<Vec<u32>> = points
+        .iter()
+        .map(|&p| {
+            (0..n as u32)
+                .filter(|&j| p.distance_squared(points[j as usize]) < eps2)
+                .collect()
+        })
+        .collect();
+    let core: Vec<bool> = adjacency.iter().map(|a| a.len() >= min_pts).collect();
+
+    // Flood the core graph: breadth-first from every unvisited core point.
+    let mut component: Vec<Option<usize>> = vec![None; n];
+    let mut num_components = 0;
+    for start in 0..n {
+        if !core[start] || component[start].is_some() {
+            continue;
+        }
+        let comp = num_components;
+        num_components += 1;
+        let mut frontier = vec![start as u32];
+        component[start] = Some(comp);
+        while let Some(p) = frontier.pop() {
+            for &q in &adjacency[p as usize] {
+                if core[q as usize] && component[q as usize].is_none() {
+                    component[q as usize] = Some(comp);
+                    frontier.push(q);
+                }
+            }
+        }
+    }
+    // Borders join the component of their lowest-id core neighbor.
+    for p in 0..n {
+        if core[p] || component[p].is_some() {
+            continue;
+        }
+        if let Some(&c) = adjacency[p].iter().find(|&&q| core[q as usize]) {
+            component[p] = component[c as usize];
+        }
+    }
+    // Canonical label per component: the smallest assigned member id.
+    let mut min_member: Vec<u32> = vec![u32::MAX; num_components];
+    for (p, assigned) in component.iter().enumerate() {
+        if let Some(comp) = assigned {
+            min_member[*comp] = min_member[*comp].min(p as u32);
+        }
+    }
+    component
+        .into_iter()
+        .map(|comp| comp.map(|c| min_member[c]))
+        .collect()
+}
+
+/// Exhaustive reverse k-NN: for each query, the ascending ids of every
+/// indexed point within `r_max` that has the query among its `k` nearest.
+pub fn rknn_oracle(points: &[Vec3], queries: &[Vec3], k: usize, r_max: f32) -> Vec<Vec<u32>> {
+    let r2 = r_max * r_max;
+    queries
+        .iter()
+        .map(|&q| {
+            (0..points.len() as u32)
+                .filter(|&pi| {
+                    let p = points[pi as usize];
+                    let dq2 = p.distance_squared(q);
+                    if dq2 >= r2 {
+                        return false;
+                    }
+                    let closer = points
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, &pj)| j as u32 != pi && p.distance_squared(pj) < dq2)
+                        .count();
+                    closer < k
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_cloud() -> Vec<Vec3> {
+        // Two tight groups on the x axis plus one far-away straggler.
+        [0.0f32, 0.4, 0.8, 5.0, 5.4, 5.8, 20.0]
+            .iter()
+            .map(|&x| Vec3::new(x, 0.0, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn dbscan_finds_the_two_groups_and_the_noise_point() {
+        let labels = dbscan_oracle(&line_cloud(), 0.5, 2);
+        assert_eq!(
+            labels,
+            vec![Some(0), Some(0), Some(0), Some(3), Some(3), Some(3), None]
+        );
+    }
+
+    #[test]
+    fn dbscan_border_points_join_their_lowest_id_core_neighbor() {
+        // Only 1 is core (its neighborhood {0, 1, 2} reaches min_pts = 3);
+        // 0 and 2 are borders joining core 1's cluster, whose smallest
+        // member is border 0.
+        let points = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.0, 0.0),
+            Vec3::new(1.2, 0.0, 0.0),
+        ];
+        let labels = dbscan_oracle(&points, 0.9, 3);
+        assert_eq!(labels, vec![Some(0), Some(0), Some(0)]);
+        // With min_pts high enough nothing is core: everything is noise.
+        assert_eq!(dbscan_oracle(&points, 0.9, 4), vec![None; 3]);
+    }
+
+    #[test]
+    fn dbscan_strict_radius_excludes_the_boundary() {
+        let points = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0)];
+        // d == eps is *not* a neighbor (strict predicate): singletons only.
+        assert_eq!(dbscan_oracle(&points, 1.0, 2), vec![None, None]);
+        assert_eq!(dbscan_oracle(&points, 1.001, 2), vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn rknn_matches_hand_computed_sets() {
+        // points: 0 at x=0, 1 at x=1, 2 at x=10; query at x=0.4.
+        let points = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+        ];
+        let q = vec![Vec3::new(0.4, 0.0, 0.0)];
+        // k=1: point 0's nearest other point is 1 at d=1.0 > 0.4 → q is
+        // closer than its 1-NN → member. Point 1: nearest other is 0 at
+        // d=1.0 > 0.6 → member. Point 2 is outside r_max.
+        assert_eq!(rknn_oracle(&points, &q, 1, 5.0), vec![vec![0, 1]]);
+        // Tiny r_max prunes everything.
+        assert_eq!(rknn_oracle(&points, &q, 1, 0.3), vec![Vec::<u32>::new()]);
+        // A query exactly on a point: zero distance is always within k.
+        let on = vec![Vec3::new(10.0, 0.0, 0.0)];
+        assert_eq!(rknn_oracle(&points, &on, 1, 1.0), vec![vec![2]]);
+    }
+}

@@ -30,8 +30,10 @@
 //! The crate also provides [`backend::BruteForceBackend`], an exhaustive
 //! `rtnn::Backend` implementation that plugs the brute-force scan into the
 //! engine's backend seam and doubles as the oracle of the cross-backend
-//! equivalence suite.
+//! equivalence suite, plus the O(n²) [`analytics_oracle`]s (exhaustive
+//! DBSCAN and reverse k-NN) that `rtnn-analytics` is validated against.
 
+pub mod analytics_oracle;
 pub mod backend;
 pub mod bruteforce;
 pub mod common;
@@ -41,5 +43,6 @@ pub mod kdtree;
 pub mod octree;
 pub mod uniform_grid;
 
+pub use analytics_oracle::{dbscan_oracle, rknn_oracle};
 pub use backend::BruteForceBackend;
 pub use common::{Baseline, BaselineRun, SearchRequest};

@@ -1,0 +1,13 @@
+//! Extension figure: spatial analytics on the pipeline — DBSCAN cluster
+//! throughput vs brute force, streaming relabel vs full recluster, and
+//! reverse-k-NN candidate pruning.
+
+use rtnn_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let report = experiments::analytics::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

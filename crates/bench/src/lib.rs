@@ -26,6 +26,7 @@
 //! | `fig_mixed` | extension — heterogeneous plans on one `Index` vs per-plan engines |
 //! | `fig_serve` | extension — request coalescing + spatial sharding under offered load |
 //! | `fig_stages` | extension — per-stage pipeline time shares + single-stage toggles |
+//! | `fig_analytics` | extension — DBSCAN throughput, streaming relabel, reverse-k-NN pruning |
 //! | `reproduce_all` | everything above, written to `results/` |
 //!
 //! Scale is controlled by the `RTNN_SCALE` environment variable: the point

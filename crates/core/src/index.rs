@@ -553,6 +553,10 @@ impl<'a> Index<'a> {
         plan: &QueryPlan,
         overrides: StageOverrides<'_>,
     ) -> Result<SearchResults, SearchError> {
+        // Unbounded-range sentinels resolve to this scene's point count (the
+        // largest result a range query can produce) before any result-buffer
+        // sizing; plans without the sentinel pass through untouched.
+        let plan = plan.resolve_caps(self.points.len());
         let plan = plan.normalized();
         plan.validate(queries.len())?;
         let tel = Telemetry::current();

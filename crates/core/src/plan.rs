@@ -37,7 +37,11 @@ pub enum QueryPlan {
         r: f32,
     },
     /// Fixed-radius (range) search: up to `cap` neighbors within `r`.
-    /// (An unbounded range search is expressed with a very large `cap`.)
+    /// (An unbounded range search is expressed with
+    /// [`QueryPlan::range_unbounded`], whose [`UNBOUNDED_CAP`] sentinel the
+    /// index resolves to the scene's point count at query time.)
+    ///
+    /// [`UNBOUNDED_CAP`]: QueryPlan::UNBOUNDED_CAP
     Range {
         /// Search radius (positive, finite).
         r: f32,
@@ -80,6 +84,78 @@ impl QueryPlan {
     /// Range plan: up to `cap` neighbors within `r`.
     pub fn range(r: f32, cap: usize) -> Self {
         QueryPlan::Range { r, cap }
+    }
+
+    /// The sentinel cap carried by [`range_unbounded`](Self::range_unbounded)
+    /// plans. Execution entry points resolve it to the scene's point count
+    /// (the largest result a range query can produce) before sizing result
+    /// buffers, so the sentinel never reaches footprint arithmetic.
+    pub const UNBOUNDED_CAP: usize = usize::MAX;
+
+    /// Unbounded range plan: *every* neighbor within `r`.
+    ///
+    /// Semantically identical to [`range`](Self::range) with a cap of the
+    /// scene's point count, without the caller having to know that count —
+    /// the DBSCAN driver in `rtnn-analytics` needs exact ε-neighborhoods,
+    /// and a hand-picked "very large" cap either truncates silently or
+    /// over-allocates result buffers. The plan carries the
+    /// [`UNBOUNDED_CAP`](Self::UNBOUNDED_CAP) sentinel, which the index
+    /// resolves per scene at query time; validation is exactly that of
+    /// `range` (the sentinel is non-zero, so only the radius can fail).
+    ///
+    /// ```
+    /// use rtnn::{PlanError, QueryPlan};
+    ///
+    /// assert!(QueryPlan::range_unbounded(0.8).validate(100).is_ok());
+    /// assert_eq!(
+    ///     QueryPlan::range_unbounded(f32::INFINITY).validate(100).unwrap_err(),
+    ///     PlanError::InvalidRadius { field: "Range.r", value: f32::INFINITY }
+    /// );
+    /// ```
+    pub fn range_unbounded(r: f32) -> Self {
+        QueryPlan::Range {
+            r,
+            cap: Self::UNBOUNDED_CAP,
+        }
+    }
+
+    /// This plan with any [`UNBOUNDED_CAP`](Self::UNBOUNDED_CAP) sentinel
+    /// resolved to `num_points.max(1)` — the tightest true bound on a range
+    /// result (`max(1)` keeps the resolved plan valid for empty scenes).
+    /// Plans without the sentinel are returned borrowed; execution entry
+    /// points call this before any result-buffer sizing.
+    pub fn resolve_caps(&self, num_points: usize) -> Cow<'_, QueryPlan> {
+        let bound = num_points.max(1);
+        match self {
+            QueryPlan::Range {
+                r,
+                cap: Self::UNBOUNDED_CAP,
+            } => Cow::Owned(QueryPlan::range(*r, bound)),
+            QueryPlan::Batch(slices)
+                if slices.iter().any(|s| {
+                    matches!(
+                        s.plan,
+                        QueryPlan::Range {
+                            cap: Self::UNBOUNDED_CAP,
+                            ..
+                        }
+                    )
+                }) =>
+            {
+                Cow::Owned(QueryPlan::Batch(
+                    slices
+                        .iter()
+                        .map(|s| {
+                            PlanSlice::new(
+                                s.plan.resolve_caps(num_points).into_owned(),
+                                s.query_ids.clone(),
+                            )
+                        })
+                        .collect(),
+                ))
+            }
+            _ => Cow::Borrowed(self),
+        }
     }
 
     /// The plan equivalent to legacy [`SearchParams`] (used by the
@@ -593,6 +669,74 @@ mod tests {
             panic!("stays a batch")
         };
         assert_eq!(slices.len(), 2);
+    }
+
+    #[test]
+    fn range_unbounded_validates_like_range() {
+        let plan = QueryPlan::range_unbounded(0.8);
+        assert_eq!(
+            plan,
+            QueryPlan::Range {
+                r: 0.8,
+                cap: QueryPlan::UNBOUNDED_CAP
+            }
+        );
+        assert!(plan.validate(100).is_ok());
+        assert_eq!(plan.max_radius(), 0.8);
+        assert_eq!(plan.kind_label(), "range");
+        // The radius checks are exactly those of `range`.
+        assert_eq!(
+            QueryPlan::range_unbounded(0.0).validate(10).unwrap_err(),
+            PlanError::InvalidRadius {
+                field: "Range.r",
+                value: 0.0
+            }
+        );
+        assert!(matches!(
+            QueryPlan::range_unbounded(f32::NAN).validate(10).unwrap_err(),
+            PlanError::InvalidRadius { field: "Range.r", value } if value.is_nan()
+        ));
+        assert_eq!(
+            QueryPlan::range_unbounded(-3.5).validate(10).unwrap_err(),
+            PlanError::InvalidRadius {
+                field: "Range.r",
+                value: -3.5
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_caps_replaces_only_the_sentinel() {
+        // The sentinel resolves to the point count…
+        assert_eq!(
+            QueryPlan::range_unbounded(0.8).resolve_caps(37).as_ref(),
+            &QueryPlan::range(0.8, 37)
+        );
+        // …empty scenes keep the resolved plan valid…
+        assert_eq!(
+            QueryPlan::range_unbounded(0.8).resolve_caps(0).as_ref(),
+            &QueryPlan::range(0.8, 1)
+        );
+        // …and everything else is passed through borrowed, bit-for-bit.
+        for plan in [
+            QueryPlan::knn(1.0, 8),
+            QueryPlan::range(1.0, 8),
+            QueryPlan::range(1.0, usize::MAX - 1),
+        ] {
+            assert!(matches!(plan.resolve_caps(37), Cow::Borrowed(_)));
+        }
+        // Batches resolve per slice, preserving non-sentinel slices.
+        let batch = QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::range_unbounded(0.5), vec![0]),
+            PlanSlice::new(QueryPlan::knn(1.0, 4), vec![1]),
+        ]);
+        let QueryPlan::Batch(slices) = batch.resolve_caps(9).into_owned() else {
+            panic!("stays a batch");
+        };
+        assert_eq!(slices[0].plan, QueryPlan::range(0.5, 9));
+        assert_eq!(slices[1].plan, QueryPlan::knn(1.0, 4));
+        let sentinel_free = QueryPlan::Batch(vec![PlanSlice::new(QueryPlan::knn(1.0, 4), vec![0])]);
+        assert!(matches!(sentinel_free.resolve_caps(9), Cow::Borrowed(_)));
     }
 
     #[test]

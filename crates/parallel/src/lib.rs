@@ -27,6 +27,12 @@
 //! * [`par_chunks_mut`] — disjoint mutable chunks of a slice with
 //!   aggregate busy-time metering (the builder's work/wall accounting).
 //!
+//! The crate also hosts the small sequential [`UnionFind`] used by the
+//! analytics layer to merge DBSCAN neighborhoods — it lives here (rather
+//! than in a geometry crate) because it is a generic id-space primitive
+//! with the same "results never depend on execution order" contract as the
+//! parallel helpers (see [`UnionFind::min_labels`]).
+//!
 //! Every primitive has a *deterministic-ordering guarantee*: output element
 //! `i` is always `f(i, …)` regardless of the thread count or how chunks were
 //! claimed — parallelism changes wall-clock time, never results.
@@ -35,8 +41,10 @@
 //! tests on tiny data never pay thread start-up costs.
 
 pub mod pool;
+pub mod union_find;
 
 pub use pool::{current_num_threads, set_num_threads, with_thread_count};
+pub use union_find::UnionFind;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

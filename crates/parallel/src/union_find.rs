@@ -1,0 +1,184 @@
+//! A small disjoint-set (union-find) forest.
+//!
+//! Used by `rtnn-analytics` to merge DBSCAN core-point neighborhoods into
+//! clusters. Path compression plus union by size gives the usual
+//! near-constant amortised operations; the structure can [`grow`] so
+//! streaming workloads whose id space expands frame over frame (dynamic
+//! scene inserts) reuse one instance.
+//!
+//! Determinism note: *which* element ends up as the internal root of a
+//! merged set depends on union order, so callers that need canonical labels
+//! must derive them from set membership (e.g. the smallest member id), not
+//! from [`find`] roots. [`UnionFind::min_labels`] does exactly that.
+//!
+//! [`grow`]: UnionFind::grow
+//! [`find`]: UnionFind::find
+
+/// A disjoint-set forest over the ids `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// Parent pointer per element; roots point at themselves.
+    parent: Vec<u32>,
+    /// Set size per element (meaningful at roots only).
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// A forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind ids are u32");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements (not sets) in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Extend the id space to `n` elements (no-op if already at least that
+    /// large); new elements start as singletons.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "UnionFind ids are u32");
+        for id in self.parent.len() as u32..n as u32 {
+            self.parent.push(id);
+            self.size.push(1);
+        }
+    }
+
+    /// The root representative of `x`'s set, with path compression.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress the walked path.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets holding `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by size keeps trees shallow.
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The canonical label of every element: the smallest member id of its
+    /// set. Unlike raw [`find`](Self::find) roots, these labels do not
+    /// depend on the order unions were performed in.
+    pub fn min_labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut min_of_root: Vec<u32> = (0..n as u32).collect();
+        for x in 0..n as u32 {
+            let root = self.find(x);
+            if x < min_of_root[root as usize] {
+                min_of_root[root as usize] = x;
+            }
+        }
+        (0..n as u32)
+            .map(|x| min_of_root[self.find(x) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        for x in 0..5 {
+            assert_eq!(uf.find(x), x);
+        }
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_reports_novelty() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(1, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 5));
+    }
+
+    #[test]
+    fn min_labels_are_union_order_invariant() {
+        // Two different union orders over the same set partition must give
+        // identical labels.
+        let mut a = UnionFind::new(7);
+        a.union(4, 2);
+        a.union(2, 6);
+        a.union(1, 5);
+        let mut b = UnionFind::new(7);
+        b.union(6, 4);
+        b.union(5, 1);
+        b.union(4, 2);
+        let (la, lb) = (a.min_labels(), b.min_labels());
+        assert_eq!(la, lb);
+        assert_eq!(la, vec![0, 1, 2, 3, 2, 1, 2]);
+    }
+
+    #[test]
+    fn grow_adds_singletons_and_preserves_sets() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 2);
+        uf.grow(6);
+        assert_eq!(uf.len(), 6);
+        assert!(uf.same_set(0, 2));
+        for x in 3..6 {
+            assert_eq!(uf.find(x), x);
+        }
+        uf.grow(2); // shrinking is a no-op
+        assert_eq!(uf.len(), 6);
+        assert!(uf.union(5, 0));
+        assert_eq!(uf.min_labels()[5], 0);
+    }
+
+    #[test]
+    fn deep_chains_compress() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for x in 1..n as u32 {
+            uf.union(x - 1, x);
+        }
+        let labels = uf.min_labels();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

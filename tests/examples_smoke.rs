@@ -66,3 +66,8 @@ fn query_server_runs_and_verifies() {
 fn nbody_clustering_runs_and_verifies() {
     run_example("nbody_clustering");
 }
+
+#[test]
+fn cluster_stream_runs_and_verifies() {
+    run_example("cluster_stream");
+}
