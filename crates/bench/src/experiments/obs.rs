@@ -22,14 +22,18 @@
 
 use crate::report::{fmt_ms, FigureReport, Table};
 use crate::scale::ExperimentScale;
-use rtnn::telemetry::{verify_jsonl_roundtrip, Telemetry, TelemetryLevel};
+use rtnn::telemetry::{
+    verify_jsonl_roundtrip, FlightRecorder, SignatureProfiler, SloConfig, Telemetry, TelemetryLevel,
+};
 use rtnn::{EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan};
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 use rtnn_serve::{
-    poisson_arrivals, run_virtual, run_virtual_observed, Request, ServeConfig, ShardedIndex,
+    poisson_arrivals, run_virtual, run_virtual_observed, run_virtual_recorded, Request,
+    ServeConfig, ShardedIndex,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The plan mix every check runs: one of each kind, sharing the index.
@@ -152,6 +156,20 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             );
         }
     }
+    // Profiler attachment must be as invisible to results as the sink
+    // levels themselves.
+    let sink = Telemetry::new(TelemetryLevel::Full);
+    sink.enable_profiler(SignatureProfiler::new(0.2));
+    let profiled = Telemetry::scoped(&sink, || run_plans(&backend, &points, &queries, &plans));
+    assert_eq!(
+        profiled, baseline,
+        "the continuous profiler changed results"
+    );
+    checks += plans.len();
+    let profile = sink.profile_snapshot().expect("profiler attached");
+    assert!(!profile.is_empty(), "profiler saw no executions");
+    let profiler_signatures = profile.len();
+
     report.tables.push(equivalence);
 
     // Virtual-time harness: observation must not perturb the replay, and
@@ -195,26 +213,71 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     verify_jsonl_roundtrip(&snap_a).expect("loadgen JSONL round trip");
     checks += 2;
 
+    // Flight recorder on the same replay: recording must not perturb the
+    // statistics, and two identical runs must emit identical SLO events and
+    // pin identical exemplars (a 0 ms target breaches deterministically the
+    // moment the window is judged).
+    let slo = SloConfig {
+        quantile: 0.5,
+        target_ms: 0.0,
+        window: 32,
+        min_samples: 8,
+    };
+    let flight_run = || {
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let mut recorder = FlightRecorder::with_slo(128, slo);
+        let (run, _) = run_virtual_recorded(
+            &mut index,
+            &requests,
+            &arrivals,
+            &cfg,
+            TelemetryLevel::Full,
+            &mut recorder,
+        );
+        (run, recorder)
+    };
+    let (flight_a, recorder_a) = flight_run();
+    let (_, recorder_b) = flight_run();
+    assert_eq!(
+        flight_a.stats, plain.stats,
+        "flight recording perturbed the virtual replay"
+    );
+    assert!(
+        !recorder_a.pinned().is_empty(),
+        "the 0 ms SLO must breach and pin an exemplar"
+    );
+    assert_eq!(
+        recorder_a.to_jsonl(),
+        recorder_b.to_jsonl(),
+        "flight recorder runs are not bit-reproducible"
+    );
+    checks += 2;
+
     // ---- (b) overhead per level ------------------------------------------
     // Interleaved rounds: each round times every variant once on its own
     // warm index, so drift hits all variants alike; the median round is
     // reported.
     let rounds = 5;
-    let variants: Vec<(&str, Option<TelemetryLevel>)> = vec![
+    let variants: Vec<(&str, Option<Arc<Telemetry>>)> = vec![
         ("baseline", None),
-        ("off", Some(TelemetryLevel::Off)),
-        ("basic", Some(TelemetryLevel::Basic)),
-        ("full", Some(TelemetryLevel::Full)),
+        ("off", Some(Telemetry::new(TelemetryLevel::Off))),
+        ("basic", Some(Telemetry::new(TelemetryLevel::Basic))),
+        ("full", Some(Telemetry::new(TelemetryLevel::Full))),
+        ("full_profile", {
+            let sink = Telemetry::new(TelemetryLevel::Full);
+            sink.enable_profiler(SignatureProfiler::new(0.2));
+            Some(sink)
+        }),
     ];
     let mut indexes: Vec<Index> = Vec::new();
-    let mut sinks: Vec<Option<std::sync::Arc<Telemetry>>> = Vec::new();
-    for (_, level) in &variants {
+    let mut sinks: Vec<Option<Arc<Telemetry>>> = Vec::new();
+    for (_, sink) in &variants {
         let mut index = Index::build(&backend, &points[..], EngineConfig::default());
         for p in &plans {
             index.query(&queries, p).expect("warm"); // structures + widths cached
         }
         indexes.push(index);
-        sinks.push(level.map(Telemetry::new));
+        sinks.push(sink.clone());
     }
     let mut times: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for _ in 0..rounds {
@@ -264,10 +327,51 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             report.headline_metric(format!("obs_overhead_pct_{name}"), pct);
         }
     }
+
+    // Flight-recorder overhead: host wall time of the virtual replay with
+    // and without a recording ring + SLO monitor, interleaved rounds again.
+    // Reported for trend tracking only — the recorder sits on the serving
+    // path, not the query path, so it has its own baseline row.
+    let mut replay_times: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for _ in 0..rounds {
+        let start = Instant::now();
+        run_virtual(&mut plain_index, &requests, &arrivals, &cfg);
+        replay_times[0].push(start.elapsed().as_secs_f64() * 1e3);
+        let mut recorder = FlightRecorder::with_slo(128, slo);
+        let start = Instant::now();
+        run_virtual_recorded(
+            &mut plain_index,
+            &requests,
+            &arrivals,
+            &cfg,
+            TelemetryLevel::Off,
+            &mut recorder,
+        );
+        replay_times[1].push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let replay_ms = median(&mut replay_times[0]).max(1e-9);
+    let flight_ms = median(&mut replay_times[1]);
+    let flight_pct = (flight_ms / replay_ms - 1.0) * 100.0;
+    overhead.push_row(vec![
+        "replay (no recorder)".to_string(),
+        fmt_ms(replay_ms),
+        "—".to_string(),
+    ]);
+    overhead.push_row(vec![
+        "replay + flight recorder".to_string(),
+        fmt_ms(flight_ms),
+        format!("{flight_pct:+.1}%"),
+    ]);
+    report.headline_metric("obs_flight_overhead_pct", flight_pct);
     report.tables.push(overhead);
 
     report.headline_metric("obs_bit_equal_checks", checks as f64);
     report.headline_metric("obs_loadgen_spans_full", snap_a.spans.len() as f64);
+    report.headline_metric("obs_profiler_signatures", profiler_signatures as f64);
+    report.headline_metric(
+        "obs_flight_pinned_exemplars",
+        recorder_a.pinned().len() as f64,
+    );
     report.notes.push(format!(
         "results are bit-equal to the unobserved baseline at every telemetry level \
          ({checks} comparisons: direct + sharded plan runs, plus the virtual-time \
@@ -281,6 +385,12 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     report.notes.push(
         "every level's snapshot survived the JSONL parse-back round trip and the \
          Prometheus text sanity checks"
+            .into(),
+    );
+    report.notes.push(
+        "the continuous profiler and the SLO flight recorder are bit-invisible too: \
+         profiled plan runs match the baseline, recorded replays match the plain \
+         replay statistics, and two recorded runs pin identical breach exemplars"
             .into(),
     );
     report
@@ -311,6 +421,11 @@ mod tests {
             metric("obs_overhead_pct_off")
         );
         assert!(metric("obs_loadgen_spans_full") > 0.0);
+        // The new observability layers are covered but not timing-gated:
+        // the profiler saw signatures and the deterministic 0 ms SLO pinned
+        // exemplars (both counts, not wall times).
+        assert!(metric("obs_profiler_signatures") >= 1.0);
+        assert!(metric("obs_flight_pinned_exemplars") >= 1.0);
         assert_eq!(report.tables.len(), 2);
     }
 }

@@ -154,6 +154,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     let mut crit_1 = 0.0;
     let mut scaling_efficiency = 0.0;
     let mut shard_speedup = 0.0;
+    let mut shard_skew_8 = 0.0;
     for shards in [1usize, 2, 4, 8] {
         let mut sharded = ShardedIndex::build(&backend, &points, EngineConfig::default(), shards);
         // Warm the width caches so the tick measures steady-state serving.
@@ -169,6 +170,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
         if shards == 8 {
             scaling_efficiency = efficiency;
             shard_speedup = speedup;
+            shard_skew_8 = timing.skew();
         }
         shard_table.push_row(vec![
             shards.to_string(),
@@ -187,6 +189,7 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
     report.headline_metric("serve_coalescing_speedup", speedup_at_saturation);
     report.headline_metric("serve_shard_speedup_8", shard_speedup);
     report.headline_metric("serve_shard_scaling_efficiency", scaling_efficiency);
+    report.headline_metric("serve_shard_skew", shard_skew_8);
     report.notes.push(format!(
         "at saturation (3x offered load) coalescing sustains {} the throughput of \
          one-request-per-call serving — fused ticks pay one data transfer, one \
@@ -236,6 +239,13 @@ mod tests {
             metric("serve_shard_speedup_8") > 1.0,
             "8 shards should beat 1, got {}",
             metric("serve_shard_speedup_8")
+        );
+        // Skew is critical-path over ideal parallel time: >= 1 whenever the
+        // tick fanned out at all (the `serve.shard.skew` gauge's source).
+        assert!(
+            metric("serve_shard_skew") >= 1.0,
+            "skew {} below 1",
+            metric("serve_shard_skew")
         );
         assert_eq!(report.tables.len(), 2);
         assert_eq!(report.tables[0].rows.len(), 5);

@@ -27,7 +27,10 @@
 //! | `fig_serve` | extension — request coalescing + spatial sharding under offered load |
 //! | `fig_stages` | extension — per-stage pipeline time shares + single-stage toggles |
 //! | `fig_analytics` | extension — DBSCAN throughput, streaming relabel, reverse-k-NN pruning |
+//! | `fig_build` | extension — parallel LBVH build, batched refit, shard-concurrent cold start |
+//! | `fig_obs` | extension — telemetry bit-equality + profiler/flight-recorder overhead per level |
 //! | `reproduce_all` | everything above, written to `results/` |
+//! | `rtnn-trend` | not a figure — diffs `results/` headlines against the baselines in `results/baselines/` and exits nonzero on perf regressions (see `src/bin/trend.rs`) |
 //!
 //! Scale is controlled by the `RTNN_SCALE` environment variable: the point
 //! counts of the paper's datasets are divided by this factor (default 200,

@@ -54,7 +54,7 @@ use rtnn_gpusim::kernel::point_cloud_bytes;
 use rtnn_math::{Aabb, Vec3};
 use rtnn_optix::{Gas, LaunchMetrics};
 use rtnn_parallel::par_map_collect;
-use rtnn_telemetry::Telemetry;
+use rtnn_telemetry::{ProfileSample, Telemetry};
 use std::borrow::Cow;
 use std::time::Instant;
 
@@ -616,6 +616,17 @@ impl<'a> Index<'a> {
                 .attr("points", self.points.len() as f64)
                 .attr("device_ms", results.trace.device_total_ms())
                 .attr("partitions", results.num_partitions as f64);
+        }
+        if let (Some(t), Ok(results)) = (tel.as_ref(), result.as_ref()) {
+            if t.profiler_enabled() {
+                t.profile(&ProfileSample {
+                    plan_kind: plan.as_ref().kind_label(),
+                    points: self.points.len(),
+                    backend: self.backend.name(),
+                    queries: queries.len() as u64,
+                    stages: &results.trace.stage_device_ms(),
+                });
+            }
         }
         result
     }

@@ -170,6 +170,17 @@ impl PipelineTrace {
         self.stages.iter().map(|s| s.host_ms).sum()
     }
 
+    /// Per-stage `(label, device_ms)` pairs in pipeline order — the shape
+    /// the telemetry layer's continuous profiler and flight recorder
+    /// ingest.
+    pub fn stage_device_ms(&self) -> [(&'static str, f64); 4] {
+        let mut out = [("", 0.0); 4];
+        for (slot, stage) in self.stages.iter().enumerate() {
+            out[slot] = (stage.kind.label(), stage.device_ms);
+        }
+        out
+    }
+
     /// Each stage's simulated time as a fraction of the stage total (zeros
     /// when nothing was charged).
     pub fn device_fractions(&self) -> [(&'static str, f64); 4] {

@@ -314,6 +314,12 @@ impl<'d> DynamicIndex<'d> {
     /// refresh / rebuild, as the state and policy demand), then searches
     /// through a per-frame [`Index`] view adopting them. Neighbor ids in
     /// the returned results are stable point handles.
+    ///
+    /// Because the frame searches through an adopted [`Index`] view, every
+    /// frame query also feeds the ambient sink's continuous profiler (when
+    /// one is attached): the signature keys on the frame's *live* density
+    /// and the dynamic index's backend, so drifting scenes profile under
+    /// the buckets they currently occupy.
     pub fn search(&mut self, queries: &[Vec3]) -> Result<FrameResult, SearchError> {
         let tel = rtnn_telemetry::Telemetry::current();
         let mut frame_span = tel.as_ref().map(|t| t.span("dynamic.frame"));
@@ -962,6 +968,34 @@ mod tests {
                 "query {qi}: k=2 megacells must not serve a k=24 plan"
             );
         }
+    }
+
+    #[test]
+    fn frame_searches_feed_the_continuous_profiler() {
+        use rtnn_telemetry::{SignatureProfiler, Telemetry, TelemetryLevel};
+        let device = Device::rtx_2080();
+        let points = jittered_block(5, 0.6);
+        let config = RtnnConfig::new(SearchParams::knn(1.2, 6));
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        let queries: Vec<Vec3> = points.iter().step_by(4).copied().collect();
+        let plain = index.search(&queries).unwrap();
+        let tel = Telemetry::new(TelemetryLevel::Basic);
+        tel.enable_profiler(SignatureProfiler::default());
+        let observed = Telemetry::scoped(&tel, || index.search(&queries)).unwrap();
+        assert_eq!(
+            plain.results.neighbors, observed.results.neighbors,
+            "profiling a frame never changes its results"
+        );
+        let snap = tel.profile_snapshot().unwrap();
+        let profile = snap
+            .lookup("knn", index.len(), index.backend().name())
+            .expect("the frame query profiled under its live density");
+        assert_eq!(profile.executions, 1);
+        assert_eq!(profile.stage("Launch").unwrap().count, 1);
+        assert!(
+            profile.total.mean_ms > 0.0,
+            "a non-trivial frame charges device time"
+        );
     }
 
     #[test]

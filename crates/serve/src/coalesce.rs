@@ -23,6 +23,15 @@ pub trait TickExecutor {
     /// Answer `plan` for `queries` (the `Index::query` contract).
     fn execute(&mut self, queries: &[Vec3], plan: &QueryPlan)
         -> Result<SearchResults, SearchError>;
+
+    /// The shard skew of the most recent execution — critical path over
+    /// ideal parallel time, the [`ShardTiming::skew`](crate::ShardTiming::skew)
+    /// signal — or 0.0 for unsharded executors (the default). The SLO
+    /// flight recorder stamps this onto every request trace so a pinned
+    /// tail-latency exemplar says whether a hot shard was involved.
+    fn last_shard_skew(&self) -> f64 {
+        0.0
+    }
 }
 
 impl TickExecutor for rtnn::Index<'_> {
@@ -45,6 +54,10 @@ pub struct TickOutcome {
     pub queries: usize,
     /// Simulated milliseconds of the tick's execution.
     pub sim_ms: f64,
+    /// Per-stage `(label, device_ms)` breakdown of the tick's pipeline
+    /// execution, in pipeline order (empty labels when nothing launched) —
+    /// what the flight recorder attributes a slow request to.
+    pub stage_device_ms: [(&'static str, f64); 4],
 }
 
 /// The outcome of one request within a tick: its per-query neighbor lists
@@ -98,6 +111,7 @@ pub fn execute_tick<E: TickExecutor>(
         match result {
             Ok(results) => {
                 tick.sim_ms = results.total_time_ms();
+                tick.stage_device_ms = results.trace.stage_device_ms();
                 outcomes[ri] = Some(Ok(results.neighbors));
             }
             Err(e) => outcomes[ri] = Some(Err(e)),
@@ -154,6 +168,7 @@ pub fn execute_tick<E: TickExecutor>(
         match executor.execute(&queries, &plan) {
             Ok(results) => {
                 tick.sim_ms = results.total_time_ms();
+                tick.stage_device_ms = results.trace.stage_device_ms();
                 for (vi, &ri) in valid.iter().enumerate() {
                     let (offset, len) = spans[vi];
                     outcomes[ri] = Some(Ok(results.neighbors[offset..offset + len].to_vec()));

@@ -46,7 +46,9 @@ pub mod stats;
 
 pub use coalesce::{execute_tick, RequestOutcome, TickExecutor, TickOutcome};
 pub use config::ServeConfig;
-pub use loadgen::{poisson_arrivals, run_virtual, run_virtual_observed, LoadReport};
+pub use loadgen::{
+    poisson_arrivals, run_virtual, run_virtual_observed, run_virtual_recorded, LoadReport,
+};
 pub use request::{Request, RequestStats, Response};
 pub use service::{PendingResponse, QueryService, ServiceClient};
 pub use shard::{ShardTiming, ShardedIndex};

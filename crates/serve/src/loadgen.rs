@@ -23,7 +23,10 @@ use crate::request::Request;
 use crate::stats::ServiceStats;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rtnn_telemetry::{SpanRecord, Telemetry, TelemetryLevel, TelemetrySnapshot, VirtualClock};
+use rtnn_telemetry::{
+    FlightRecorder, RequestTrace, SpanRecord, Telemetry, TelemetryLevel, TelemetrySnapshot,
+    VirtualClock,
+};
 use std::sync::Arc;
 
 /// The outcome of one virtual-time run.
@@ -80,7 +83,7 @@ pub fn run_virtual<E: TickExecutor>(
     arrivals_ms: &[f64],
     config: &ServeConfig,
 ) -> LoadReport {
-    replay(executor, requests, arrivals_ms, config, None)
+    replay(executor, requests, arrivals_ms, config, None, None)
 }
 
 /// [`run_virtual`] with a private telemetry sink on the replay's virtual
@@ -109,6 +112,41 @@ pub fn run_virtual_observed<E: TickExecutor>(
             telemetry: &telemetry,
             clock: &clock,
         }),
+        None,
+    );
+    let snapshot = telemetry.snapshot();
+    (report, snapshot)
+}
+
+/// [`run_virtual_observed`] with an SLO flight recorder riding the replay:
+/// every served request lands in `recorder` as a [`RequestTrace`] stamped
+/// in virtual milliseconds (latency = arrival → departure, the tick's
+/// stage breakdown and shard skew attached), so an attached
+/// [`SloMonitor`](rtnn_telemetry::SloMonitor) judges the exact replayed
+/// latency sequence. Same (requests, arrivals, config, executor, SLO) →
+/// the same breach events and the same pinned exemplar traces, bit for
+/// bit, on any machine — the property `tests/telemetry_equivalence.rs`
+/// pins.
+pub fn run_virtual_recorded<E: TickExecutor>(
+    executor: &mut E,
+    requests: &[Request],
+    arrivals_ms: &[f64],
+    config: &ServeConfig,
+    level: TelemetryLevel,
+    recorder: &mut FlightRecorder,
+) -> (LoadReport, TelemetrySnapshot) {
+    let clock = Arc::new(VirtualClock::new());
+    let telemetry = Telemetry::with_clock(level, clock.clone());
+    let report = replay(
+        executor,
+        requests,
+        arrivals_ms,
+        config,
+        Some(Observer {
+            telemetry: &telemetry,
+            clock: &clock,
+        }),
+        Some(recorder),
     );
     let snapshot = telemetry.snapshot();
     (report, snapshot)
@@ -127,6 +165,7 @@ fn replay<E: TickExecutor>(
     arrivals_ms: &[f64],
     config: &ServeConfig,
     observer: Option<Observer<'_>>,
+    mut flight: Option<&mut FlightRecorder>,
 ) -> LoadReport {
     assert_eq!(requests.len(), arrivals_ms.len());
     assert!(
@@ -179,6 +218,26 @@ fn replay<E: TickExecutor>(
         stats.record_tick(tick.len(), outcome.queries, outcome.sim_ms);
         for &arrival in &arrivals_ms[i..j] {
             stats.record_latency(departure - arrival);
+        }
+        if let Some(recorder) = flight.as_deref_mut() {
+            let skew = executor.last_shard_skew();
+            let stage_device_ms: Vec<(String, f64)> = outcome
+                .stage_device_ms
+                .iter()
+                .filter(|(label, _)| !label.is_empty())
+                .map(|(label, ms)| (label.to_string(), *ms))
+                .collect();
+            for (k, &arrival) in arrivals_ms[i..j].iter().enumerate() {
+                recorder.record(RequestTrace {
+                    name: requests[i + k].span_name().to_string(),
+                    latency_ms: departure - arrival,
+                    end_ms: departure,
+                    queries: requests[i + k].queries.len() as u64,
+                    tick_requests: tick.len() as u64,
+                    stage_device_ms: stage_device_ms.clone(),
+                    shard_skew: skew,
+                });
+            }
         }
         free_at = departure;
         last_departure = departure;
@@ -380,6 +439,65 @@ mod tests {
             &ServeConfig::default().without_coalescing(),
         );
         assert!((no_window.latency_ms(0.5) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_replay_reproducibly_pins_the_same_breach_exemplar() {
+        use rtnn_telemetry::{SloConfig, SloEvent};
+        let requests: Vec<Request> = (0..120).map(|_| req()).collect();
+        // Saturating offered load: each 8-request tick costs 10 virtual ms
+        // but its requests arrive within ~4 ms, so the backlog — and with
+        // it the request latencies — must grow past any fixed target.
+        let arrivals = poisson_arrivals(120, 2_000.0, 23);
+        let cfg = ServeConfig::default()
+            .with_window_us(1_000)
+            .with_max_batch(8);
+        let slo = SloConfig {
+            quantile: 0.9,
+            target_ms: 8.0,
+            window: 32,
+            min_samples: 8,
+        };
+        let run = || {
+            let mut recorder = FlightRecorder::with_slo(64, slo);
+            let (report, snapshot) = run_virtual_recorded(
+                &mut FixedCost,
+                &requests,
+                &arrivals,
+                &cfg,
+                TelemetryLevel::Basic,
+                &mut recorder,
+            );
+            (report, snapshot, recorder)
+        };
+        let (report_a, snap_a, flight_a) = run();
+        let (report_b, snap_b, flight_b) = run();
+
+        // Recording never perturbs the replay.
+        let plain = run_virtual(&mut FixedCost, &requests, &arrivals, &cfg);
+        assert_eq!(report_a.stats, plain.stats);
+        assert_eq!(report_a.stats, report_b.stats);
+        assert_eq!(snap_a, snap_b);
+
+        // The breach fires, pins an exemplar, and does so identically on
+        // every run of the same schedule.
+        assert!(
+            flight_a
+                .events()
+                .iter()
+                .any(|e| matches!(e, SloEvent::Breach { .. })),
+            "saturating load must breach the 8 ms p90 target: {:?}",
+            flight_a.events()
+        );
+        assert!(!flight_a.pinned().is_empty());
+        assert_eq!(flight_a.events(), flight_b.events());
+        assert_eq!(flight_a.pinned(), flight_b.pinned());
+        assert_eq!(flight_a.to_jsonl(), flight_b.to_jsonl());
+
+        // The exemplar is a real slow request with its breakdown attached.
+        let exemplar = &flight_a.pinned()[0].trace;
+        assert!(exemplar.latency_ms >= 8.0, "{}", exemplar.latency_ms);
+        assert_eq!(exemplar.name, "serve.request.knn");
     }
 
     #[test]

@@ -44,9 +44,11 @@ use crate::coalesce::{execute_tick, TickExecutor};
 use crate::config::ServeConfig;
 use crate::request::{Request, RequestStats, Response};
 use crate::stats::ServiceStats;
-use rtnn_telemetry::{SpanId, SpanRecord, Telemetry, TelemetrySnapshot};
+use rtnn_telemetry::{
+    FlightRecorder, RequestTrace, SpanId, SpanRecord, Telemetry, TelemetrySnapshot,
+};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One in-flight request plus its reply channel.
@@ -142,6 +144,11 @@ pub struct QueryService {
     rx: mpsc::Receiver<Envelope>,
     config: ServeConfig,
     telemetry: Arc<Telemetry>,
+    /// Optional SLO flight recorder: every served request lands in its ring
+    /// with the tick's stage breakdown and shard skew, and SLO breaches pin
+    /// the worst exemplar in the window (see
+    /// [`FlightRecorder`](rtnn_telemetry::FlightRecorder)).
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
 }
 
 impl QueryService {
@@ -167,9 +174,21 @@ impl QueryService {
                 rx,
                 config,
                 telemetry: telemetry.clone(),
+                flight: None,
             },
             ServiceClient { tx, telemetry },
         )
+    }
+
+    /// Attach an SLO flight recorder: the dispatcher records one
+    /// [`RequestTrace`] per served request
+    /// (latency, tick stage breakdown, shard skew), and — when the recorder
+    /// carries an [`SloMonitor`](rtnn_telemetry::SloMonitor) — pins breach
+    /// exemplars as they happen. The caller keeps its `Arc` to inspect or
+    /// dump the recorder after (or during) the run.
+    pub fn with_flight_recorder(mut self, recorder: Arc<Mutex<FlightRecorder>>) -> QueryService {
+        self.flight = Some(recorder);
+        self
     }
 
     /// Run the dispatch loop on the current thread until every client
@@ -226,6 +245,7 @@ impl QueryService {
                 result
             });
             let tick_requests = tick.len();
+            let tick_skew = executor.last_shard_skew();
             tel.counter_add("serve.ticks", 1);
             tel.counter_add("serve.requests", tick_requests as u64);
             stats.record_tick(tick_requests, tick_outcome.queries, tick_outcome.sim_ms);
@@ -234,6 +254,27 @@ impl QueryService {
                 let latency_us = envelope.submitted.elapsed().as_secs_f64() * 1e6;
                 stats.record_latency(latency_us);
                 tel.observe(envelope.request.latency_histogram(), latency_us);
+                if let Some(flight) = &self.flight {
+                    // The recorder speaks milliseconds; the service's wall
+                    // latencies are microseconds.
+                    flight
+                        .lock()
+                        .expect("flight recorder lock poisoned")
+                        .record(RequestTrace {
+                            name: envelope.request.span_name().to_string(),
+                            latency_ms: latency_us / 1e3,
+                            end_ms: tel.now_ms(),
+                            queries: envelope.request.queries.len() as u64,
+                            tick_requests: tick_requests as u64,
+                            stage_device_ms: tick_outcome
+                                .stage_device_ms
+                                .iter()
+                                .filter(|(label, _)| !label.is_empty())
+                                .map(|(label, ms)| (label.to_string(), *ms))
+                                .collect(),
+                            shard_skew: tick_skew,
+                        });
+                }
                 if let Some(id) = envelope.span_id {
                     // Recorded before the reply, so once a client's call
                     // returns its own request span is already in any
@@ -412,6 +453,63 @@ mod tests {
             1
         );
         assert_eq!(snapshot.metrics.counter("serve.ticks"), Some(1));
+    }
+
+    #[test]
+    fn flight_recorder_captures_every_request_and_pins_a_breach() {
+        use rtnn_telemetry::{SloConfig, SloEvent};
+        let device = Device::rtx_2080();
+        let backend = GpusimBackend::new(&device);
+        let points = cloud(300);
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let queries = points[..8].to_vec();
+        // A 0 ms target: every wall latency is positive, so the monitor
+        // breaches deterministically on its first judged sample.
+        let slo = SloConfig {
+            quantile: 0.5,
+            target_ms: 0.0,
+            window: 8,
+            min_samples: 1,
+        };
+        let recorder = Arc::new(Mutex::new(FlightRecorder::with_slo(32, slo)));
+        let (service, client) = QueryService::new(ServeConfig::default().without_coalescing());
+        let service = service.with_flight_recorder(recorder.clone());
+        crossbeam::thread::scope(|s| {
+            s.spawn(move |_| {
+                for _ in 0..5 {
+                    let r = client.call(Request::new(queries.clone(), QueryPlan::knn(1.0, 3)));
+                    assert!(r.outcome.is_ok());
+                }
+            });
+            service.run(&mut index)
+        })
+        .unwrap();
+
+        let flight = recorder.lock().unwrap();
+        assert_eq!(flight.len(), 5, "one trace per served request");
+        for trace in flight.recent() {
+            assert_eq!(trace.name, "serve.request.knn");
+            assert!(trace.latency_ms > 0.0);
+            assert_eq!(trace.shard_skew, 0.0, "unsharded executor");
+            assert!(
+                trace
+                    .stage_device_ms
+                    .iter()
+                    .any(|(l, ms)| l == "Launch" && *ms > 0.0),
+                "tick stage breakdown rides the trace: {:?}",
+                trace.stage_device_ms
+            );
+        }
+        assert!(
+            flight
+                .events()
+                .iter()
+                .any(|e| matches!(e, SloEvent::Breach { .. })),
+            "0ms target must breach"
+        );
+        assert!(!flight.pinned().is_empty(), "breach pins an exemplar");
+        // At least the meta line plus one line per recorded trace.
+        assert!(flight.to_jsonl().lines().count() > 5);
     }
 
     #[test]

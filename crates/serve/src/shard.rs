@@ -407,6 +407,23 @@ impl<'a> ShardedIndex<'a> {
         // `trace` above no longer has.
         if let Some(t) = &tel {
             t.counter_add("shard.fanout", timing.active_shards() as u64);
+            // The load-balance signal, exported: critical path over ideal
+            // parallel time for this fan-out (1.0 = perfectly balanced;
+            // see [`ShardTiming::skew`]). A gauge, so a scrape sees the
+            // most recent tick's balance.
+            t.gauge_set("serve.shard.skew", timing.skew());
+            if t.profiler_enabled() {
+                t.profile(&rtnn_telemetry::ProfileSample {
+                    plan_kind: plan.as_ref().kind_label(),
+                    points: self.points.len(),
+                    backend: self
+                        .shards
+                        .first()
+                        .map_or("none", |s| s.index.backend().name()),
+                    queries: queries.len() as u64,
+                    stages: &trace.stage_device_ms(),
+                });
+            }
             for (si, results) in shard_results
                 .iter()
                 .enumerate()
@@ -469,6 +486,10 @@ impl TickExecutor for ShardedIndex<'_> {
         plan: &QueryPlan,
     ) -> Result<SearchResults, SearchError> {
         self.query(queries, plan)
+    }
+
+    fn last_shard_skew(&self) -> f64 {
+        self.last_timing.skew()
     }
 }
 

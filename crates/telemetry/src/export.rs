@@ -15,7 +15,7 @@ use crate::TelemetrySnapshot;
 /// Format an `f64` as a JSON number. Uses Rust's shortest round-trip
 /// representation; non-finite values (only the `+Inf` histogram bucket
 /// bound in practice) become JSON strings, since JSON has no infinity.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` prints integral floats without a dot ("5"), which is still a
@@ -31,7 +31,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escape a string for inclusion in a JSON document (without quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -169,10 +169,29 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
+/// Escape a label *value* per the Prometheus text exposition format:
+/// backslash, double quote and newline must be escaped (`\\`, `\"`, `\n`);
+/// everything else passes through. Without this, an event name carrying a
+/// quote or newline would break the sample line it is embedded in.
+fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serialize the metric side of a snapshot as Prometheus text exposition:
 /// counters and gauges as single samples, histograms as cumulative
 /// `_bucket{le=...}` series plus `_sum`/`_count` and exact
-/// `{quantile=...}` summary samples.
+/// `{quantile=...}` summary samples, and the event log aggregated into
+/// per-name `rtnn_events_total{name=...}` counters (label values escaped
+/// per the exposition format).
 pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.metrics.counters {
@@ -200,6 +219,20 @@ pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
         let _ = writeln!(out, "{prom}_count {}", hist.count);
         for (q, v) in [("0.5", hist.p50), ("0.99", hist.p99), ("0.999", hist.p999)] {
             let _ = writeln!(out, "{prom}{{quantile=\"{q}\"}} {}", prom_f64(v));
+        }
+    }
+    if !snapshot.events.is_empty() {
+        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for event in &snapshot.events {
+            *counts.entry(event.name.as_ref()).or_default() += 1;
+        }
+        let _ = writeln!(out, "# TYPE rtnn_events_total counter");
+        for (name, count) in counts {
+            let _ = writeln!(
+                out,
+                "rtnn_events_total{{name=\"{}\"}} {count}",
+                prom_label_escape(name)
+            );
         }
     }
     out
@@ -582,5 +615,67 @@ mod tests {
     fn prometheus_names_are_sanitized() {
         assert_eq!(prometheus_name("serve.latency.ms"), "rtnn_serve_latency_ms");
         assert_eq!(prometheus_name("a-b c"), "rtnn_a_b_c");
+        assert_eq!(prometheus_name("slo.breach-p99"), "rtnn_slo_breach_p99");
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_per_the_exposition_format() {
+        assert_eq!(prom_label_escape("plain"), "plain");
+        assert_eq!(
+            prom_label_escape("quote \" slash \\ line\nbreak"),
+            "quote \\\" slash \\\\ line\\nbreak"
+        );
+    }
+
+    #[test]
+    fn prometheus_event_labels_roundtrip_through_escaping() {
+        // Un-escape per the exposition format — the consumer half of the
+        // round-trip, kept local to the test on purpose (the crate only
+        // needs the emit direction).
+        fn prom_label_unescape(value: &str) -> String {
+            let mut out = String::new();
+            let mut chars = value.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                }
+            }
+            out
+        }
+
+        let hostile = "shed \"tenant-7\"\nslow\\consumer";
+        let t = crate::Telemetry::new(crate::TelemetryLevel::Full);
+        t.event(hostile.to_string(), &[]);
+        t.event(hostile.to_string(), &[]);
+        t.event("serve.shed", &[]);
+        let prom = t.snapshot().to_prometheus();
+        // Every emitted line stays a single line (the raw \n was escaped).
+        assert!(prom.lines().all(|l| !l.is_empty()));
+        assert!(prom.contains("# TYPE rtnn_events_total counter"));
+        let mut labeled: Vec<(String, u64)> = prom
+            .lines()
+            .filter_map(|l| {
+                let rest = l.strip_prefix("rtnn_events_total{name=\"")?;
+                let (value, tail) = rest.split_once("\"} ")?;
+                Some((prom_label_unescape(value), tail.parse().unwrap()))
+            })
+            .collect();
+        labeled.sort();
+        assert_eq!(
+            labeled,
+            vec![("serve.shed".to_string(), 1), (hostile.to_string(), 2)],
+            "escaped label values parse back to the original event names"
+        );
     }
 }

@@ -41,25 +41,32 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod level;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use export::{
     parse_json, parse_jsonl, to_jsonl, to_prometheus, verify_jsonl_roundtrip, JsonValue,
 };
+pub use flight::{FlightRecorder, PinnedExemplar, RequestTrace, SloConfig, SloEvent, SloMonitor};
 pub use level::TelemetryLevel;
 pub use metrics::{
     percentile, Counter, Gauge, Histogram, HistogramHandle, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot,
+};
+pub use profile::{
+    density_bucket, ProfileSample, ProfileSnapshot, Signature, SignatureProfile, SignatureProfiler,
+    StageProfile,
 };
 pub use span::{Event, FinishedSpan, RingBuffer, SpanId};
 
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default capacity of the completed-span ring buffer.
@@ -77,6 +84,8 @@ pub struct Telemetry {
     spans: Mutex<RingBuffer<FinishedSpan>>,
     events: Mutex<RingBuffer<Event>>,
     next_span_id: AtomicU64,
+    profiler: Mutex<Option<SignatureProfiler>>,
+    profiler_on: AtomicBool,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -120,7 +129,13 @@ thread_local! {
 
 fn global_sink() -> &'static Arc<Telemetry> {
     static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Telemetry::new(TelemetryLevel::from_env()))
+    GLOBAL.get_or_init(|| {
+        let sink = Telemetry::new(TelemetryLevel::from_env());
+        if let Some(profiler) = SignatureProfiler::from_env() {
+            sink.enable_profiler(profiler);
+        }
+        sink
+    })
 }
 
 /// Pops its frame on drop, so `scoped`/`suppressed` unwind correctly even
@@ -163,6 +178,8 @@ impl Telemetry {
             spans: Mutex::new(RingBuffer::new(span_capacity)),
             events: Mutex::new(RingBuffer::new(event_capacity)),
             next_span_id: AtomicU64::new(1),
+            profiler: Mutex::new(None),
+            profiler_on: AtomicBool::new(false),
         })
     }
 
@@ -286,6 +303,44 @@ impl Telemetry {
         if self.metrics_enabled() && !self.is_deterministic() {
             self.metrics.histogram(name).record(v);
         }
+    }
+
+    // ---- continuous profiling ---------------------------------------------
+
+    /// Attach a [`SignatureProfiler`]: from now on,
+    /// [`profile`](Self::profile) folds samples into it (when the sink's
+    /// level records metrics at all). The global sink attaches one
+    /// automatically when the validated `RTNN_PROFILE` knob is on.
+    pub fn enable_profiler(&self, profiler: SignatureProfiler) {
+        *self.profiler.lock().expect("profiler lock") = Some(profiler);
+        self.profiler_on.store(true, Ordering::Release);
+    }
+
+    /// True when a profiler is attached and the level records metrics —
+    /// the cheap gate hot paths check (one relaxed atomic load when off).
+    pub fn profiler_enabled(&self) -> bool {
+        self.metrics_enabled() && self.profiler_on.load(Ordering::Acquire)
+    }
+
+    /// Fold one execution into the attached profiler; no-op when none is
+    /// attached or the level is `off`.
+    pub fn profile(&self, sample: &ProfileSample<'_>) {
+        if !self.profiler_enabled() {
+            return;
+        }
+        if let Some(profiler) = self.profiler.lock().expect("profiler lock").as_mut() {
+            profiler.record(sample);
+        }
+    }
+
+    /// Freeze the attached profiler's rolling statistics, or `None` when
+    /// no profiler is attached.
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.profiler
+            .lock()
+            .expect("profiler lock")
+            .as_ref()
+            .map(SignatureProfiler::snapshot)
     }
 
     // ---- spans ------------------------------------------------------------
@@ -830,6 +885,35 @@ mod tests {
         assert!(prom.contains("rtnn_serve_latency_ms_count 3"));
         assert!(prom.contains("rtnn_serve_latency_ms_bucket{le=\"+Inf\"} 3"));
         assert!(prom.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn profiler_rides_the_level_gate() {
+        let sample = ProfileSample {
+            plan_kind: "knn",
+            points: 4096,
+            backend: "gpusim",
+            queries: 8,
+            stages: &[("Launch", 2.0)],
+        };
+        // No profiler attached: recording is a no-op.
+        let t = Telemetry::new(TelemetryLevel::Full);
+        assert!(!t.profiler_enabled());
+        t.profile(&sample);
+        assert_eq!(t.profile_snapshot(), None);
+        // Attached on an Off sink: still gated off.
+        let off = Telemetry::new(TelemetryLevel::Off);
+        off.enable_profiler(SignatureProfiler::default());
+        assert!(!off.profiler_enabled());
+        off.profile(&sample);
+        assert!(off.profile_snapshot().unwrap().is_empty());
+        // Attached on a recording sink: samples fold in.
+        t.enable_profiler(SignatureProfiler::default());
+        assert!(t.profiler_enabled());
+        t.profile(&sample);
+        t.profile(&sample);
+        let snap = t.profile_snapshot().unwrap();
+        assert_eq!(snap.lookup("knn", 4096, "gpusim").unwrap().executions, 2);
     }
 
     #[test]

@@ -436,6 +436,93 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_and_single_sample_percentiles() {
+        // n=1: every quantile is the one observation (nearest-rank:
+        // rank = ceil(q*1).clamp(1,1) = 1).
+        let mut single = Histogram::new();
+        single.record(7.5);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(single.percentile(q), 7.5, "q={q}");
+        }
+        // Merging a one-sample histogram into an empty one reproduces it
+        // exactly, including min/max (the empty side's sentinels must not
+        // leak through).
+        let mut empty = Histogram::new();
+        empty.merge(&single);
+        assert_eq!(empty.snapshot(), single.snapshot());
+        assert_eq!(empty.min(), 7.5);
+        assert_eq!(empty.max(), 7.5);
+        // And the other direction: merging empty changes nothing.
+        let before = single.snapshot();
+        single.merge(&Histogram::new());
+        assert_eq!(single.snapshot(), before);
+    }
+
+    #[test]
+    fn merge_of_all_equal_samples_keeps_the_degenerate_distribution() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..3 {
+            a.record(2.0);
+        }
+        for _ in 0..5 {
+            b.record(2.0);
+        }
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 16.0);
+        assert_eq!((snap.min, snap.max), (2.0, 2.0));
+        assert_eq!((snap.p50, snap.p99, snap.p999), (2.0, 2.0, 2.0));
+        assert_eq!(snap.buckets.len(), 1, "all samples share one log bucket");
+        assert_eq!(snap.buckets[0].1, 8);
+    }
+
+    #[test]
+    fn cross_bucket_merge_equals_the_single_histogram() {
+        // Samples spanning many log2 buckets (plus the underflow slot),
+        // split across two histograms in interleaved order: merging must
+        // be indistinguishable from recording everything into one.
+        let samples: Vec<f64> = vec![
+            1e-9, 0.25, 0.5, 1.0, 3.0, 8.0, 100.0, 5000.0, 1e7, 0.75, 42.0,
+        ];
+        let mut merged = Histogram::new();
+        let mut other = Histogram::new();
+        let mut reference = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                merged.record(v);
+            } else {
+                other.record(v);
+            }
+        }
+        merged.merge(&other);
+        // The reference records the same multiset in merge order (merge
+        // appends `other`'s samples after `merged`'s own).
+        for &v in samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, v)| v)
+        {
+            reference.record(v);
+        }
+        for &v in samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, v)| v)
+        {
+            reference.record(v);
+        }
+        assert_eq!(merged.samples(), reference.samples());
+        assert_eq!(merged.snapshot(), reference.snapshot());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.percentile(q), reference.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn registry_handles_share_state_and_snapshot_deterministically() {
         let reg = MetricsRegistry::new();
         let c1 = reg.counter("b.count");

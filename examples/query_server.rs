@@ -15,7 +15,8 @@ use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 use rtnn_serve::{QueryService, Request, ServeConfig, ShardedIndex};
-use rtnn_telemetry::{Telemetry, TelemetryLevel};
+use rtnn_telemetry::{FlightRecorder, SloConfig, Telemetry, TelemetryLevel};
+use std::sync::{Arc, Mutex};
 
 fn main() {
     // 1. Serving configuration from the environment (validated: garbage in
@@ -88,8 +89,19 @@ fn main() {
     //    The run records to a private telemetry sink (always-on here so the
     //    example can print a snapshot; the global `RTNN_TELEMETRY` knob
     //    gates the default sink instead).
+    //    A flight recorder rides along: every request leaves a trace in a
+    //    bounded ring, and an SLO monitor watches the rolling p99 — on a
+    //    breach it pins the worst-in-window trace as the exemplar to debug.
     let sink = Telemetry::new(TelemetryLevel::Full);
+    let slo = SloConfig {
+        quantile: 0.99,
+        target_ms: 5.0,
+        window: 32,
+        min_samples: 8,
+    };
+    let flight = Arc::new(Mutex::new(FlightRecorder::with_slo(256, slo)));
     let (service, client) = QueryService::with_telemetry(config, sink.clone());
+    let service = service.with_flight_recorder(flight.clone());
     let stats = crossbeam::thread::scope(|s| {
         for c in 0..num_clients {
             let client = client.clone();
@@ -169,6 +181,49 @@ fn main() {
                 indent = 4 + 2 * depth
             );
         }
+    }
+    // 7. The flight recorder's view: every request left a trace, and the
+    //    SLO monitor's event log says when the rolling p99 crossed the
+    //    target — each breach pinning its worst-in-window exemplar.
+    let flight = flight.lock().expect("flight recorder lock poisoned");
+    println!(
+        "\nflight recorder: {} trace(s) held ({} dropped), {} SLO event(s), {} pinned exemplar(s)",
+        flight.len(),
+        flight.dropped(),
+        flight.events().len(),
+        flight.pinned().len()
+    );
+    for event in flight.events() {
+        match event {
+            rtnn_telemetry::SloEvent::Breach {
+                at_ms,
+                observed_ms,
+                target_ms,
+                quantile,
+                ..
+            } => println!(
+                "  breach  at {at_ms:.2} ms: p{:.0} = {observed_ms:.3} ms over the \
+                 {target_ms:.1} ms target",
+                quantile * 100.0
+            ),
+            rtnn_telemetry::SloEvent::Recover {
+                at_ms, observed_ms, ..
+            } => println!("  recover at {at_ms:.2} ms: back to {observed_ms:.3} ms"),
+        }
+    }
+    if let Some(exemplar) = flight.pinned().first() {
+        let trace = &exemplar.trace;
+        println!(
+            "  exemplar: {} [{:.3} ms, {} queries, tick of {}]{}",
+            trace.name,
+            trace.latency_ms,
+            trace.queries,
+            trace.tick_requests,
+            trace
+                .dominant_stage()
+                .map(|(stage, ms)| format!(", dominated by {stage} ({ms:.3} ms)"))
+                .unwrap_or_default()
+        );
     }
     println!(
         "\nall {} responses verified bit-equal to direct Index::query ✓",

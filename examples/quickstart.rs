@@ -9,7 +9,7 @@
 
 use rtnn::verify::{brute_force_knn, check_all};
 use rtnn::{
-    EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan, SearchParams, StageOverrides,
+    Backend, EngineConfig, GpusimBackend, Index, PlanSlice, QueryPlan, SearchParams, StageOverrides,
 };
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
@@ -132,8 +132,9 @@ fn main() {
     //    sink over one query and print the frozen snapshot (metrics +
     //    span tree). `RTNN_TELEMETRY=off|basic|full` gates the global sink
     //    the same way; recording never changes results.
-    use rtnn::telemetry::{Telemetry, TelemetryLevel};
+    use rtnn::telemetry::{SignatureProfiler, Telemetry, TelemetryLevel};
     let sink = Telemetry::new(TelemetryLevel::Full);
+    sink.enable_profiler(SignatureProfiler::new(0.2));
     let observed = Telemetry::scoped(&sink, || {
         index.query(&queries, &knn_plan).expect("observed knn")
     });
@@ -164,5 +165,35 @@ fn main() {
             }
         );
     }
+
+    // 9. The continuous profiler folded that same call into per-signature
+    //    stage statistics — (plan kind, density bucket, backend) keyed,
+    //    the feed an auto-tuner or regression monitor reads. Setting
+    //    `RTNN_PROFILE=on` arms the same profiler on the global sink.
+    let profile = sink
+        .profile_snapshot()
+        .expect("the profiler was enabled above");
+    println!("continuous profile ({} signature(s)):", profile.len());
+    for sig in &profile.signatures {
+        println!(
+            "  {}: {} execution(s), {} queries, total p50 {:.3} ms",
+            sig.signature.label(),
+            sig.executions,
+            sig.queries,
+            sig.total.p50_ms
+        );
+        for stage in &sig.stages {
+            println!(
+                "    {:<9} mean {:>8.3} ms  p99 {:>8.3} ms",
+                stage.stage, stage.mean_ms, stage.p99_ms
+            );
+        }
+    }
+    assert!(
+        profile
+            .lookup("knn", points.len(), backend.name())
+            .is_some(),
+        "the observed knn call must be profiled under its signature"
+    );
     println!("all results verified against the brute-force oracle ✓");
 }

@@ -15,14 +15,23 @@
 //!    (`run_virtual_observed`) produces bit-identical snapshots and JSONL
 //!    exports across runs, and the same `LoadReport` as the unobserved
 //!    replay.
+//! 4. **Invisible profiling and flight recording** — with the continuous
+//!    profiler attached and the SLO flight recorder riding the replay,
+//!    results stay bit-equal per backend, and a breached SLO pins the
+//!    same exemplar trace on every run of the same schedule.
 
-use rtnn::telemetry::{verify_jsonl_roundtrip, Telemetry, TelemetryLevel};
+use rtnn::telemetry::{
+    verify_jsonl_roundtrip, FlightRecorder, SignatureProfiler, SloConfig, SloEvent, Telemetry,
+    TelemetryLevel,
+};
 use rtnn::{Backend, EngineConfig, GpusimBackend, Index, OptixBackend, PlanSlice, QueryPlan};
 use rtnn_baselines::BruteForceBackend;
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
-use rtnn_serve::{poisson_arrivals, run_virtual, run_virtual_observed, Request, ServeConfig};
+use rtnn_serve::{
+    poisson_arrivals, run_virtual, run_virtual_observed, run_virtual_recorded, Request, ServeConfig,
+};
 
 fn seeded_cloud(n: usize, seed: u64) -> Vec<Vec3> {
     uniform::generate(&UniformParams {
@@ -97,6 +106,64 @@ fn results_are_bit_equal_at_every_level_for_every_backend_and_plan_kind() {
 }
 
 #[test]
+fn profiler_and_flight_recorder_are_bit_invisible_for_every_backend() {
+    let device = Device::rtx_2080();
+    let points = seeded_cloud(2500, 0x7E1E);
+    let queries: Vec<Vec3> = points.iter().step_by(7).copied().collect();
+    let n = queries.len() as u32;
+    let plans = [
+        QueryPlan::knn(5.0, 8),
+        QueryPlan::range(4.0, 64),
+        QueryPlan::Batch(vec![
+            PlanSlice::new(QueryPlan::knn(4.5, 5), (0..n / 2).collect()),
+            PlanSlice::new(QueryPlan::range(6.0, 32), (n / 2..n).collect()),
+        ]),
+    ];
+    let backends: Vec<(&str, Box<dyn Backend + '_>)> = vec![
+        ("gpusim", Box::new(GpusimBackend::new(&device))),
+        ("optix-shim", Box::new(OptixBackend::new(&device))),
+        ("brute-force", Box::new(BruteForceBackend::new(&device))),
+    ];
+
+    for (name, backend) in &backends {
+        // Baseline under an explicit `off` sink — the strongest form of
+        // "recording everything equals recording nothing".
+        let off = Telemetry::new(TelemetryLevel::Off);
+        let baseline = Telemetry::scoped(&off, || {
+            let mut index = Index::build(backend.as_ref(), &points[..], EngineConfig::default());
+            plans
+                .iter()
+                .map(|p| index.query(&queries, p).expect("plan").neighbors)
+                .collect::<Vec<_>>()
+        });
+
+        // Full telemetry + continuous profiler attached.
+        let sink = Telemetry::new(TelemetryLevel::Full);
+        sink.enable_profiler(SignatureProfiler::new(0.2));
+        let profiled = Telemetry::scoped(&sink, || {
+            let mut index = Index::build(backend.as_ref(), &points[..], EngineConfig::default());
+            plans
+                .iter()
+                .map(|p| index.query(&queries, p).expect("plan").neighbors)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(
+            profiled, baseline,
+            "{name}: profiler-on results must be bit-equal to telemetry-off"
+        );
+
+        // The profiler actually folded the executions it watched, keyed on
+        // the live signature.
+        let profile = sink.profile_snapshot().expect("profiler attached");
+        let sig = profile
+            .lookup("knn", points.len(), backend.name())
+            .unwrap_or_else(|| panic!("{name}: knn signature missing from {profile:?}"));
+        assert_eq!(sig.executions, 1, "{name}: one knn plan ran");
+        assert!(sig.total.mean_ms >= 0.0);
+    }
+}
+
+#[test]
 fn one_observed_query_yields_a_nested_tree_that_accounts_device_time() {
     let device = Device::rtx_2080();
     let backend = GpusimBackend::new(&device);
@@ -150,6 +217,78 @@ fn one_observed_query_yields_a_nested_tree_that_accounts_device_time() {
     verify_jsonl_roundtrip(&snapshot).expect("JSONL round trip");
     let prom = snapshot.to_prometheus();
     assert!(prom.contains("rtnn_index_queries 1"));
+}
+
+#[test]
+fn breached_slo_pins_the_same_exemplar_on_every_replay() {
+    let device = Device::rtx_2080();
+    let backend = GpusimBackend::new(&device);
+    let points = seeded_cloud(3000, 0x0DE7);
+    let requests: Vec<Request> = (0..50)
+        .map(|i| {
+            let queries: Vec<Vec3> = (0..3 + i % 4)
+                .map(|j| points[(i * 173 + j * 19) % points.len()])
+                .collect();
+            Request::new(queries, QueryPlan::knn(3.0, 6))
+        })
+        .collect();
+    let arrivals = poisson_arrivals(requests.len(), 1_500.0, 0xA11);
+    let config = ServeConfig::default().with_window_us(400).with_max_batch(8);
+    // A p50 target of 0 ms breaches deterministically once the window has
+    // its minimum samples: every virtual latency is positive.
+    let slo = SloConfig {
+        quantile: 0.5,
+        target_ms: 0.0,
+        window: 16,
+        min_samples: 4,
+    };
+
+    let mut plain_index = Index::build(&backend, &points[..], EngineConfig::default());
+    let plain = run_virtual(&mut plain_index, &requests, &arrivals, &config);
+
+    let run = || {
+        let mut index = Index::build(&backend, &points[..], EngineConfig::default());
+        let mut recorder = FlightRecorder::with_slo(64, slo);
+        let (report, _) = run_virtual_recorded(
+            &mut index,
+            &requests,
+            &arrivals,
+            &config,
+            TelemetryLevel::Full,
+            &mut recorder,
+        );
+        (report, recorder)
+    };
+    let (report_a, flight_a) = run();
+    let (_, flight_b) = run();
+
+    assert_eq!(
+        report_a.stats, plain.stats,
+        "flight recording must not perturb the replay"
+    );
+    assert!(
+        flight_a
+            .events()
+            .iter()
+            .any(|e| matches!(e, SloEvent::Breach { .. })),
+        "the 0 ms target must breach: {:?}",
+        flight_a.events()
+    );
+    // Reproducibility is the whole point of the flight recorder: identical
+    // replays emit identical events and pin the identical exemplar trace.
+    assert_eq!(flight_a.events(), flight_b.events());
+    assert_eq!(flight_a.pinned(), flight_b.pinned());
+    assert_eq!(flight_a.to_jsonl(), flight_b.to_jsonl());
+
+    // The exemplar is attributable: a real request trace with a per-stage
+    // breakdown whose dominant stage is identified.
+    let exemplar = &flight_a.pinned()[0].trace;
+    assert_eq!(exemplar.name, "serve.request.knn");
+    assert!(exemplar.latency_ms > 0.0);
+    assert!(
+        exemplar.dominant_stage().is_some(),
+        "exemplar carries its stage breakdown: {exemplar:?}"
+    );
 }
 
 #[test]
