@@ -1,0 +1,13 @@
+//! Extension figure: adaptive stage tuning (`EngineConfig::auto()`) vs the
+//! static `OptLevel` ladder — regret, recovered regression gap, and the
+//! bit-equality proof that tuning never changes answers.
+
+use rtnn_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let report = experiments::auto::run(&ExperimentScale::from_env());
+    println!("{}", report.render());
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -5,6 +5,7 @@
 pub mod aabb_sweep;
 pub mod ablation;
 pub mod analytics;
+pub mod auto;
 pub mod build;
 pub mod bvh_build;
 pub mod coherence;

@@ -135,6 +135,31 @@ pub fn run(scale: &ExperimentScale) -> FigureReport {
             "{}: stage meters account {:.4} ms of {:.4} ms non-transfer simulated time (no double billing)",
             workload.name, accounted, expected
         ));
+
+        // Regression watch (tracked by rtnn-trend under a stable name):
+        // the full pipeline *loses* to NoOpt on the non-uniform NBody
+        // range workload — the gap the adaptive tuner (fig_auto) exists
+        // to recover. Keeping the ratio as a named headline here, in the
+        // CI smoke figure, means a drift in either direction shows up in
+        // every trend diff.
+        if dataset == DatasetName::NBody9M {
+            let noopt = run_once(
+                &device,
+                &workload,
+                SearchMode::Range,
+                StageOverrides::for_level(rtnn::OptLevel::NoOpt),
+            );
+            let full = run_once(
+                &device,
+                &workload,
+                SearchMode::Range,
+                StageOverrides::for_level(rtnn::OptLevel::Full),
+            );
+            report.headline_metric(
+                "regression_watch_nbody_9m_range_full_speedup_vs_noopt",
+                noopt.total_time_ms() / full.total_time_ms().max(1e-12),
+            );
+        }
     }
 
     report.notes.push(
@@ -159,8 +184,11 @@ mod tests {
             assert_eq!(t.rows.len(), 3, "three toggle variants in {}", t.title);
         }
         // Headlines cover every stage share for both modes plus the toggle
-        // costs, for both datasets.
-        assert_eq!(report.headline.len(), 2 * (4 + 4 + 2));
+        // costs, for both datasets — plus the NBody range regression watch.
+        assert_eq!(report.headline.len(), 2 * (4 + 4 + 2) + 1);
+        assert!(report.headline.iter().any(|(n, v)| n
+            == "regression_watch_nbody_9m_range_full_speedup_vs_noopt"
+            && *v > 0.0));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | `fig_analytics` | extension — DBSCAN throughput, streaming relabel, reverse-k-NN pruning |
 //! | `fig_build` | extension — parallel LBVH build, batched refit, shard-concurrent cold start |
 //! | `fig_obs` | extension — telemetry bit-equality + profiler/flight-recorder overhead per level |
+//! | `fig_auto` | extension — adaptive stage tuning vs the static `OptLevel` ladder (regret ≤ 5%, bit-equal) |
 //! | `reproduce_all` | everything above, written to `results/` |
 //! | `rtnn-trend` | not a figure — diffs `results/` headlines against the baselines in `results/baselines/` and exits nonzero on perf regressions (see `src/bin/trend.rs`) |
 //!

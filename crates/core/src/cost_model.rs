@@ -95,6 +95,17 @@ impl CostCoefficients {
     pub fn build_to_knn_is_ratio(&self) -> f64 {
         self.k_build_ms_per_aabb / self.k_is_knn_ms
     }
+
+    /// The per-IS-call coefficient the auto-tuner's cold start charges for
+    /// a plan kind (a [`Signature`](rtnn_telemetry::Signature) coordinate):
+    /// `k2` for KNN, the sphere-test `k3` for range, and KNN pricing for
+    /// heterogeneous batches (their dominant slice in the paper's mixes).
+    pub fn is_ms_for_kind(&self, plan_kind: &str) -> f64 {
+        match plan_kind {
+            "range" => self.k_is_range_sphere_ms,
+            _ => self.k_is_knn_ms,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +159,14 @@ mod tests {
         let b = CostCoefficients::calibrate(&Device::rtx_2080_ti());
         assert!(b.k_build_ms_per_aabb < a.k_build_ms_per_aabb);
         assert!(b.k_is_knn_ms < a.k_is_knn_ms);
+    }
+
+    #[test]
+    fn per_kind_is_cost_follows_the_shader_coefficients() {
+        let c = CostCoefficients::calibrate(&Device::rtx_2080());
+        assert_eq!(c.is_ms_for_kind("knn"), c.k_is_knn_ms);
+        assert_eq!(c.is_ms_for_kind("range"), c.k_is_range_sphere_ms);
+        assert_eq!(c.is_ms_for_kind("batch"), c.k_is_knn_ms);
     }
 
     #[test]

@@ -149,6 +149,10 @@ impl RtnnConfig {
             knn_rule: self.knn_rule,
             approx: self.approx,
             grid_max_cells: self.grid_max_cells,
+            // The legacy one-config engine always selects stages statically;
+            // adaptive selection lives on `DynamicIndex::enable_auto` and
+            // `EngineConfig::auto`.
+            tuning: crate::autotune::Tuning::Static,
         }
     }
 

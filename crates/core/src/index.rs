@@ -39,7 +39,9 @@
 //! ```
 
 use crate::approx::ApproxMode;
+use crate::autotune::{AutoTuner, TunerDecision, Tuning};
 use crate::backend::{Accel, AccelRef, Backend};
+use crate::cost_model::CostCoefficients;
 use crate::engine::{OptLevel, SearchError};
 use crate::megacell::MegacellGrid;
 use crate::partition::{KnnAabbRule, MegacellCache};
@@ -73,6 +75,10 @@ pub struct EngineConfig {
     /// Grid-resolution budget for the megacell pass (stands in for the GPU
     /// memory cap the paper mentions). Must be at least 1.
     pub grid_max_cells: usize,
+    /// Static stage selection from [`Self::opt`] (the default) or adaptive
+    /// per-query selection through a seeded [`AutoTuner`]
+    /// (see [`EngineConfig::auto`]).
+    pub tuning: Tuning,
 }
 
 impl Default for EngineConfig {
@@ -83,11 +89,28 @@ impl Default for EngineConfig {
             knn_rule: KnnAabbRule::default(),
             approx: ApproxMode::default(),
             grid_max_cells: 1 << 21,
+            tuning: Tuning::Static,
         }
     }
 }
 
 impl EngineConfig {
+    /// The default configuration with adaptive stage selection: every
+    /// query on an index built from this config is routed through an
+    /// [`AutoTuner`] (seeded with [`DEFAULT_SEED`](crate::autotune)) that
+    /// picks the [`OptLevel`] arm per (plan kind, density bucket, backend)
+    /// signature — cost-model first shot, measured per-stage timings after.
+    /// Explicit [`StageOverrides`] on [`Index::query_with`] still win.
+    pub fn auto() -> Self {
+        EngineConfig::default().with_tuning(Tuning::auto())
+    }
+
+    /// Set the tuning mode (static level vs seeded auto-tuner).
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// Set the optimisation level.
     pub fn with_opt(mut self, opt: OptLevel) -> Self {
         self.opt = opt;
@@ -376,6 +399,11 @@ pub struct Index<'a> {
     cache_params: Option<SearchParams>,
     dirty_region: Aabb,
     pending_structure_ms: f64,
+    /// Lazily created when `config.tuning` is auto (or installed via
+    /// [`Index::set_tuner`]); owns the per-signature decision state.
+    tuner: Option<AutoTuner>,
+    /// The most recent auto-tuning decision, `None` until one was made.
+    last_decision: Option<TunerDecision>,
 }
 
 impl<'a> Index<'a> {
@@ -398,6 +426,8 @@ impl<'a> Index<'a> {
             cache_params: None,
             dirty_region: Aabb::EMPTY,
             pending_structure_ms: 0.0,
+            tuner: None,
+            last_decision: None,
         }
     }
 
@@ -426,6 +456,8 @@ impl<'a> Index<'a> {
             cache_params: scene.cache_params,
             dirty_region: scene.dirty_region,
             pending_structure_ms: 0.0,
+            tuner: None,
+            last_decision: None,
         }
     }
 
@@ -465,6 +497,27 @@ impl<'a> Index<'a> {
     /// contract a `DynamicIndex` frame uses.
     pub fn charge_structure_ms(&mut self, ms: f64) {
         self.pending_structure_ms += ms;
+    }
+
+    /// The auto-tuner's most recent decision on this index (`None` until
+    /// an auto-tuned query ran).
+    pub fn last_decision(&self) -> Option<TunerDecision> {
+        self.last_decision
+    }
+
+    /// The index's tuner state, once auto tuning made a decision (or a
+    /// tuner was installed with [`Self::set_tuner`]).
+    pub fn tuner(&self) -> Option<&AutoTuner> {
+        self.tuner.as_ref()
+    }
+
+    /// Install pre-seeded tuner state (e.g. warmed from a persisted
+    /// [`ProfileSnapshot`](rtnn_telemetry::ProfileSnapshot) via
+    /// [`AutoTuner::absorb_profile`]) and switch the index to auto tuning
+    /// under the tuner's seed.
+    pub fn set_tuner(&mut self, tuner: AutoTuner) {
+        self.config.tuning = Tuning::Auto { seed: tuner.seed() };
+        self.tuner = Some(tuner);
     }
 
     /// Pre-build every structure (and the megacell grid) that `plan` would
@@ -571,6 +624,35 @@ impl<'a> Index<'a> {
             t.counter_add("index.queries", 1);
             t.counter_add("index.query_points", queries.len() as u64);
         }
+        // Auto tuning: when the config asks for it and the caller pinned no
+        // stage explicitly, a seeded `AutoTuner` picks the OptLevel arm for
+        // this call. The tuner is created on first use, warm-started from
+        // the continuous profiler's snapshot when one is armed (those
+        // measurements were collected under the static `config.opt` level).
+        let decision = match self.config.tuning {
+            Tuning::Auto { seed } if overrides.is_empty() => {
+                if self.tuner.is_none() {
+                    let mut tuner = AutoTuner::new(seed)
+                        .with_cost_model(CostCoefficients::calibrate(self.backend.device()));
+                    if let Some(snapshot) = tel.as_ref().and_then(|t| t.profile_snapshot()) {
+                        tuner.absorb_profile(&snapshot, self.config.opt);
+                    }
+                    self.tuner = Some(tuner);
+                }
+                let tuner = self.tuner.as_mut().expect("tuner installed above");
+                Some(tuner.decide(
+                    plan.as_ref().kind_label(),
+                    self.points.len(),
+                    self.backend.name(),
+                    queries.len(),
+                ))
+            }
+            _ => None,
+        };
+        let overrides = match decision {
+            Some(d) => d.overrides(),
+            None => overrides,
+        };
         let result = match plan.as_ref() {
             QueryPlan::Batch(slices) => self.query_batch(queries, slices, overrides),
             single => {
@@ -627,6 +709,22 @@ impl<'a> Index<'a> {
                     stages: &results.trace.stage_device_ms(),
                 });
             }
+        }
+        // The tuner learns from the same per-stage timings the profiler
+        // records; `bvh_ms` (one-time structure builds) is excluded so arms
+        // compete on steady-state cost.
+        if let (Some(d), Ok(results)) = (decision, result.as_ref()) {
+            if let Some(tuner) = self.tuner.as_mut() {
+                tuner.observe(
+                    plan.as_ref().kind_label(),
+                    self.points.len(),
+                    self.backend.name(),
+                    d.level,
+                    &results.trace.stage_device_ms(),
+                    results.breakdown.bvh_ms,
+                );
+            }
+            self.last_decision = Some(d);
         }
         result
     }

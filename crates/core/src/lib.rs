@@ -62,6 +62,7 @@
 //! over the same execution core; see the README migration table.
 
 pub mod approx;
+pub mod autotune;
 pub mod backend;
 pub mod bundling;
 pub mod cost_model;
@@ -77,6 +78,7 @@ pub mod shaders;
 pub mod verify;
 
 pub use approx::ApproxMode;
+pub use autotune::{AutoTuner, DecisionSource, TunerDecision, TunerReport, Tuning};
 pub use backend::{
     exhaustive_traverse, Accel, AccelRef, Backend, GpusimBackend, OptixBackend, RefitOutcome,
     Traversal, TraversalJob, TraversalKind,

@@ -242,8 +242,25 @@ impl MegacellGrid {
                 (centre.z + steps).min(dims[2] - 1),
             );
             found = self.bins.count_in_cell_box(lo, hi);
-            cells_scanned += (hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1);
+            let volume = (hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1);
+            cells_scanned += volume;
             if found as usize >= k || steps >= max_steps {
+                break;
+            }
+            // Once the clamped box spans the whole grid, further growth
+            // cannot change `found` — jump to the cap, charging the same
+            // per-step volume the step-by-step loop would have (this is the
+            // sparse-region regime: a large `k` or search radius over a
+            // small cloud would otherwise re-count every cell per step).
+            if lo.x == 0
+                && lo.y == 0
+                && lo.z == 0
+                && hi.x == dims[0] - 1
+                && hi.y == dims[1] - 1
+                && hi.z == dims[2] - 1
+            {
+                cells_scanned += (max_steps - steps) * volume;
+                steps = max_steps;
                 break;
             }
             steps += 1;

@@ -42,7 +42,7 @@
 //! [`PartitionStage`], [`LaunchStage`], [`GatherStage`]); a
 //! [`StageOverrides`] passed to
 //! [`Index::query_with`](crate::Index::query_with) replaces any of them for
-//! one call. This subsumes the [`OptLevel`](crate::OptLevel) plumbing — the
+//! one call. This subsumes the [`OptLevel`] plumbing — the
 //! levels are just preset stage selections:
 //!
 //! | `OptLevel` | Schedule | Partition |
@@ -77,7 +77,7 @@ pub use stages::{
 pub use timing::{PipelineTrace, StageKind, StageTiming};
 
 use crate::backend::Backend;
-use crate::engine::SearchError;
+use crate::engine::{OptLevel, SearchError};
 use crate::index::{AccelStore, EngineConfig, SceneRefs};
 use crate::megacell::MegacellGrid;
 use crate::partition::MegacellCache;
@@ -98,7 +98,7 @@ static SCATTER_GATHER: ScatterGather = ScatterGather;
 
 /// Per-call stage replacements for one pipeline execution (see the module
 /// docs). `None` slots fall back to the defaults the engine's
-/// [`OptLevel`](crate::OptLevel) selects.
+/// [`OptLevel`] selects.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageOverrides<'o> {
     /// Replace the `Schedule` stage.
@@ -156,6 +156,45 @@ impl StageOverrides<'static> {
             partition: Some(&SINGLE_PARTITION),
             ..StageOverrides::default()
         }
+    }
+
+    /// The fully pinned override set equivalent to a static [`OptLevel`]:
+    /// all four slots filled with exactly the stages that level resolves
+    /// to, so the call's behaviour no longer depends on the engine's
+    /// configured level. This is the [`AutoTuner`](crate::AutoTuner)'s arm
+    /// ladder — results are bit-equal to running an engine configured at
+    /// `level`, because the same stage objects execute.
+    pub fn for_level(level: OptLevel) -> Self {
+        StageOverrides {
+            schedule: Some(if level.scheduling() {
+                &COHERENCE_SCHEDULE
+            } else {
+                &IDENTITY_SCHEDULE
+            }),
+            partition: Some(if level.partitioning() {
+                if level.bundling() {
+                    &MEGACELL_BUNDLED
+                } else {
+                    &MEGACELL_UNBUNDLED
+                }
+            } else {
+                &SINGLE_PARTITION
+            }),
+            launch: Some(&SEARCH_LAUNCH),
+            gather: Some(&SCATTER_GATHER),
+        }
+    }
+}
+
+impl StageOverrides<'_> {
+    /// True when no slot is overridden (every stage falls back to the
+    /// engine's optimisation level) — the condition under which an
+    /// auto-tuning index is free to substitute its own decision.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_none()
+            && self.partition.is_none()
+            && self.launch.is_none()
+            && self.gather.is_none()
     }
 }
 

@@ -4,8 +4,8 @@
 
 use crate::policy::RebuildPolicy;
 use rtnn::{
-    Accel, AdoptedScene, Backend, GpusimBackend, Index, MegacellCache, MegacellGrid, QueryPlan,
-    RtnnConfig, SearchError, SearchResults, StageOverrides,
+    Accel, AdoptedScene, AutoTuner, Backend, CostCoefficients, GpusimBackend, Index, MegacellCache,
+    MegacellGrid, QueryPlan, RtnnConfig, SearchError, SearchResults, StageOverrides, TunerDecision,
 };
 use rtnn_bvh::SahMonitor;
 use rtnn_gpusim::{Device, FrameAccumulator};
@@ -170,6 +170,13 @@ pub struct DynamicIndex<'d> {
     pending_host_structure_ms: f64,
     last_traversal_ms: Option<f64>,
     metrics: FrameAccumulator,
+    /// Online stage tuner, carried *across* frames (the per-frame adopted
+    /// [`Index`] views are transient, so the learning state lives here):
+    /// installed by [`enable_auto`](Self::enable_auto), it picks the
+    /// optimization level each [`search`](Self::search) frame runs at and
+    /// folds the frame's measured stage timings back in afterwards.
+    tuner: Option<AutoTuner>,
+    last_decision: Option<TunerDecision>,
 }
 
 impl<'d> DynamicIndex<'d> {
@@ -219,6 +226,8 @@ impl<'d> DynamicIndex<'d> {
             pending_dirty: Aabb::EMPTY,
             pending_structure_ms: 0.0,
             pending_host_structure_ms: 0.0,
+            tuner: None,
+            last_decision: None,
         }
     }
 
@@ -308,6 +317,35 @@ impl<'d> DynamicIndex<'d> {
         &self.metrics
     }
 
+    /// Switch [`search`](Self::search) frames to adaptive stage tuning:
+    /// every frame, an [`AutoTuner`] (seeded with `seed`, cost model
+    /// calibrated for the backend's device) picks the optimization level
+    /// the frame executes at and absorbs the frame's measured stage
+    /// timings afterwards. The tuner state persists across frames — and
+    /// across refits and rebuilds — so a long-running scene converges on
+    /// its measured best ladder rung instead of re-deriving it.
+    ///
+    /// Tuning changes *which* stages run, never the answer: every frame
+    /// still returns exactly the neighbor sets a fresh engine would.
+    pub fn enable_auto(&mut self, seed: u64) {
+        self.tuner = Some(
+            AutoTuner::new(seed)
+                .with_cost_model(CostCoefficients::calibrate(self.backend.as_dyn().device())),
+        );
+    }
+
+    /// The tuner's most recent per-frame decision (`None` until an
+    /// auto-tuned [`search`](Self::search) frame ran).
+    pub fn last_decision(&self) -> Option<TunerDecision> {
+        self.last_decision
+    }
+
+    /// The carried tuner state, when [`enable_auto`](Self::enable_auto)
+    /// installed one.
+    pub fn tuner(&self) -> Option<&AutoTuner> {
+        self.tuner.as_ref()
+    }
+
     /// Run one query round against the current point positions.
     ///
     /// Maintains the persistent structures first (refit / incremental grid
@@ -334,19 +372,54 @@ impl<'d> DynamicIndex<'d> {
         let host_structure_ms = std::mem::take(&mut self.pending_host_structure_ms);
 
         let plan = self.config.plan();
+        // Adaptive tuning: decide the frame's ladder rung *before* the view
+        // borrows the structures. The decision keys on the frame's live
+        // density, so a drifting scene migrates between signatures exactly
+        // as the continuous profiler files it.
+        let decision = match self.tuner.as_mut() {
+            Some(tuner) => {
+                let n = self.compact.len();
+                let backend = self.backend.as_dyn().name();
+                Some(tuner.decide(plan.kind_label(), n, backend, queries.len()))
+            }
+            None => None,
+        };
         let mut view = self.frame_view(sync.dirty_region, structure_ms);
-        let results = view.query(queries, &plan)?;
+        let results = match decision {
+            Some(d) => view.query_with(queries, &plan, d.overrides())?,
+            None => view.query(queries, &plan)?,
+        };
         drop(view);
 
         // The cached partitioning pass ran exactly when partitioning is on,
         // a grid exists and the search was non-trivial — the pending dirty
         // region has then been absorbed into the cache and can be retired.
-        if self.config.opt >= rtnn::OptLevel::SchedPartition
+        // Under auto tuning "partitioning is on" is the *decision's* level,
+        // not the config's: a frame the tuner ran at a lower rung never
+        // touched the cache, so its invalidations must stay pending.
+        let effective_opt = decision.map_or(self.config.opt, |d| d.level);
+        if effective_opt >= rtnn::OptLevel::SchedPartition
             && self.grid.is_some()
             && !queries.is_empty()
             && !self.compact.is_empty()
         {
             self.pending_dirty = Aabb::EMPTY;
+        }
+        if let Some(d) = decision {
+            if let Some(tuner) = self.tuner.as_mut() {
+                tuner.observe(
+                    plan.kind_label(),
+                    self.compact.len(),
+                    self.backend.as_dyn().name(),
+                    d.level,
+                    &results.trace.stage_device_ms(),
+                    // `bvh_ms` carries the frame's structure maintenance
+                    // (billed to the Launch slot): exclude it so arms
+                    // compete on steady-state traversal cost.
+                    results.breakdown.bvh_ms,
+                );
+            }
+            self.last_decision = Some(d);
         }
 
         self.last_traversal_ms = Some(results.breakdown.fs_ms + results.breakdown.search_ms);
@@ -996,6 +1069,63 @@ mod tests {
             profile.total.mean_ms > 0.0,
             "a non-trivial frame charges device time"
         );
+    }
+
+    #[test]
+    fn auto_tuned_frames_stay_exact_and_carry_state_across_frames() {
+        let device = Device::rtx_2080();
+        let points = jittered_block(6, 0.5);
+        let config = RtnnConfig::new(SearchParams::knn(1.2, 8));
+        let queries: Vec<Vec3> = points.iter().step_by(3).copied().collect();
+
+        let drive = |seed: Option<u64>| -> (Vec<Vec<Vec<u32>>>, Vec<Option<rtnn::OptLevel>>) {
+            let mut index = DynamicIndex::with_points(&device, config, &points);
+            if let Some(seed) = seed {
+                index.enable_auto(seed);
+            }
+            let mut neighbors = Vec::new();
+            let mut levels = Vec::new();
+            for frame in 0..8u32 {
+                for h in 0..points.len() as u32 {
+                    let p = index.position(h).unwrap();
+                    index.move_point(h, p + Vec3::new(0.001 * frame as f32, -0.001, 0.0005));
+                }
+                let f = index.search(&queries).unwrap();
+                neighbors.push(f.results.neighbors.clone());
+                levels.push(index.last_decision().map(|d| d.level));
+            }
+            (neighbors, levels)
+        };
+
+        let (static_neighbors, static_levels) = drive(None);
+        let (auto_neighbors, auto_levels) = drive(Some(7));
+        let (auto_again, auto_levels_again) = drive(Some(7));
+
+        assert!(static_levels.iter().all(Option::is_none));
+        assert!(
+            auto_levels.iter().all(Option::is_some),
+            "every frame decides"
+        );
+        assert_eq!(
+            auto_levels, auto_levels_again,
+            "same seed, same motion: identical decision sequence"
+        );
+        assert_eq!(auto_neighbors, auto_again, "bit-equal replay");
+        // Tuning changes *which* stages run, never the answer: ids must
+        // match the untuned frames bit-for-bit on every frame, including
+        // the early frames the tuner spends exploring low ladder rungs.
+        assert_eq!(auto_neighbors, static_neighbors);
+        // The state survived across frames: by frame 8 all four arms have
+        // been bootstrapped, so later frames exploit measurements.
+        let mut index = DynamicIndex::with_points(&device, config, &points);
+        index.enable_auto(7);
+        for _ in 0..8 {
+            index.search(&queries).unwrap();
+        }
+        let report = index.tuner().unwrap().report();
+        assert_eq!(report.len(), 1, "one signature: knn at this density");
+        assert_eq!(report[0].measured_arms, 4, "all arms bootstrapped");
+        assert_eq!(report[0].decisions, 8);
     }
 
     #[test]

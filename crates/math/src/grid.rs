@@ -254,10 +254,20 @@ impl PointBins {
     }
 
     /// Number of points in the inclusive cell-coordinate box `[lo, hi]`.
+    ///
+    /// Cells are linearised x-fastest, so an x-run at fixed `(y, z)` is a
+    /// contiguous index range and its population is one prefix-sum
+    /// subtraction — the box costs one subtraction per row, not per cell
+    /// (the megacell growth loop calls this with boxes of up to the whole
+    /// grid).
     pub fn count_in_cell_box(&self, lo: GridCoord, hi: GridCoord) -> u32 {
         let mut total = 0;
-        for c in self.grid.iter_range(lo, hi) {
-            total += self.cell_count(c);
+        for z in lo.z..=hi.z {
+            for y in lo.y..=hi.y {
+                let row_lo = self.grid.cell_index(GridCoord { x: lo.x, y, z });
+                let row_hi = self.grid.cell_index(GridCoord { x: hi.x, y, z });
+                total += self.cell_start[row_hi + 1] - self.cell_start[row_lo];
+            }
         }
         total
     }

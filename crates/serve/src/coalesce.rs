@@ -14,7 +14,9 @@
 
 use crate::request::Request;
 use rtnn::engine::SearchError;
-use rtnn::{PlanSlice, QueryPlan, SearchResults};
+use rtnn::{
+    AutoTuner, CostCoefficients, PlanSlice, QueryPlan, SearchResults, StageOverrides, TunerDecision,
+};
 use rtnn_math::Vec3;
 
 /// Anything that can execute one tick's fused plan: an `rtnn::Index`, a
@@ -23,6 +25,36 @@ pub trait TickExecutor {
     /// Answer `plan` for `queries` (the `Index::query` contract).
     fn execute(&mut self, queries: &[Vec3], plan: &QueryPlan)
         -> Result<SearchResults, SearchError>;
+
+    /// [`execute`](Self::execute) with per-call pipeline
+    /// [`StageOverrides`] — the hook adaptive tuning drives. The default
+    /// ignores the overrides and executes plainly, so test doubles and
+    /// executors without a staged pipeline stay correct (overrides only
+    /// ever change *how* a tick runs, never its results).
+    fn execute_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
+    ) -> Result<SearchResults, SearchError> {
+        let _ = overrides;
+        self.execute(queries, plan)
+    }
+
+    /// The `(points, backend)` coordinates an [`AutoTuner`] keys its
+    /// per-signature state on, or `None` for executors that cannot be
+    /// tuned (the default — [`execute_tick_tuned`] then runs the plain
+    /// path).
+    fn tuner_signature(&self) -> Option<(usize, &'static str)> {
+        None
+    }
+
+    /// Cost coefficients calibrated for this executor's device, used to
+    /// seed a tuner that arrives without a cost model (the default `None`
+    /// leaves the tuner's cold start on the built-in fallback).
+    fn calibrated_cost(&self) -> Option<CostCoefficients> {
+        None
+    }
 
     /// The shard skew of the most recent execution — critical path over
     /// ideal parallel time, the [`ShardTiming::skew`](crate::ShardTiming::skew)
@@ -42,6 +74,23 @@ impl TickExecutor for rtnn::Index<'_> {
     ) -> Result<SearchResults, SearchError> {
         self.query(queries, plan)
     }
+
+    fn execute_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
+    ) -> Result<SearchResults, SearchError> {
+        self.query_with(queries, plan, overrides)
+    }
+
+    fn tuner_signature(&self) -> Option<(usize, &'static str)> {
+        Some((self.points().len(), self.backend().name()))
+    }
+
+    fn calibrated_cost(&self) -> Option<CostCoefficients> {
+        Some(CostCoefficients::calibrate(self.backend().device()))
+    }
 }
 
 /// What one fused tick did (reported into the service stats and the load
@@ -58,6 +107,11 @@ pub struct TickOutcome {
     /// execution, in pipeline order (empty labels when nothing launched) —
     /// what the flight recorder attributes a slow request to.
     pub stage_device_ms: [(&'static str, f64); 4],
+    /// The auto-tuner's decision for this tick (`None` when the tick ran
+    /// untuned): one decision per fused batch, taken *before* the launch
+    /// and recorded here so the serving layer can report which ladder rung
+    /// each tick actually executed at.
+    pub tuned: Option<TunerDecision>,
 }
 
 /// The outcome of one request within a tick: its per-query neighbor lists
@@ -73,6 +127,64 @@ pub type RequestOutcome = Result<Vec<Vec<u32>>, SearchError>;
 pub fn execute_tick<E: TickExecutor>(
     executor: &mut E,
     requests: &[&Request],
+) -> (Vec<RequestOutcome>, TickOutcome) {
+    execute_tick_tuned(executor, requests, None)
+}
+
+/// One tick's decide → execute → observe round-trip: ask the tuner for
+/// the tick's ladder rung (lazily handing it the executor's calibrated
+/// cost model), run the fused plan under the decided overrides, and fold
+/// the measured stage timings back in on success.
+fn tuned_execute<E: TickExecutor>(
+    executor: &mut E,
+    tuner: &mut Option<&mut AutoTuner>,
+    queries: &[Vec3],
+    plan: &QueryPlan,
+) -> (Option<TunerDecision>, Result<SearchResults, SearchError>) {
+    let decision = tuner.as_deref_mut().and_then(|t| {
+        let (points, backend) = executor.tuner_signature()?;
+        if !t.has_cost_model() {
+            if let Some(cost) = executor.calibrated_cost() {
+                t.set_cost_model(cost);
+            }
+        }
+        let d = t.decide(plan.kind_label(), points, backend, queries.len());
+        Some((d, points, backend))
+    });
+    match decision {
+        Some((d, points, backend)) => {
+            let result = executor.execute_with(queries, plan, d.overrides());
+            if let (Ok(results), Some(t)) = (&result, tuner.as_deref_mut()) {
+                t.observe(
+                    plan.kind_label(),
+                    points,
+                    backend,
+                    d.level,
+                    &results.trace.stage_device_ms(),
+                    // Structure builds are one-time costs billed to the
+                    // Launch slot; exclude them so arms compete on the
+                    // steady-state tick cost.
+                    results.breakdown.bvh_ms,
+                );
+            }
+            (Some(d), result)
+        }
+        None => (None, executor.execute(queries, plan)),
+    }
+}
+
+/// [`execute_tick`] with an optional [`AutoTuner`] steering the tick's
+/// pipeline stages: **one decision per fused batch** — the tuner is
+/// consulted once, right before the tick's single launch, with the
+/// actually-executed plan's kind and query count — and the decision is
+/// recorded on the returned [`TickOutcome::tuned`]. Ticks that never
+/// launch (all requests invalid or empty), and executors that expose no
+/// [`tuner_signature`](TickExecutor::tuner_signature), leave the tuner
+/// untouched.
+pub fn execute_tick_tuned<E: TickExecutor>(
+    executor: &mut E,
+    requests: &[&Request],
+    mut tuner: Option<&mut AutoTuner>,
 ) -> (Vec<RequestOutcome>, TickOutcome) {
     let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; requests.len()];
 
@@ -107,7 +219,8 @@ pub fn execute_tick<E: TickExecutor>(
         let ri = valid[0];
         let req = requests[ri];
         tick.queries = req.queries.len();
-        let result = executor.execute(&req.queries, &req.plan);
+        let (tuned, result) = tuned_execute(executor, &mut tuner, &req.queries, &req.plan);
+        tick.tuned = tuned;
         match result {
             Ok(results) => {
                 tick.sim_ms = results.total_time_ms();
@@ -165,7 +278,9 @@ pub fn execute_tick<E: TickExecutor>(
         // One fused plan for the tick; `normalized` merges slices with
         // identical parameters across requests.
         let plan = QueryPlan::Batch(slices).normalized().into_owned();
-        match executor.execute(&queries, &plan) {
+        let (tuned, result) = tuned_execute(executor, &mut tuner, &queries, &plan);
+        tick.tuned = tuned;
+        match result {
             Ok(results) => {
                 tick.sim_ms = results.total_time_ms();
                 tick.stage_device_ms = results.trace.stage_device_ms();
@@ -301,6 +416,21 @@ mod tests {
                 value: -1.0
             })
         );
+    }
+
+    #[test]
+    fn untunable_executors_leave_the_tuner_untouched() {
+        // The Recorder exposes no tuner signature, so a tuned tick runs
+        // the plain path: no decision is taken, none is recorded.
+        let mut exec = Recorder { calls: Vec::new() };
+        let mut tuner = AutoTuner::new(7);
+        let a = Request::new(q(2), QueryPlan::knn(1.0, 4));
+        let b = Request::new(q(3), QueryPlan::range(2.0, 8));
+        let (outcomes, tick) = execute_tick_tuned(&mut exec, &[&a, &b], Some(&mut tuner));
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert!(tick.tuned.is_none());
+        assert_eq!(tuner.decisions(), 0, "the tuner was never consulted");
+        assert_eq!(exec.calls.len(), 1, "the tick still executed");
     }
 
     #[test]

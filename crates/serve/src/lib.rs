@@ -44,7 +44,7 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 
-pub use coalesce::{execute_tick, RequestOutcome, TickExecutor, TickOutcome};
+pub use coalesce::{execute_tick, execute_tick_tuned, RequestOutcome, TickExecutor, TickOutcome};
 pub use config::ServeConfig;
 pub use loadgen::{
     poisson_arrivals, run_virtual, run_virtual_observed, run_virtual_recorded, LoadReport,

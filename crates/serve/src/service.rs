@@ -40,10 +40,11 @@
 //! assert_eq!(stats.requests, 1);
 //! ```
 
-use crate::coalesce::{execute_tick, TickExecutor};
+use crate::coalesce::{execute_tick_tuned, TickExecutor};
 use crate::config::ServeConfig;
 use crate::request::{Request, RequestStats, Response};
 use crate::stats::ServiceStats;
+use rtnn::AutoTuner;
 use rtnn_telemetry::{
     FlightRecorder, RequestTrace, SpanId, SpanRecord, Telemetry, TelemetrySnapshot,
 };
@@ -149,6 +150,12 @@ pub struct QueryService {
     /// the worst exemplar in the window (see
     /// [`FlightRecorder`](rtnn_telemetry::FlightRecorder)).
     flight: Option<Arc<Mutex<FlightRecorder>>>,
+    /// Optional adaptive stage tuner: when attached, every coalesced tick
+    /// takes **one** tuning decision for its fused batch (recorded on the
+    /// tick's [`TickOutcome`](crate::TickOutcome)) and folds the tick's
+    /// measured stage timings back in. Shared via `Arc<Mutex<..>>` so the
+    /// caller can inspect [`AutoTuner::report`] after (or during) the run.
+    tuner: Option<Arc<Mutex<AutoTuner>>>,
 }
 
 impl QueryService {
@@ -175,6 +182,7 @@ impl QueryService {
                 config,
                 telemetry: telemetry.clone(),
                 flight: None,
+                tuner: None,
             },
             ServiceClient { tx, telemetry },
         )
@@ -188,6 +196,20 @@ impl QueryService {
     /// dump the recorder after (or during) the run.
     pub fn with_flight_recorder(mut self, recorder: Arc<Mutex<FlightRecorder>>) -> QueryService {
         self.flight = Some(recorder);
+        self
+    }
+
+    /// Attach an adaptive stage tuner: each coalesced tick consults it
+    /// once — one decision per fused batch, keyed on the executed plan's
+    /// kind, the executor's density and backend — executes under the
+    /// decided [`rtnn::StageOverrides`], and reports the measured stage
+    /// timings back. Decisions ride on every tick's
+    /// [`TickOutcome::tuned`](crate::TickOutcome::tuned). Tuning never
+    /// changes responses: every request stays bit-equal to its untuned
+    /// execution. The caller keeps its `Arc` to read
+    /// [`AutoTuner::report`] afterwards.
+    pub fn with_auto_tuner(mut self, tuner: Arc<Mutex<AutoTuner>>) -> QueryService {
+        self.tuner = Some(tuner);
         self
     }
 
@@ -237,11 +259,20 @@ impl QueryService {
             let (outcomes, tick_outcome) = Telemetry::scoped(tel, || {
                 let mut tick_span = tel.span_with_parent("serve.tick", tick[0].span_id);
                 let requests: Vec<&Request> = tick.iter().map(|e| &e.request).collect();
-                let result = execute_tick(executor, &requests);
+                let result = match &self.tuner {
+                    Some(tuner) => {
+                        let mut tuner = tuner.lock().expect("auto tuner lock poisoned");
+                        execute_tick_tuned(executor, &requests, Some(&mut tuner))
+                    }
+                    None => execute_tick_tuned(executor, &requests, None),
+                };
                 tick_span
                     .attr("requests", tick.len() as f64)
                     .attr("queries", result.1.queries as f64)
                     .attr("sim_ms", result.1.sim_ms);
+                if let Some(d) = result.1.tuned {
+                    tick_span.attr("tuned_level", d.level as usize as f64);
+                }
                 result
             });
             let tick_requests = tick.len();

@@ -26,8 +26,9 @@
 use crate::coalesce::TickExecutor;
 use rtnn::engine::SearchError;
 use rtnn::{
-    Backend, EngineConfig, Index, LaunchMetrics, PipelineTrace, PlanSlice, QueryPlan, SearchParams,
-    SearchResults, ShardMerge, StageKind, TimeBreakdown,
+    Backend, CostCoefficients, EngineConfig, Index, LaunchMetrics, PipelineTrace, PlanSlice,
+    QueryPlan, SearchParams, SearchResults, ShardMerge, StageKind, StageOverrides, TimeBreakdown,
+    Tuning,
 };
 use rtnn_math::{Aabb, Vec3};
 use rtnn_parallel::{par_map_collect, par_map_collect_mut};
@@ -134,6 +135,14 @@ impl<'a> ShardedIndex<'a> {
         } else {
             order.chunks(chunk).collect()
         };
+        // Shards always select stages statically: adaptive tuning operates
+        // at the *tick* level (one decision per fan-out, threaded through
+        // `query_with`), so a per-shard tuner would both double-decide and
+        // let shards diverge from each other within one tick.
+        let shard_config = EngineConfig {
+            tuning: Tuning::Static,
+            ..config
+        };
         let shards = par_map_collect(chunks.len(), |ci| {
             // Suppressed: worker-thread telemetry would land in the global
             // sink in scheduling order (see `query` for the rationale).
@@ -143,7 +152,7 @@ impl<'a> ShardedIndex<'a> {
                     global_ids.iter().map(|&id| points[id as usize]).collect();
                 let bounds = Aabb::from_points(&shard_points);
                 Shard {
-                    index: Index::build(backend, shard_points, config),
+                    index: Index::build(backend, shard_points, shard_config),
                     global_ids,
                     bounds,
                 }
@@ -211,6 +220,22 @@ impl<'a> ShardedIndex<'a> {
         &mut self,
         queries: &[Vec3],
         plan: &QueryPlan,
+    ) -> Result<SearchResults, SearchError> {
+        self.query_with(queries, plan, StageOverrides::default())
+    }
+
+    /// [`query`](Self::query) with per-call pipeline [`StageOverrides`]:
+    /// the same overrides are threaded into **every** overlapped shard's
+    /// pipeline execution, so one tick-level tuning decision governs the
+    /// whole fan-out (the stage traits are `Sync`, so the borrowed stages
+    /// cross the worker pool directly). The merge is override-agnostic —
+    /// results stay bit-equal to the unsharded index under the same
+    /// overrides.
+    pub fn query_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
     ) -> Result<SearchResults, SearchError> {
         let plan = plan.normalized();
         plan.validate(queries.len())
@@ -309,7 +334,7 @@ impl<'a> ShardedIndex<'a> {
                 } else {
                     QueryPlan::Batch(local_slices)
                 };
-                Some(shard.index.query(&job.queries, &local_plan))
+                Some(shard.index.query_with(&job.queries, &local_plan, overrides))
             })
         });
         let fan_end_ms = tel.as_ref().map_or(0.0, |t| t.now_ms());
@@ -486,6 +511,28 @@ impl TickExecutor for ShardedIndex<'_> {
         plan: &QueryPlan,
     ) -> Result<SearchResults, SearchError> {
         self.query(queries, plan)
+    }
+
+    fn execute_with(
+        &mut self,
+        queries: &[Vec3],
+        plan: &QueryPlan,
+        overrides: StageOverrides<'_>,
+    ) -> Result<SearchResults, SearchError> {
+        self.query_with(queries, plan, overrides)
+    }
+
+    fn tuner_signature(&self) -> Option<(usize, &'static str)> {
+        // The logical index's coordinates — total points, the (shared)
+        // backend — so a sharded deployment tunes under the same signature
+        // the equivalent unsharded index would.
+        let backend = self.shards.first()?.index.backend().name();
+        Some((self.points.len(), backend))
+    }
+
+    fn calibrated_cost(&self) -> Option<CostCoefficients> {
+        let shard = self.shards.first()?;
+        Some(CostCoefficients::calibrate(shard.index.backend().device()))
     }
 
     fn last_shard_skew(&self) -> f64 {

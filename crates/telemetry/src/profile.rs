@@ -302,6 +302,15 @@ impl ProfileSnapshot {
     }
 
     /// The profile an execution with these coordinates would fold into.
+    ///
+    /// On an exact-signature miss the lookup falls back to an *adjacent*
+    /// density bucket (±1, same plan kind and backend): a scene drifting
+    /// across a power-of-two boundary keeps serving its neighbour's
+    /// statistics instead of forgetting everything — the warm-start
+    /// behaviour the `AutoTuner` relies on. When both neighbours exist the
+    /// better-populated one wins (ties go to the lower bucket). Buckets
+    /// further than one step away — and any plan-kind or backend mismatch —
+    /// still return `None`.
     pub fn lookup(
         &self,
         plan_kind: &str,
@@ -309,7 +318,22 @@ impl ProfileSnapshot {
         backend: &str,
     ) -> Option<&SignatureProfile> {
         let sig = Signature::new(plan_kind, points, backend);
-        self.signatures.iter().find(|p| p.signature == sig)
+        if let Some(exact) = self.signatures.iter().find(|p| p.signature == sig) {
+            return Some(exact);
+        }
+        self.signatures
+            .iter()
+            .filter(|p| {
+                p.signature.plan_kind == sig.plan_kind
+                    && p.signature.backend == sig.backend
+                    && p.signature.density_bucket.abs_diff(sig.density_bucket) == 1
+            })
+            .max_by(|a, b| {
+                a.executions.cmp(&b.executions).then(
+                    // Reversed: the *lower* bucket wins an executions tie.
+                    b.signature.density_bucket.cmp(&a.signature.density_bucket),
+                )
+            })
     }
 
     /// Serialize as JSON Lines: one record per signature, with nested
@@ -398,6 +422,63 @@ mod tests {
         assert_eq!(p.total.count, 2);
         assert_eq!(p.total.p99_ms, 4.0, "total sums the stage devices");
         assert!(snap.lookup("knn", 6000, "optix-shim").is_none());
+    }
+
+    #[test]
+    fn lookup_prefers_the_exact_bucket_over_a_neighbor() {
+        let mut prof = SignatureProfiler::default();
+        prof.record(&sample("knn", 5000, &[("Launch", 1.0)])); // bucket 12
+        prof.record(&sample("knn", 9000, &[("Launch", 9.0)])); // bucket 13
+        let snap = prof.snapshot();
+        let p = snap
+            .lookup("knn", 6000, "gpusim")
+            .expect("exact bucket hit");
+        assert_eq!(p.signature.density_bucket, 12);
+        assert_eq!(p.stage("Launch").unwrap().mean_ms, 1.0);
+    }
+
+    #[test]
+    fn lookup_falls_back_to_an_adjacent_bucket() {
+        let mut prof = SignatureProfiler::default();
+        prof.record(&sample("knn", 5000, &[("Launch", 4.0)])); // bucket 12
+        let snap = prof.snapshot();
+        // 9000 points is bucket 13 — one step above the recorded bucket.
+        let p = snap
+            .lookup("knn", 9000, "gpusim")
+            .expect("adjacent bucket serves the miss");
+        assert_eq!(p.signature.density_bucket, 12);
+        // 2500 points is bucket 11 — one step below also reaches it.
+        let p = snap.lookup("knn", 2500, "gpusim").expect("lower neighbor");
+        assert_eq!(p.signature.density_bucket, 12);
+        // Two steps away stays a miss.
+        assert!(snap.lookup("knn", 1200, "gpusim").is_none(), "bucket 10");
+        assert!(snap.lookup("knn", 20_000, "gpusim").is_none(), "bucket 14");
+    }
+
+    #[test]
+    fn adjacent_fallback_never_crosses_kind_or_backend() {
+        let mut prof = SignatureProfiler::default();
+        prof.record(&sample("knn", 5000, &[("Launch", 4.0)]));
+        let snap = prof.snapshot();
+        assert!(snap.lookup("range", 9000, "gpusim").is_none());
+        assert!(snap.lookup("knn", 9000, "optix-shim").is_none());
+    }
+
+    #[test]
+    fn adjacent_fallback_picks_the_better_populated_neighbor() {
+        let mut prof = SignatureProfiler::default();
+        prof.record(&sample("knn", 2500, &[("Launch", 1.0)])); // bucket 11, 1 exec
+        prof.record(&sample("knn", 9000, &[("Launch", 9.0)])); // bucket 13, 2 execs
+        prof.record(&sample("knn", 9000, &[("Launch", 9.0)]));
+        let snap = prof.snapshot();
+        // Bucket 12 is empty; both neighbors qualify, 13 has more executions.
+        let p = snap.lookup("knn", 6000, "gpusim").unwrap();
+        assert_eq!(p.signature.density_bucket, 13);
+        // On an executions tie the lower bucket wins.
+        prof.record(&sample("knn", 2500, &[("Launch", 1.0)]));
+        let snap = prof.snapshot();
+        let p = snap.lookup("knn", 6000, "gpusim").unwrap();
+        assert_eq!(p.signature.density_bucket, 11);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! submit small KNN/range requests through a channel-based handle, the
 //! dispatcher coalesces whatever is in flight into one fused batch per
 //! tick, and a spatially sharded index fans each tick out over the worker
-//! pool — with every response bit-equal to a direct `Index::query` call.
+//! pool — with every response equal to a direct `Index::query` call
+//! (bit-equal KNN, set-equal range). An `AutoTuner` rides on the service
+//! and picks the stage-override rung once per coalesced tick.
 //!
 //! Run with:
 //! ```text
@@ -10,13 +12,26 @@
 //! # knobs: RTNN_SERVE_THREADS=4 RTNN_SERVE_WINDOW_US=500
 //! ```
 
-use rtnn::{EngineConfig, GpusimBackend, Index, QueryPlan};
+use rtnn::{AutoTuner, EngineConfig, GpusimBackend, Index, QueryPlan};
 use rtnn_data::uniform::{self, UniformParams};
 use rtnn_gpusim::Device;
 use rtnn_math::Vec3;
 use rtnn_serve::{QueryService, Request, ServeConfig, ShardedIndex};
 use rtnn_telemetry::{FlightRecorder, SloConfig, Telemetry, TelemetryLevel};
 use std::sync::{Arc, Mutex};
+
+/// Per-query sorted copy: the canonical form for comparing range results
+/// produced at different opt levels.
+fn sorted(neighbors: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    neighbors
+        .iter()
+        .map(|n| {
+            let mut n = n.clone();
+            n.sort_unstable();
+            n
+        })
+        .collect()
+}
 
 fn main() {
     // 1. Serving configuration from the environment (validated: garbage in
@@ -100,8 +115,14 @@ fn main() {
         min_samples: 8,
     };
     let flight = Arc::new(Mutex::new(FlightRecorder::with_slo(256, slo)));
+    //    The auto tuner makes one stage-override decision per coalesced
+    //    tick, recorded on the tick's outcome — tuning changes which
+    //    pipeline stages run, never the responses.
+    let tuner = Arc::new(Mutex::new(AutoTuner::new(42)));
     let (service, client) = QueryService::with_telemetry(config, sink.clone());
-    let service = service.with_flight_recorder(flight.clone());
+    let service = service
+        .with_flight_recorder(flight.clone())
+        .with_auto_tuner(tuner.clone());
     let stats = crossbeam::thread::scope(|s| {
         for c in 0..num_clients {
             let client = client.clone();
@@ -109,13 +130,25 @@ fn main() {
             let expected = &expected[c];
             s.spawn(move |_| {
                 for (ri, request) in requests.into_iter().enumerate() {
+                    // Ticks may run at a tuner-decided opt level, and range
+                    // results are set-equal (not bit-equal) across levels.
+                    let is_range = request.plan.kind_label() == "range";
                     let response = client.call(request);
-                    assert_eq!(
-                        response.neighbors(),
-                        &expected[ri],
-                        "client {c} request {ri}: served response must be bit-equal \
-                         to a direct Index::query"
-                    );
+                    if is_range {
+                        assert_eq!(
+                            sorted(response.neighbors()),
+                            sorted(&expected[ri]),
+                            "client {c} request {ri}: served response must be \
+                             set-equal to a direct Index::query"
+                        );
+                    } else {
+                        assert_eq!(
+                            response.neighbors(),
+                            &expected[ri],
+                            "client {c} request {ri}: served response must be \
+                             bit-equal to a direct Index::query"
+                        );
+                    }
                 }
             });
         }
@@ -225,8 +258,25 @@ fn main() {
                 .unwrap_or_default()
         );
     }
+    // 8. What the auto tuner learned: one decision per coalesced tick,
+    //    summarised per (plan kind, density bucket, backend) signature.
+    let tuner = tuner.lock().expect("auto tuner lock poisoned");
     println!(
-        "\nall {} responses verified bit-equal to direct Index::query ✓",
+        "\nauto tuner: {} decision(s) across {} signature(s):",
+        tuner.decisions(),
+        tuner.report().len()
+    );
+    for sig in tuner.report() {
+        println!(
+            "  {}: {} decision(s), {}/4 arms measured, steady choice {:?}",
+            sig.label(),
+            sig.decisions,
+            sig.measured_arms,
+            sig.choice
+        );
+    }
+    println!(
+        "\nall {} responses verified against direct Index::query ✓",
         stats.requests
     );
 }

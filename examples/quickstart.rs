@@ -195,5 +195,41 @@ fn main() {
             .is_some(),
         "the observed knn call must be profiled under its signature"
     );
+    // 10. Adaptive stage tuning: `EngineConfig::auto()` lets the index pick
+    //     the `StageOverrides` rung per (plan kind, density bucket, backend)
+    //     signature — cost model first, then measured arm scores. Tuning
+    //     changes which stages run, never the answer.
+    let mut auto = Index::build(&backend, &points[..], EngineConfig::auto());
+    for round in 0..6 {
+        let plan = if round % 2 == 0 {
+            QueryPlan::knn(2.5, 8)
+        } else {
+            QueryPlan::range(2.5, 32)
+        };
+        let tuned = auto.query(&queries, &plan).expect("auto-tuned search");
+        let d = auto.last_decision().expect("auto mode always decides");
+        println!(
+            "auto round {round}: {:?} via {:?}, simulated {:.2} ms",
+            d.level,
+            d.source,
+            tuned.total_time_ms()
+        );
+        if round % 2 == 0 {
+            assert_eq!(
+                tuned.neighbors, knn.neighbors,
+                "tuning never changes answers"
+            );
+        }
+    }
+    println!("tuner report (chosen overrides per signature):");
+    for sig in auto.tuner().expect("auto mode carries a tuner").report() {
+        println!(
+            "  {}: {} decision(s), {}/4 arms measured, steady choice {:?}",
+            sig.label(),
+            sig.decisions,
+            sig.measured_arms,
+            sig.choice
+        );
+    }
     println!("all results verified against the brute-force oracle ✓");
 }
